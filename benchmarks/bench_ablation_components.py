@@ -1,0 +1,30 @@
+"""Ablation bench: WaterWise without its history / slack / soft-constraint pieces.
+
+Not a paper figure; DESIGN.md lists these as the design choices worth
+isolating.  The full configuration must remain competitive with every ablated
+variant on the combined objective.
+"""
+
+from repro.analysis.studies import ablation_components
+
+
+def bench_ablation_components(run_experiment, scale):
+    result = run_experiment(ablation_components, scale, delay_tolerance=0.5)
+
+    rows = {row[0]: row for row in result.rows}
+    assert set(rows) == {
+        "waterwise-full",
+        "waterwise-no-history",
+        "waterwise-no-slack",
+        "waterwise-no-soft",
+    }
+    full = rows["waterwise-full"]
+    # The full configuration saves on both metrics even at the stressed
+    # utilization, and keeps violations moderate.
+    assert full[1] > 0.0 and full[2] > 0.0
+    assert full[4] < 25.0
+    # No ablated variant dominates the full configuration on the equally
+    # weighted combined objective by a large margin.
+    full_combined = full[1] + full[2]
+    for name, row in rows.items():
+        assert row[1] + row[2] <= full_combined + 5.0, f"{name} unexpectedly dominates"

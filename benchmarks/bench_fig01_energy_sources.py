@@ -1,0 +1,18 @@
+"""Reproduce paper Fig. 1: carbon intensity and EWIF per energy source."""
+
+from repro.analysis.experiments import fig1_energy_sources
+
+
+def bench_fig01_energy_sources(run_experiment):
+    result = run_experiment(fig1_energy_sources)
+
+    sources = dict(zip(result.column("source"), zip(
+        result.column("carbon_gCO2_per_kwh"), result.column("ewif_L_per_kwh")
+    )))
+    # Paper anchors: coal is ~62x hydro in carbon; hydro is ~11x coal in EWIF.
+    assert sources["Coal"][0] / sources["Hydro"][0] > 50.0
+    assert sources["Hydro"][1] / sources["Coal"][1] > 8.0
+    # The central tension: the carbon-friendliest sources are not the most
+    # water-friendly ones.
+    assert sources["Hydro"][0] < sources["Coal"][0]
+    assert sources["Hydro"][1] > sources["Coal"][1]

@@ -1,0 +1,25 @@
+"""Reproduce paper Fig. 2: regional sustainability factors and temporal variation."""
+
+from repro.analysis.experiments import fig2_regional_factors
+
+
+def bench_fig02_regional_factors(run_experiment):
+    result = run_experiment(fig2_regional_factors, horizon_hours=8760, seed=11)
+
+    regions = result.column("region")
+    carbon = dict(zip(regions, result.column("carbon_intensity")))
+    ewif = dict(zip(regions, result.column("ewif")))
+    wsf = dict(zip(regions, result.column("wsf")))
+
+    # Fig. 2(a): regions sorted by carbon intensity, Zurich lowest / Mumbai highest.
+    assert regions == ["zurich", "madrid", "oregon", "milan", "mumbai"]
+    assert carbon["zurich"] == min(carbon.values())
+    assert carbon["mumbai"] == max(carbon.values())
+    # Fig. 2(b): Zurich has the highest EWIF despite the lowest carbon intensity.
+    assert ewif["zurich"] == max(ewif.values())
+    # Fig. 2(d): Madrid is the most water-stressed region.
+    assert wsf["madrid"] == max(wsf.values())
+    # Fig. 2(e): carbon and water intensity vary over time and are not
+    # perfectly correlated (otherwise co-optimization would be trivial).
+    assert all(value > 0.0 for value in result.column("carbon_intensity_std"))
+    assert abs(result.metadata["oregon_carbon_water_correlation"]) < 0.95

@@ -1,0 +1,30 @@
+"""Reproduce paper Fig. 3: greedy-optimal opportunity study and job distribution."""
+
+from repro.analysis.experiments import fig3_greedy_optimal
+
+
+def bench_fig03_greedy_optimal(run_experiment, scale):
+    savings, distribution = run_experiment(
+        fig3_greedy_optimal, scale, tolerances=(0.10, 0.50, 1.00)
+    )
+
+    rows = {
+        (row[0], row[1]): (row[2], row[3]) for row in savings.rows
+    }  # (tolerance, policy) -> (carbon, water)
+
+    for tolerance in ("10%", "50%", "100%"):
+        carbon_opt = rows[(tolerance, "carbon-greedy-opt")]
+        water_opt = rows[(tolerance, "water-greedy-opt")]
+        # Each oracle wins its own objective...
+        assert carbon_opt[0] > water_opt[0]
+        assert water_opt[1] > carbon_opt[1]
+        # ...and both save something relative to the unaware baseline.
+        assert carbon_opt[0] > 0.0
+        assert water_opt[1] > 0.0
+
+    # Fig. 3(b): no single region receives all jobs for either oracle.
+    shares = {}
+    for policy, region, pct in distribution.rows:
+        shares.setdefault(policy, []).append(pct)
+    for policy, values in shares.items():
+        assert max(values) < 95.0, f"{policy} concentrated all jobs in one region"

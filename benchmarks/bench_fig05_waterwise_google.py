@@ -1,0 +1,32 @@
+"""Reproduce paper Fig. 5: WaterWise vs. greedy oracles on the Borg-like trace."""
+
+from repro.analysis.experiments import fig5_waterwise_google
+
+
+def _by_policy(result):
+    table = {}
+    for tolerance, policy, carbon, water, ratio, violations in result.rows:
+        table.setdefault(policy, {})[tolerance] = (carbon, water, ratio, violations)
+    return table
+
+
+def bench_fig05_waterwise_google(run_experiment, scale):
+    result = run_experiment(fig5_waterwise_google, scale, tolerances=(0.25, 0.50, 0.75, 1.00))
+    table = _by_policy(result)
+
+    for tolerance in ("25%", "50%", "75%", "100%"):
+        waterwise = table["waterwise"][tolerance]
+        carbon_opt = table["carbon-greedy-opt"][tolerance]
+        water_opt = table["water-greedy-opt"][tolerance]
+        # WaterWise saves on both footprints relative to the baseline.
+        assert waterwise[0] > 5.0, f"carbon savings too small at {tolerance}"
+        assert waterwise[1] > 2.0, f"water savings too small at {tolerance}"
+        # WaterWise sits between the two single-objective oracles.
+        assert waterwise[0] <= carbon_opt[0] + 1.0
+        assert waterwise[0] >= water_opt[0] - 1.0
+        assert waterwise[1] <= water_opt[1] + 1.0
+        assert waterwise[1] >= carbon_opt[1] - 1.0
+
+    # Higher delay tolerance does not reduce WaterWise's savings.
+    assert table["waterwise"]["100%"][0] >= table["waterwise"]["25%"][0] - 1.0
+    assert table["waterwise"]["100%"][1] >= table["waterwise"]["25%"][1] - 1.0

@@ -1,0 +1,16 @@
+"""Reproduce paper Fig. 7: comparison with an Ecovisor-like carbon-only policy."""
+
+from repro.analysis.experiments import fig7_ecovisor
+
+
+def bench_fig07_ecovisor(run_experiment, scale):
+    result = run_experiment(fig7_ecovisor, scale, delay_tolerance=0.5)
+
+    table = {(row[0], row[1]): (row[2], row[3]) for row in result.rows}
+    for source in ("electricity-maps", "wri"):
+        waterwise = table[(source, "waterwise")]
+        ecovisor = table[(source, "ecovisor-like")]
+        # WaterWise beats the home-region, carbon-only policy on both metrics
+        # (the paper reports 27.6% carbon / 17.5% water advantage).
+        assert waterwise[0] > ecovisor[0]
+        assert waterwise[1] > ecovisor[1]

@@ -1,0 +1,22 @@
+"""Reproduce paper Fig. 8: sensitivity to the carbon/water objective weights."""
+
+from repro.analysis.experiments import fig8_weight_sensitivity
+
+
+def bench_fig08_weight_sensitivity(run_experiment, scale):
+    result = run_experiment(
+        fig8_weight_sensitivity, scale, lambda_values=(0.3, 0.5, 0.7), delay_tolerance=0.5
+    )
+
+    carbon = dict(zip(result.column("lambda_co2"), result.column("carbon_savings_pct")))
+    water = dict(zip(result.column("lambda_co2"), result.column("water_savings_pct")))
+
+    # All configurations stay effective on both metrics (paper: 25-31% carbon,
+    # 13-21% water across the weight range).
+    for value in (0.3, 0.5, 0.7):
+        assert carbon[value] > 0.0
+        assert water[value] > 0.0
+    # Increasing the carbon weight does not hurt carbon savings, and
+    # decreasing it does not hurt water savings (allowing small noise).
+    assert carbon[0.7] >= carbon[0.3] - 1.5
+    assert water[0.3] >= water[0.7] - 1.5

@@ -1,0 +1,15 @@
+"""Reproduce paper Fig. 10: comparison with Round-Robin and Least-Load."""
+
+from repro.analysis.experiments import fig10_loadbalancers
+
+
+def bench_fig10_loadbalancers(run_experiment, scale):
+    result = run_experiment(fig10_loadbalancers, scale, delay_tolerance=0.5)
+
+    table = {row[0]: (row[1], row[2]) for row in result.rows}
+    waterwise = table["waterwise"]
+    # WaterWise out-saves both sustainability-unaware load balancers on both
+    # metrics (the paper reports an advantage of at least 19.5% / 17.8%).
+    for other in ("round-robin", "least-load"):
+        assert waterwise[0] > table[other][0]
+        assert waterwise[1] > table[other][1]

@@ -1,0 +1,19 @@
+"""Reproduce paper Fig. 11: sensitivity to average cluster utilization."""
+
+from repro.analysis.studies import fig11_utilization
+
+
+def bench_fig11_utilization(run_experiment, scale):
+    result = run_experiment(
+        fig11_utilization, scale, utilizations=(0.05, 0.15, 0.25), delay_tolerance=0.5
+    )
+
+    waterwise_rows = [row for row in result.rows if row[2] == "waterwise"]
+    assert len(waterwise_rows) == 3
+    # WaterWise remains effective at every utilization level (paper Fig. 11).
+    for row in waterwise_rows:
+        assert row[3] > 0.0, f"no carbon savings at utilization {row[0]}"
+        assert row[4] > 0.0, f"no water savings at utilization {row[0]}"
+    # Lower utilization (more spare capacity) never yields fewer servers.
+    servers = [row[1] for row in result.rows if row[2] == "waterwise"]
+    assert servers[0] >= servers[1] >= servers[2]

@@ -1,0 +1,18 @@
+"""Reproduce paper Fig. 13: WaterWise decision-making overhead."""
+
+from repro.analysis.studies import fig13_overhead
+
+
+def bench_fig13_overhead(run_experiment, scale):
+    result = run_experiment(fig13_overhead, scale, delay_tolerance=0.5)
+
+    rows = {row[0]: row for row in result.rows}
+    assert set(rows) == {"google-borg-like", "alibaba-like"}
+    for name, row in rows.items():
+        mean_overhead_pct = row[4]
+        # Paper: decision making is below 0.2% of the average execution time.
+        # The synthetic scale is smaller, so allow a wider but still tiny bound.
+        assert mean_overhead_pct < 5.0, f"{name} decision overhead too large"
+    # The Alibaba-like trace has a higher invocation rate, hence larger rounds
+    # and at least as much decision time per round.
+    assert rows["alibaba-like"][2] >= 0.5 * rows["google-borg-like"][2]

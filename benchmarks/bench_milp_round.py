@@ -1,0 +1,76 @@
+"""Micro-benchmarks: cost of one WaterWise scheduling round and of the MILP solvers.
+
+These are genuine timing benchmarks (multiple rounds) rather than one-shot
+experiment reproductions: they quantify the decision-making overhead the
+paper's Fig. 13 argues is negligible, and compare the native simplex/branch &
+bound solver against the SciPy/HiGHS backend on the placement MILP.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import FootprintCalculator
+from repro.cluster.interface import SchedulingContext
+from repro.core import DecisionController, WaterWiseConfig, build_placement_problem
+from repro.milp import solve
+from repro.regions import TransferLatencyModel, default_regions
+from repro.sustainability import ElectricityMapsLikeProvider
+from repro.traces import BorgTraceGenerator
+
+
+@pytest.fixture(scope="module")
+def context_and_jobs():
+    dataset = ElectricityMapsLikeProvider(horizon_hours=72, seed=3)
+    regions = tuple(default_regions())
+    trace = BorgTraceGenerator(rate_per_hour=400.0, duration_days=0.05, seed=3).generate()
+    jobs = list(trace)[:40]
+    context = SchedulingContext(
+        now=1800.0,
+        regions=regions,
+        capacity={region.key: 20 for region in regions},
+        dataset=dataset,
+        latency=TransferLatencyModel(regions),
+        footprints=FootprintCalculator(dataset),
+        delay_tolerance=0.5,
+        scheduling_interval_s=300.0,
+        job_wait_times={job.job_id: 0.0 for job in jobs},
+    )
+    return context, jobs
+
+
+def bench_waterwise_round_40_jobs(benchmark, context_and_jobs):
+    """One full decision-controller round for a 40-job batch (paper Fig. 13 scale)."""
+    context, jobs = context_and_jobs
+    controller = DecisionController(WaterWiseConfig())
+
+    result = benchmark(lambda: controller.decide(jobs, context))
+    assert len(result.assignments) == len(jobs)
+
+
+def bench_placement_milp_scipy_backend(benchmark, context_and_jobs):
+    """Solving the placement MILP with the SciPy/HiGHS backend."""
+    context, jobs = context_and_jobs
+    model = build_placement_problem(jobs, context, WaterWiseConfig())
+
+    result = benchmark(lambda: solve(model.problem, solver="scipy"))
+    assert result.status.is_success
+
+
+def bench_placement_milp_native_backend(benchmark, context_and_jobs):
+    """Solving the same placement MILP with the from-scratch simplex + B&B."""
+    context, jobs = context_and_jobs
+    model = build_placement_problem(jobs[:12], context, WaterWiseConfig())
+
+    result = benchmark(lambda: solve(model.problem, solver="native"))
+    assert result.status.is_success
+
+
+def bench_footprint_matrices_vectorized(benchmark, context_and_jobs):
+    """Vectorized carbon/water footprint matrices for a 40-job batch."""
+    context, jobs = context_and_jobs
+
+    carbon, water = benchmark(
+        lambda: context.footprints.footprint_matrices(jobs, context.region_keys, context.now)
+    )
+    assert carbon.shape == (len(jobs), 5)
+    assert np.all(water > 0.0)

@@ -1,0 +1,15 @@
+"""Reproduce the Sec. 6 sensitivity study: doubled request rate."""
+
+from repro.analysis.studies import sensitivity_request_rate
+
+
+def bench_sens_request_rate(run_experiment, scale):
+    result = run_experiment(
+        sensitivity_request_rate, scale, rate_multipliers=(1.0, 2.0), delay_tolerance=0.5
+    )
+
+    rows = {row[0]: (row[1], row[2], row[3]) for row in result.rows}
+    assert rows["2x"][0] > rows["1x"][0]  # the doubled trace has more jobs
+    # Savings remain effective at double the request rate (paper: 21.7% / 10.2%).
+    assert rows["2x"][1] > 0.0
+    assert rows["2x"][2] > 0.0

@@ -1,0 +1,24 @@
+"""Reproduce paper Table 2: normalized service time and delay violations."""
+
+from repro.analysis.studies import table2_service_time
+
+
+def bench_table2_service_time(run_experiment, scale):
+    result = run_experiment(table2_service_time, scale, tolerances=(0.25, 0.50, 1.00))
+
+    table = {}
+    for tolerance, policy, ratio, violations in result.rows:
+        table.setdefault(policy, {})[tolerance] = (ratio, violations)
+
+    # Baseline: jobs run at home immediately, so the service ratio is ~1 and
+    # no delay tolerance is violated.
+    for tolerance, (ratio, violations) in table["baseline"].items():
+        assert ratio < 1.1
+        assert violations < 1.0
+
+    # WaterWise: the average service time stays well below the allowed bound
+    # (paper: 1.03x-1.13x for 25%-100% tolerances) and violations are rare.
+    for tolerance, (ratio, violations) in table["waterwise"].items():
+        allowed = 1.0 + float(tolerance.rstrip("%")) / 100.0
+        assert ratio <= allowed + 0.05
+        assert violations < 5.0

@@ -1,0 +1,22 @@
+"""Reproduce paper Table 3: communication overhead of remote execution."""
+
+from repro.analysis.studies import table3_communication_overhead
+
+
+def bench_table3_comm_overhead(run_experiment):
+    result = run_experiment(table3_communication_overhead, home_region="oregon")
+
+    destinations = result.column("destination")
+    assert set(destinations) == {"zurich", "madrid", "milan", "mumbai"}
+    # The overheads are small percentages of the execution footprints
+    # (the paper reports fractions of a percent on its testbed; the synthetic
+    # transfer-energy model is coarser, so only an order-of-magnitude bound
+    # is asserted here).
+    for carbon_pct, water_pct in zip(
+        result.column("carbon_overhead_pct"), result.column("water_overhead_pct")
+    ):
+        assert 0.0 < carbon_pct < 10.0
+        assert 0.0 < water_pct < 10.0
+    # Transfer time grows with distance: Mumbai is the farthest destination.
+    times = dict(zip(destinations, result.column("transfer_time_s")))
+    assert times["mumbai"] == max(times.values())

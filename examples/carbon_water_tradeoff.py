@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Carbon/water trade-off frontier: sweep WaterWise's objective weights.
+
+The paper's central observation is that carbon and water sustainability are
+competing objectives: optimizing one alone hurts the other.  This example
+makes the trade-off explicit by sweeping WaterWise's carbon weight λ_CO2 from
+0 (water-only) to 1 (carbon-only) and printing the resulting savings
+frontier, alongside the two single-objective greedy oracles.
+
+Usage::
+
+    python examples/carbon_water_tradeoff.py [--steps 5] [--tolerance 0.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.analysis.sweep import ExperimentScale, run_policies, waterwise_factory
+from repro.core import WaterWiseConfig
+from repro.schedulers import (
+    BaselineScheduler,
+    CarbonGreedyOptimalScheduler,
+    WaterGreedyOptimalScheduler,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=5, help="number of lambda values to sweep")
+    parser.add_argument("--tolerance", type=float, default=0.5, help="delay tolerance")
+    parser.add_argument("--jobs-per-hour", type=float, default=60.0)
+    parser.add_argument("--hours", type=float, default=12.0)
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    scale = ExperimentScale(
+        rate_per_hour=args.jobs_per_hour, duration_days=args.hours / 24.0, seed=args.seed
+    )
+    trace = scale.borg_trace()
+    dataset = scale.dataset()
+    servers = scale.servers_for(trace, dataset.region_keys)
+
+    policies = {
+        "baseline": BaselineScheduler,
+        "carbon-greedy-opt": CarbonGreedyOptimalScheduler,
+        "water-greedy-opt": WaterGreedyOptimalScheduler,
+    }
+    for lam in np.linspace(0.0, 1.0, args.steps):
+        policies[f"waterwise λ={lam:.2f}"] = waterwise_factory(
+            WaterWiseConfig.with_weights(float(lam))
+        )
+
+    results = run_policies(
+        trace,
+        dataset,
+        policies,
+        servers_per_region=servers,
+        delay_tolerance=args.tolerance,
+    )
+    baseline = results["baseline"]
+
+    rows = []
+    for name, result in results.items():
+        if name == "baseline":
+            continue
+        rows.append(
+            [
+                name,
+                result.carbon_savings_vs(baseline),
+                result.water_savings_vs(baseline),
+                result.mean_service_ratio,
+            ]
+        )
+    print(
+        format_table(
+            ["policy", "carbon_savings_%", "water_savings_%", "service_ratio"],
+            rows,
+            title=f"Carbon/water trade-off frontier ({len(trace)} jobs, tolerance {args.tolerance:.0%})",
+        )
+    )
+    print(
+        "\nReading the frontier: λ=1 chases carbon only (matches the carbon oracle), "
+        "λ=0 chases water only, and intermediate weights trade one for the other — "
+        "the paper's default λ=0.5 sits between the two oracles on both metrics."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Delay-tolerance study: how much extra slack buys how much sustainability.
+
+Reproduces the structure of the paper's Fig. 5 as a runnable scenario: the
+Borg-like trace is scheduled by the baseline, the two greedy oracles and
+WaterWise at several delay tolerances, and the savings, service times and
+violation rates are reported per tolerance.
+
+Usage::
+
+    python examples/delay_tolerance_study.py [--tolerances 0.25 0.5 1.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import format_table
+from repro.analysis.savings import savings_table
+from repro.analysis.sweep import ExperimentScale, default_policy_set, delay_tolerance_sweep
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tolerances", type=float, nargs="+", default=[0.25, 0.5, 1.0],
+        help="delay tolerances to evaluate (0.25 = 25%%)",
+    )
+    parser.add_argument("--jobs-per-hour", type=float, default=60.0)
+    parser.add_argument("--hours", type=float, default=12.0)
+    parser.add_argument("--seed", type=int, default=21)
+    args = parser.parse_args()
+
+    scale = ExperimentScale(
+        rate_per_hour=args.jobs_per_hour, duration_days=args.hours / 24.0, seed=args.seed
+    )
+    trace = scale.borg_trace()
+    dataset = scale.dataset()
+    servers = scale.servers_for(trace, dataset.region_keys)
+    print(f"trace: {trace}; servers per region: {servers}\n")
+
+    sweep = delay_tolerance_sweep(
+        trace, dataset, default_policy_set(), servers, args.tolerances
+    )
+
+    rows = []
+    for tolerance, results in sweep.items():
+        for entry in savings_table(results):
+            if entry.policy == "baseline":
+                continue
+            rows.append(
+                [
+                    f"{tolerance:.0%}",
+                    entry.policy,
+                    entry.carbon_savings_pct,
+                    entry.water_savings_pct,
+                    entry.mean_service_ratio,
+                    entry.violation_pct,
+                ]
+            )
+    print(
+        format_table(
+            [
+                "tolerance",
+                "policy",
+                "carbon_savings_%",
+                "water_savings_%",
+                "service_ratio",
+                "violations_%",
+            ],
+            rows,
+            title="Savings vs. delay tolerance",
+        )
+    )
+    print(
+        "\nHigher delay tolerance lets short jobs absorb cross-region transfer latency "
+        "(and occasionally wait for cleaner hours), so savings grow with tolerance while "
+        "the average service time stays well below the allowed bound."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setuptools shim kept for legacy tooling; metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

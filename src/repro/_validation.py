@@ -1,0 +1,79 @@
+"""Shared argument-validation helpers.
+
+These helpers keep validation messages consistent across the package and keep
+the calling code compact.  They are intentionally strict: scheduling and
+footprint computations silently produce nonsense when fed negative energies,
+NaN intensities or empty traces, so public entry points validate their inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+__all__ = [
+    "ensure_positive",
+    "ensure_non_negative",
+    "ensure_in_unit_interval",
+    "ensure_finite",
+    "ensure_fraction_pair",
+    "ensure_non_empty",
+    "ensure_one_of",
+]
+
+
+def ensure_finite(value: float, name: str) -> float:
+    """Return ``value`` as a float, raising ``ValueError`` if NaN/inf."""
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def ensure_positive(value: float, name: str) -> float:
+    """Return ``value`` as a float, raising ``ValueError`` unless it is > 0."""
+    value = ensure_finite(value, name)
+    if value <= 0.0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def ensure_non_negative(value: float, name: str) -> float:
+    """Return ``value`` as a float, raising ``ValueError`` unless it is >= 0."""
+    value = ensure_finite(value, name)
+    if value < 0.0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def ensure_in_unit_interval(value: float, name: str) -> float:
+    """Return ``value`` as a float, raising ``ValueError`` unless 0 <= value <= 1."""
+    value = ensure_finite(value, name)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value!r}")
+    return value
+
+
+def ensure_fraction_pair(a: float, b: float, names: tuple[str, str]) -> tuple[float, float]:
+    """Validate two non-negative weights that must sum to 1 (within tolerance)."""
+    a = ensure_non_negative(a, names[0])
+    b = ensure_non_negative(b, names[1])
+    if abs((a + b) - 1.0) > 1e-9:
+        raise ValueError(f"{names[0]} + {names[1]} must equal 1.0, got {a + b!r}")
+    return a, b
+
+
+def ensure_non_empty(seq: Sequence[Any] | Iterable[Any], name: str) -> list[Any]:
+    """Materialize ``seq`` into a list, raising ``ValueError`` if it is empty."""
+    items = list(seq)
+    if not items:
+        raise ValueError(f"{name} must not be empty")
+    return items
+
+
+def ensure_one_of(value: Any, options: Sequence[Any], name: str) -> Any:
+    """Raise ``ValueError`` unless ``value`` is one of ``options``."""
+    if value not in options:
+        raise ValueError(f"{name} must be one of {list(options)!r}, got {value!r}")
+    return value

@@ -1,0 +1,30 @@
+"""Analysis layer: savings computation, sweeps, reports and experiments.
+
+* :mod:`repro.analysis.savings` — percent savings of a policy relative to the
+  carbon- and water-unaware baseline (the paper's figure of merit).
+* :mod:`repro.analysis.report` — plain-text tables used by the benchmark
+  harness and the examples.
+* :mod:`repro.analysis.sweep` — helpers to run a set of policies over a trace
+  and to sweep parameters (delay tolerance, utilization, weights).
+* :mod:`repro.analysis.experiments` — one function per paper table/figure;
+  the benchmark harness and EXPERIMENTS.md are generated from these.
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.savings import PolicySavings, savings_table
+from repro.analysis.sweep import (
+    ExperimentScale,
+    delay_tolerance_sweep,
+    run_policies,
+    simulate,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "PolicySavings",
+    "delay_tolerance_sweep",
+    "format_table",
+    "run_policies",
+    "savings_table",
+    "simulate",
+]

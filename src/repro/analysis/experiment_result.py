@@ -1,0 +1,61 @@
+"""Common container for experiment outputs.
+
+Every per-figure experiment function returns an :class:`ExperimentResult`:
+a named table (headers + rows) plus free-form metadata.  The benchmark
+harness prints ``result.table()`` so running any benchmark reproduces the
+corresponding paper table/figure as text, and EXPERIMENTS.md is assembled
+from the same objects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping, Sequence
+
+from repro.analysis.report import format_kv_block, format_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentResult:
+    """Output of one reproduced table/figure.
+
+    Attributes
+    ----------
+    experiment:
+        Identifier matching the paper, e.g. ``"figure-5"`` or ``"table-2"``.
+    description:
+        One-line description of what the experiment shows.
+    headers / rows:
+        The reproduced table.
+    metadata:
+        Scale parameters and any derived headline numbers (used by
+        EXPERIMENTS.md and by assertions in the benchmark harness).
+    """
+
+    experiment: str
+    description: str
+    headers: Sequence[str]
+    rows: Sequence[Sequence[object]]
+    metadata: Mapping[str, object] = dataclasses.field(default_factory=dict)
+
+    def table(self, float_format: str = "{:.2f}") -> str:
+        """The experiment rendered as an aligned text table."""
+        title = f"{self.experiment}: {self.description}"
+        return format_table(self.headers, self.rows, title=title, float_format=float_format)
+
+    def report(self) -> str:
+        """Table plus metadata block (what the benchmarks print)."""
+        parts = [self.table()]
+        if self.metadata:
+            parts.append(format_kv_block("metadata", dict(self.metadata)))
+        return "\n".join(parts)
+
+    def column(self, header: str) -> list[object]:
+        """All values of one column (KeyError if the header is unknown)."""
+        try:
+            index = list(self.headers).index(header)
+        except ValueError:
+            raise KeyError(f"unknown column {header!r}; available: {list(self.headers)}") from None
+        return [row[index] for row in self.rows]

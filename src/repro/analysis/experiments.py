@@ -1,0 +1,444 @@
+"""Per-figure experiment functions (paper Fig. 1–10).
+
+Each function reproduces one of the paper's characterization or evaluation
+figures at a configurable scale and returns an
+:class:`~repro.analysis.experiment_result.ExperimentResult` whose rows mirror
+the figure's bars/series.  The absolute numbers depend on the synthetic
+substrate (see DESIGN.md §1); what is expected to match the paper is the
+*shape*: who wins, in which direction, and roughly by how much.
+
+The companion module :mod:`repro.analysis.studies` covers Fig. 11–13, the
+tables and the sensitivity/ablation studies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.analysis.experiment_result import ExperimentResult
+from repro.analysis.savings import savings_table
+from repro.analysis.sweep import (
+    ExperimentScale,
+    default_policy_set,
+    delay_tolerance_sweep,
+    run_policies,
+    waterwise_factory,
+)
+from repro.core.config import WaterWiseConfig
+from repro.core.waterwise import WaterWiseScheduler
+from repro.regions.catalog import DEFAULT_REGION_KEYS
+from repro.schedulers import (
+    BaselineScheduler,
+    CarbonGreedyOptimalScheduler,
+    EcovisorLikeScheduler,
+    LeastLoadScheduler,
+    RoundRobinScheduler,
+    WaterGreedyOptimalScheduler,
+)
+from repro.sustainability.datasets import ElectricityMapsLikeProvider, WRILikeProvider
+from repro.sustainability.energy_sources import ENERGY_SOURCES
+
+__all__ = [
+    "fig1_energy_sources",
+    "fig2_regional_factors",
+    "fig3_greedy_optimal",
+    "fig5_waterwise_google",
+    "fig6_wri_data",
+    "fig7_ecovisor",
+    "fig8_weight_sensitivity",
+    "fig9_alibaba",
+    "fig10_loadbalancers",
+]
+
+_DEFAULT_TOLERANCES = (0.25, 0.50, 0.75, 1.00)
+
+
+# ---------------------------------------------------------------------------
+# Characterization (Sec. 3)
+# ---------------------------------------------------------------------------
+
+def fig1_energy_sources() -> ExperimentResult:
+    """Fig. 1: carbon intensity and EWIF per energy source."""
+    rows = []
+    for key in ("nuclear", "wind", "hydro", "geothermal", "solar", "biomass", "gas", "oil", "coal"):
+        source = ENERGY_SOURCES[key]
+        rows.append(
+            [
+                source.name,
+                "renewable" if source.renewable else "fossil",
+                source.carbon_intensity,
+                source.ewif,
+            ]
+        )
+    coal = ENERGY_SOURCES["coal"]
+    hydro = ENERGY_SOURCES["hydro"]
+    return ExperimentResult(
+        experiment="figure-1",
+        description="Carbon intensity and water requirements (EWIF) per energy source",
+        headers=["source", "class", "carbon_gCO2_per_kwh", "ewif_L_per_kwh"],
+        rows=rows,
+        metadata={
+            "coal_over_hydro_carbon_ratio": round(coal.carbon_intensity / hydro.carbon_intensity, 1),
+            "hydro_over_coal_ewif_ratio": round(hydro.ewif / coal.ewif, 1),
+        },
+    )
+
+
+def fig2_regional_factors(horizon_hours: int = 8760, seed: int = 11) -> ExperimentResult:
+    """Fig. 2: regional carbon intensity, EWIF, WUE, WSF averages and the
+    temporal variation of carbon/water intensity (Oregon panel)."""
+    provider = ElectricityMapsLikeProvider(horizon_hours=horizon_hours, seed=seed)
+    rows = []
+    for key in DEFAULT_REGION_KEYS:
+        series = provider.series_for(key)
+        water_intensity = series.water_intensity_series()
+        rows.append(
+            [
+                key,
+                series.mean_carbon_intensity(),
+                series.mean_ewif(),
+                series.mean_wue(),
+                series.wsf,
+                float(np.std(series.carbon_intensity)),
+                float(np.std(water_intensity)),
+            ]
+        )
+    oregon = provider.series_for("oregon")
+    oregon_wi = oregon.water_intensity_series()
+    correlation = float(np.corrcoef(oregon.carbon_intensity, oregon_wi)[0, 1])
+    return ExperimentResult(
+        experiment="figure-2",
+        description="Regional carbon intensity, EWIF, WUE, WSF and temporal variation",
+        headers=[
+            "region",
+            "carbon_intensity",
+            "ewif",
+            "wue",
+            "wsf",
+            "carbon_intensity_std",
+            "water_intensity_std",
+        ],
+        rows=rows,
+        metadata={
+            "horizon_hours": horizon_hours,
+            "oregon_carbon_water_correlation": round(correlation, 3),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Motivation: greedy-optimal opportunity study (Fig. 3)
+# ---------------------------------------------------------------------------
+
+def fig3_greedy_optimal(
+    scale: ExperimentScale | None = None,
+    tolerances: Sequence[float] = (0.01, 0.10, 1.00, 10.0),
+) -> tuple[ExperimentResult, ExperimentResult]:
+    """Fig. 3: single-objective oracle savings vs. delay tolerance, and the
+    job distribution across regions at 10% tolerance.
+
+    Returns ``(savings_result, distribution_result)``.
+    """
+    scale = scale or ExperimentScale()
+    trace = scale.borg_trace()
+    dataset = scale.dataset()
+    servers = scale.servers_for(trace, dataset.region_keys)
+    policies = {
+        "baseline": BaselineScheduler,
+        "carbon-greedy-opt": CarbonGreedyOptimalScheduler,
+        "water-greedy-opt": WaterGreedyOptimalScheduler,
+    }
+    sweep = delay_tolerance_sweep(
+        trace, dataset, policies, servers, tolerances, scale.scheduling_interval_s
+    )
+
+    savings_rows = []
+    for tolerance, results in sweep.items():
+        for entry in savings_table(results):
+            if entry.policy == "baseline":
+                continue
+            savings_rows.append(
+                [
+                    f"{tolerance * 100:g}%",
+                    entry.policy,
+                    entry.carbon_savings_pct,
+                    entry.water_savings_pct,
+                ]
+            )
+    savings_result = ExperimentResult(
+        experiment="figure-3a",
+        description="Carbon-/Water-Greedy-Opt savings vs. delay tolerance",
+        headers=["delay_tolerance", "policy", "carbon_savings_pct", "water_savings_pct"],
+        rows=savings_rows,
+        metadata={"jobs": len(trace), "servers_per_region": servers},
+    )
+
+    distribution_tolerance = 0.10 if 0.10 in [round(t, 4) for t in tolerances] else tolerances[0]
+    results_at_tol = sweep[float(distribution_tolerance)]
+    distribution_rows = []
+    for policy in ("carbon-greedy-opt", "water-greedy-opt"):
+        distribution = results_at_tol[policy].region_distribution()
+        for region, share in distribution.items():
+            distribution_rows.append([policy, region, 100.0 * share])
+    distribution_result = ExperimentResult(
+        experiment="figure-3b",
+        description="Job distribution across regions (greedy-optimal policies)",
+        headers=["policy", "region", "jobs_pct"],
+        rows=distribution_rows,
+        metadata={"delay_tolerance": distribution_tolerance},
+    )
+    return savings_result, distribution_result
+
+
+# ---------------------------------------------------------------------------
+# Main evaluation (Fig. 5-10)
+# ---------------------------------------------------------------------------
+
+def _tolerance_sweep_result(
+    experiment: str,
+    description: str,
+    scale: ExperimentScale,
+    trace,
+    dataset,
+    tolerances: Sequence[float],
+) -> ExperimentResult:
+    servers = scale.servers_for(trace, dataset.region_keys)
+    sweep = delay_tolerance_sweep(
+        trace, dataset, default_policy_set(), servers, tolerances, scale.scheduling_interval_s
+    )
+    rows = []
+    waterwise_carbon: list[float] = []
+    waterwise_water: list[float] = []
+    for tolerance, results in sweep.items():
+        for entry in savings_table(results):
+            if entry.policy == "baseline":
+                continue
+            rows.append(
+                [
+                    f"{tolerance * 100:g}%",
+                    entry.policy,
+                    entry.carbon_savings_pct,
+                    entry.water_savings_pct,
+                    entry.mean_service_ratio,
+                    entry.violation_pct,
+                ]
+            )
+            if entry.policy == "waterwise":
+                waterwise_carbon.append(entry.carbon_savings_pct)
+                waterwise_water.append(entry.water_savings_pct)
+    return ExperimentResult(
+        experiment=experiment,
+        description=description,
+        headers=[
+            "delay_tolerance",
+            "policy",
+            "carbon_savings_pct",
+            "water_savings_pct",
+            "service_ratio",
+            "violation_pct",
+        ],
+        rows=rows,
+        metadata={
+            "jobs": len(trace),
+            "servers_per_region": servers,
+            "waterwise_min_carbon_savings_pct": round(min(waterwise_carbon), 2),
+            "waterwise_min_water_savings_pct": round(min(waterwise_water), 2),
+            "waterwise_max_carbon_savings_pct": round(max(waterwise_carbon), 2),
+            "waterwise_max_water_savings_pct": round(max(waterwise_water), 2),
+        },
+    )
+
+
+def fig5_waterwise_google(
+    scale: ExperimentScale | None = None,
+    tolerances: Sequence[float] = _DEFAULT_TOLERANCES,
+) -> ExperimentResult:
+    """Fig. 5: WaterWise vs. the greedy oracles on the Borg-like trace."""
+    scale = scale or ExperimentScale()
+    trace = scale.borg_trace()
+    dataset = scale.dataset()
+    return _tolerance_sweep_result(
+        "figure-5",
+        "WaterWise vs. Carbon-/Water-Greedy-Opt (Borg-like trace, Electricity-Maps-like data)",
+        scale,
+        trace,
+        dataset,
+        tolerances,
+    )
+
+
+def fig6_wri_data(
+    scale: ExperimentScale | None = None,
+    tolerances: Sequence[float] = _DEFAULT_TOLERANCES,
+) -> ExperimentResult:
+    """Fig. 6: the same study with World-Resources-Institute-style water data."""
+    scale = scale or ExperimentScale()
+    trace = scale.borg_trace()
+    dataset = scale.dataset(provider=WRILikeProvider)
+    return _tolerance_sweep_result(
+        "figure-6",
+        "WaterWise vs. greedy oracles with WRI-style water-intensity data",
+        scale,
+        trace,
+        dataset,
+        tolerances,
+    )
+
+
+def fig7_ecovisor(
+    scale: ExperimentScale | None = None,
+    delay_tolerance: float = 0.5,
+) -> ExperimentResult:
+    """Fig. 7: WaterWise vs. an Ecovisor-like carbon-only policy on both data sources."""
+    scale = scale or ExperimentScale()
+    trace = scale.borg_trace()
+    rows = []
+    headline = {}
+    for provider_name, provider in (
+        ("electricity-maps", ElectricityMapsLikeProvider),
+        ("wri", WRILikeProvider),
+    ):
+        dataset = scale.dataset(provider=provider)
+        servers = scale.servers_for(trace, dataset.region_keys)
+        results = run_policies(
+            trace,
+            dataset,
+            {
+                "baseline": BaselineScheduler,
+                "ecovisor-like": EcovisorLikeScheduler,
+                "waterwise": WaterWiseScheduler,
+            },
+            servers_per_region=servers,
+            delay_tolerance=delay_tolerance,
+            scheduling_interval_s=scale.scheduling_interval_s,
+        )
+        for entry in savings_table(results):
+            if entry.policy == "baseline":
+                continue
+            rows.append(
+                [provider_name, entry.policy, entry.carbon_savings_pct, entry.water_savings_pct]
+            )
+            headline[f"{provider_name}:{entry.policy}"] = (
+                round(entry.carbon_savings_pct, 2),
+                round(entry.water_savings_pct, 2),
+            )
+    return ExperimentResult(
+        experiment="figure-7",
+        description="WaterWise vs. Ecovisor-like policy (both data sources)",
+        headers=["data_source", "policy", "carbon_savings_pct", "water_savings_pct"],
+        rows=rows,
+        metadata={"delay_tolerance": delay_tolerance, **{k: str(v) for k, v in headline.items()}},
+    )
+
+
+def fig8_weight_sensitivity(
+    scale: ExperimentScale | None = None,
+    lambda_values: Sequence[float] = (0.3, 0.5, 0.7),
+    delay_tolerance: float = 0.5,
+) -> ExperimentResult:
+    """Fig. 8: sensitivity to the carbon/water objective weights."""
+    scale = scale or ExperimentScale()
+    trace = scale.borg_trace()
+    dataset = scale.dataset()
+    servers = scale.servers_for(trace, dataset.region_keys)
+    policies = {"baseline": BaselineScheduler}
+    for value in lambda_values:
+        policies[f"waterwise-l{value:g}"] = waterwise_factory(WaterWiseConfig.with_weights(value))
+    results = run_policies(
+        trace,
+        dataset,
+        policies,
+        servers_per_region=servers,
+        delay_tolerance=delay_tolerance,
+        scheduling_interval_s=scale.scheduling_interval_s,
+    )
+    baseline = results["baseline"]
+    rows = []
+    for value in lambda_values:
+        result = results[f"waterwise-l{value:g}"]
+        rows.append(
+            [
+                value,
+                result.carbon_savings_vs(baseline),
+                result.water_savings_vs(baseline),
+            ]
+        )
+    return ExperimentResult(
+        experiment="figure-8",
+        description="WaterWise savings as the carbon weight lambda_CO2 varies",
+        headers=["lambda_co2", "carbon_savings_pct", "water_savings_pct"],
+        rows=rows,
+        metadata={"delay_tolerance": delay_tolerance, "jobs": len(trace)},
+    )
+
+
+def fig9_alibaba(
+    scale: ExperimentScale | None = None,
+    tolerances: Sequence[float] = _DEFAULT_TOLERANCES,
+) -> ExperimentResult:
+    """Fig. 9: the main comparison driven by the Alibaba-like trace."""
+    scale = scale or ExperimentScale()
+    trace = scale.alibaba_trace()
+    dataset = scale.dataset()
+    return _tolerance_sweep_result(
+        "figure-9",
+        "WaterWise vs. greedy oracles on the Alibaba-like trace",
+        scale,
+        trace,
+        dataset,
+        tolerances,
+    )
+
+
+def fig10_loadbalancers(
+    scale: ExperimentScale | None = None,
+    delay_tolerance: float = 0.5,
+) -> ExperimentResult:
+    """Fig. 10: WaterWise vs. Round-Robin and Least-Load."""
+    scale = scale or ExperimentScale()
+    trace = scale.borg_trace()
+    dataset = scale.dataset()
+    servers = scale.servers_for(trace, dataset.region_keys)
+    results = run_policies(
+        trace,
+        dataset,
+        {
+            "baseline": BaselineScheduler,
+            "round-robin": RoundRobinScheduler,
+            "least-load": LeastLoadScheduler,
+            "waterwise": WaterWiseScheduler,
+        },
+        servers_per_region=servers,
+        delay_tolerance=delay_tolerance,
+        scheduling_interval_s=scale.scheduling_interval_s,
+    )
+    rows = []
+    for entry in savings_table(results):
+        if entry.policy == "baseline":
+            continue
+        rows.append([entry.policy, entry.carbon_savings_pct, entry.water_savings_pct])
+    waterwise = results["waterwise"]
+    baseline = results["baseline"]
+    others_best_carbon = max(
+        results[name].carbon_savings_vs(baseline) for name in ("round-robin", "least-load")
+    )
+    others_best_water = max(
+        results[name].water_savings_vs(baseline) for name in ("round-robin", "least-load")
+    )
+    return ExperimentResult(
+        experiment="figure-10",
+        description="WaterWise vs. carbon/water-unaware load balancers",
+        headers=["policy", "carbon_savings_pct", "water_savings_pct"],
+        rows=rows,
+        metadata={
+            "delay_tolerance": delay_tolerance,
+            "waterwise_carbon_advantage_pct": round(
+                waterwise.carbon_savings_vs(baseline) - others_best_carbon, 2
+            ),
+            "waterwise_water_advantage_pct": round(
+                waterwise.water_savings_vs(baseline) - others_best_water, 2
+            ),
+        },
+    )

@@ -1,0 +1,64 @@
+"""Plain-text report tables.
+
+The benchmark harness reproduces the paper's tables and figure series as
+aligned text tables printed to stdout (matplotlib is intentionally not a
+dependency; the repository targets headless, offline environments).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_kv_block"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render an aligned text table.
+
+    ``rows`` may contain strings, ints or floats; floats are formatted with
+    ``float_format``.  Column widths adapt to the content.
+    """
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        rendered: list[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(headers)} columns: {row!r}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_line([str(h) for h in headers]))
+    lines.append(render_line(["-" * w for w in widths]))
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_kv_block(title: str, entries: dict[str, object]) -> str:
+    """Render a small aligned key/value block (used for experiment metadata)."""
+    if not entries:
+        return title
+    width = max(len(key) for key in entries)
+    lines = [title] + [f"  {key.ljust(width)} : {value}" for key, value in entries.items()]
+    return "\n".join(lines)

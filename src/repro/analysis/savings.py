@@ -1,0 +1,68 @@
+"""Savings relative to the carbon- and water-unaware baseline.
+
+The paper reports every result as a percentage saving with respect to the
+baseline policy that runs each job in its home region.  These helpers turn a
+set of :class:`~repro.cluster.metrics.SimulationResult` objects into that
+representation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+
+from repro.cluster.metrics import SimulationResult
+
+__all__ = ["PolicySavings", "savings_table", "savings_for"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PolicySavings:
+    """Carbon/water savings of one policy versus the baseline."""
+
+    policy: str
+    carbon_savings_pct: float
+    water_savings_pct: float
+    mean_service_ratio: float
+    violation_pct: float
+
+    def as_row(self) -> list[str]:
+        return [
+            self.policy,
+            f"{self.carbon_savings_pct:6.2f}",
+            f"{self.water_savings_pct:6.2f}",
+            f"{self.mean_service_ratio:5.3f}",
+            f"{self.violation_pct:5.2f}",
+        ]
+
+
+def savings_for(result: SimulationResult, baseline: SimulationResult) -> PolicySavings:
+    """Savings of ``result`` relative to ``baseline``."""
+    return PolicySavings(
+        policy=result.scheduler_name,
+        carbon_savings_pct=result.carbon_savings_vs(baseline),
+        water_savings_pct=result.water_savings_vs(baseline),
+        mean_service_ratio=result.mean_service_ratio,
+        violation_pct=100.0 * result.violation_fraction,
+    )
+
+
+def savings_table(
+    results: Mapping[str, SimulationResult], baseline_key: str = "baseline"
+) -> list[PolicySavings]:
+    """Savings of every policy in ``results`` relative to ``results[baseline_key]``.
+
+    The baseline itself is included (with zero savings) so tables show the
+    reference row explicitly.  Rows are labelled with the *mapping keys*, not
+    the schedulers' own names, so several differently-configured instances of
+    the same policy (e.g. WaterWise ablation variants) stay distinguishable.
+    """
+    if baseline_key not in results:
+        raise KeyError(
+            f"baseline policy {baseline_key!r} missing from results ({sorted(results)})"
+        )
+    baseline = results[baseline_key]
+    return [
+        dataclasses.replace(savings_for(result, baseline), policy=key)
+        for key, result in results.items()
+    ]

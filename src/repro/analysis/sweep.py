@@ -1,0 +1,198 @@
+"""Experiment plumbing: run policies over traces and sweep parameters.
+
+Every evaluation experiment in the paper boils down to "simulate this trace
+under these policies at these settings and compare against the baseline".
+This module centralizes that plumbing so the per-figure experiment functions
+(:mod:`repro.analysis.experiments`) and the benchmark harness stay thin.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Mapping, Sequence
+
+from repro.cluster.capacity import servers_for_target_utilization
+from repro.cluster.interface import Scheduler
+from repro.cluster.metrics import SimulationResult
+from repro.cluster.simulator import Simulator
+from repro.core.config import WaterWiseConfig
+from repro.core.waterwise import WaterWiseScheduler
+from repro.regions.region import Region
+from repro.schedulers import (
+    BaselineScheduler,
+    CarbonGreedyOptimalScheduler,
+    WaterGreedyOptimalScheduler,
+)
+from repro.sustainability.datasets import ElectricityMapsLikeProvider, SustainabilityDataset
+from repro.traces.alibaba import AlibabaTraceGenerator
+from repro.traces.borg import BorgTraceGenerator
+from repro.traces.trace import Trace
+
+__all__ = [
+    "ExperimentScale",
+    "simulate",
+    "run_policies",
+    "delay_tolerance_sweep",
+    "default_policy_set",
+]
+
+SchedulerFactory = Callable[[], Scheduler]
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentScale:
+    """Size of a trace-driven experiment.
+
+    The paper's full scale (10 days of the Borg trace, ≈ 230k jobs, 175
+    servers) takes hours to simulate; the default here is a scaled-down
+    setting that finishes in seconds per policy while keeping the same
+    structure (five regions, ~15% utilization, diurnal arrivals).  Benchmarks
+    accept a scale so users can dial the experiment up to the paper's size.
+
+    Attributes
+    ----------
+    rate_per_hour:
+        Borg-like submission rate (the Alibaba-like rate is 8.5× this).
+    duration_days:
+        Trace length.
+    seed:
+        Seed for trace generation and synthetic data.
+    target_utilization:
+        Average cluster utilization the server count is sized for.
+    scheduling_interval_s:
+        Scheduling-round cadence.
+    """
+
+    rate_per_hour: float = 60.0
+    duration_days: float = 0.5
+    seed: int = 42
+    target_utilization: float = 0.15
+    scheduling_interval_s: float = 300.0
+
+    def borg_trace(self, rate_multiplier: float = 1.0) -> Trace:
+        """Generate the Borg-like trace for this scale."""
+        return BorgTraceGenerator(
+            rate_per_hour=self.rate_per_hour * rate_multiplier,
+            duration_days=self.duration_days,
+            seed=self.seed,
+        ).generate()
+
+    def alibaba_trace(self) -> Trace:
+        """Generate the Alibaba-like trace for this scale (8.5× the Borg rate)."""
+        return AlibabaTraceGenerator(
+            rate_per_hour=self.rate_per_hour * 8.5,
+            duration_days=self.duration_days,
+            seed=self.seed,
+        ).generate()
+
+    def dataset(
+        self, provider: type[SustainabilityDataset] = ElectricityMapsLikeProvider, **kwargs
+    ) -> SustainabilityDataset:
+        """Build the sustainability dataset covering this scale's horizon."""
+        horizon_hours = int(self.duration_days * 24) + 48
+        kwargs.setdefault("horizon_hours", max(horizon_hours, 72))
+        kwargs.setdefault("seed", self.seed)
+        return provider(**kwargs)
+
+    def servers_for(self, trace: Trace, region_keys: Sequence[str],
+                    utilization: float | None = None) -> int:
+        """Servers per region for the requested utilization."""
+        return servers_for_target_utilization(
+            trace, region_keys, utilization if utilization is not None else self.target_utilization
+        )
+
+
+def simulate(
+    trace: Trace,
+    scheduler: Scheduler,
+    dataset: SustainabilityDataset,
+    servers_per_region: int | Mapping[str, int],
+    delay_tolerance: float,
+    scheduling_interval_s: float = 300.0,
+    regions: Sequence[Region] | None = None,
+    include_embodied: bool = True,
+) -> SimulationResult:
+    """Run one policy over one trace (thin wrapper around :class:`Simulator`)."""
+    return Simulator(
+        trace=trace,
+        scheduler=scheduler,
+        dataset=dataset,
+        regions=regions,
+        servers_per_region=servers_per_region,
+        scheduling_interval_s=scheduling_interval_s,
+        delay_tolerance=delay_tolerance,
+        include_embodied=include_embodied,
+    ).run()
+
+
+def default_policy_set(include_oracles: bool = True) -> dict[str, SchedulerFactory]:
+    """The policy set used by most experiments: baseline, oracles, WaterWise."""
+    policies: dict[str, SchedulerFactory] = {"baseline": BaselineScheduler}
+    if include_oracles:
+        policies["carbon-greedy-opt"] = CarbonGreedyOptimalScheduler
+        policies["water-greedy-opt"] = WaterGreedyOptimalScheduler
+    policies["waterwise"] = WaterWiseScheduler
+    return policies
+
+
+def run_policies(
+    trace: Trace,
+    dataset: SustainabilityDataset,
+    policies: Mapping[str, SchedulerFactory],
+    servers_per_region: int | Mapping[str, int],
+    delay_tolerance: float,
+    scheduling_interval_s: float = 300.0,
+    regions: Sequence[Region] | None = None,
+    include_embodied: bool = True,
+) -> dict[str, SimulationResult]:
+    """Simulate every policy in ``policies`` under identical conditions."""
+    results: dict[str, SimulationResult] = {}
+    for name, factory in policies.items():
+        results[name] = simulate(
+            trace,
+            factory(),
+            dataset,
+            servers_per_region=servers_per_region,
+            delay_tolerance=delay_tolerance,
+            scheduling_interval_s=scheduling_interval_s,
+            regions=regions,
+            include_embodied=include_embodied,
+        )
+    return results
+
+
+def delay_tolerance_sweep(
+    trace: Trace,
+    dataset: SustainabilityDataset,
+    policies: Mapping[str, SchedulerFactory],
+    servers_per_region: int | Mapping[str, int],
+    tolerances: Sequence[float],
+    scheduling_interval_s: float = 300.0,
+) -> dict[float, dict[str, SimulationResult]]:
+    """Run ``policies`` for every delay tolerance in ``tolerances``.
+
+    This is the shape of the paper's Fig. 3/5/6/9/11: one group of bars per
+    delay tolerance, one bar per policy.
+    """
+    if not tolerances:
+        raise ValueError("tolerances must not be empty")
+    sweep: dict[float, dict[str, SimulationResult]] = {}
+    for tolerance in tolerances:
+        sweep[float(tolerance)] = run_policies(
+            trace,
+            dataset,
+            policies,
+            servers_per_region=servers_per_region,
+            delay_tolerance=float(tolerance),
+            scheduling_interval_s=scheduling_interval_s,
+        )
+    return sweep
+
+
+def waterwise_factory(config: WaterWiseConfig) -> SchedulerFactory:
+    """A factory returning WaterWise schedulers with a fixed configuration."""
+
+    def factory() -> WaterWiseScheduler:
+        return WaterWiseScheduler(config)
+
+    return factory

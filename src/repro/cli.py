@@ -1,0 +1,172 @@
+"""Command-line interface for running WaterWise simulations.
+
+Provides a small, scriptable front end over the library so that a downstream
+user can compare scheduling policies without writing Python::
+
+    python -m repro simulate --policies baseline waterwise --tolerance 0.5
+    python -m repro regions
+    python -m repro workloads
+
+Sub-commands
+------------
+``simulate``
+    Generate a Borg-like (or Alibaba-like) trace, run the requested policies
+    under identical conditions and print totals and savings versus the
+    baseline.
+``regions``
+    Print the region catalog with each region's average carbon intensity,
+    EWIF, WUE, water-scarcity factor and water intensity.
+``workloads``
+    Print the PARSEC/CloudSuite workload profiles (paper Table 1).
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Sequence
+
+from repro._version import __version__
+from repro.analysis.report import format_table
+from repro.analysis.savings import savings_table
+from repro.analysis.sweep import run_policies
+from repro.cluster import servers_for_target_utilization
+from repro.schedulers import available_schedulers, make_scheduler
+from repro.sustainability import ElectricityMapsLikeProvider, WRILikeProvider
+from repro.traces import AlibabaTraceGenerator, BorgTraceGenerator, WORKLOAD_PROFILES
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WaterWise reproduction: carbon- and water-aware geo-distributed scheduling",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="run one or more policies over a synthetic trace")
+    simulate.add_argument(
+        "--policies", nargs="+", default=["baseline", "waterwise"],
+        help=f"policies to compare (available: {', '.join(available_schedulers())}, waterwise)",
+    )
+    simulate.add_argument("--trace", choices=["borg", "alibaba"], default="borg")
+    simulate.add_argument("--jobs-per-hour", type=float, default=60.0)
+    simulate.add_argument("--hours", type=float, default=12.0)
+    simulate.add_argument("--tolerance", type=float, default=0.5, help="delay tolerance (0.5 = 50%%)")
+    simulate.add_argument("--utilization", type=float, default=0.15, help="target average utilization")
+    simulate.add_argument("--interval", type=float, default=300.0, help="scheduling interval (s)")
+    simulate.add_argument("--data-source", choices=["electricity-maps", "wri"], default="electricity-maps")
+    simulate.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("regions", help="print the region catalog and its sustainability factors")
+    sub.add_parser("workloads", help="print the PARSEC/CloudSuite workload profiles")
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    generator_cls = BorgTraceGenerator if args.trace == "borg" else AlibabaTraceGenerator
+    trace = generator_cls(
+        rate_per_hour=args.jobs_per_hour, duration_days=args.hours / 24.0, seed=args.seed
+    ).generate()
+    provider = ElectricityMapsLikeProvider if args.data_source == "electricity-maps" else WRILikeProvider
+    dataset = provider(horizon_hours=int(args.hours) + 48, seed=args.seed)
+    servers = servers_for_target_utilization(
+        trace, dataset.region_keys, target_utilization=args.utilization
+    )
+
+    if "baseline" not in args.policies:
+        # Savings are always reported against the baseline, so run it regardless.
+        policy_names = ["baseline", *args.policies]
+    else:
+        policy_names = list(args.policies)
+    policies = {name: (lambda n=name: make_scheduler(n)) for name in policy_names}
+
+    print(f"trace     : {trace}")
+    print(f"servers   : {servers} per region ({args.utilization:.0%} target utilization)")
+    print(f"tolerance : {args.tolerance:.0%}\n")
+
+    results = run_policies(
+        trace,
+        dataset,
+        policies,
+        servers_per_region=servers,
+        delay_tolerance=args.tolerance,
+        scheduling_interval_s=args.interval,
+    )
+    totals = [
+        [
+            name,
+            result.total_carbon_kg,
+            result.total_water_m3,
+            result.mean_service_ratio,
+            100.0 * result.violation_fraction,
+        ]
+        for name, result in results.items()
+    ]
+    print(format_table(
+        ["policy", "carbon_kg", "water_m3", "service_ratio", "violations_%"], totals, title="Totals"
+    ))
+    print()
+    savings_rows = [
+        [entry.policy, entry.carbon_savings_pct, entry.water_savings_pct]
+        for entry in savings_table(results)
+        if entry.policy != "baseline"
+    ]
+    if savings_rows:
+        print(format_table(
+            ["policy", "carbon_savings_%", "water_savings_%"], savings_rows,
+            title="Savings vs. baseline",
+        ))
+    return 0
+
+
+def _cmd_regions() -> int:
+    dataset = ElectricityMapsLikeProvider(horizon_hours=24 * 30, seed=0)
+    rows = []
+    for key in dataset.region_keys:
+        series = dataset.series_for(key)
+        region = series.region
+        rows.append(
+            [
+                region.name,
+                region.aws_code,
+                series.mean_carbon_intensity(),
+                series.mean_ewif(),
+                series.mean_wue(),
+                series.wsf,
+                series.mean_water_intensity(),
+            ]
+        )
+    print(format_table(
+        ["region", "aws_code", "carbon_gCO2_kwh", "ewif_L_kwh", "wue_L_kwh", "wsf", "water_intensity"],
+        rows,
+        title="Region catalog (30-day synthetic averages)",
+    ))
+    return 0
+
+
+def _cmd_workloads() -> int:
+    rows = [
+        [w.name, w.suite, w.domain, w.mean_execution_time_s, w.mean_utilization, w.package_gb]
+        for w in WORKLOAD_PROFILES.values()
+    ]
+    print(format_table(
+        ["workload", "suite", "domain", "mean_exec_s", "utilization", "package_gb"],
+        rows,
+        title="Workload profiles (paper Table 1)",
+    ))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "regions":
+        return _cmd_regions()
+    if args.command == "workloads":
+        return _cmd_workloads()
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,36 @@
+"""Geo-distributed cluster simulator.
+
+The paper evaluates WaterWise by replaying production traces against a
+175-node cluster spread over five AWS regions; its artifact drives the same
+logic through trace simulation.  This subpackage is that simulation substrate:
+
+* :mod:`repro.cluster.interface` — the contract between the simulator and
+  any scheduling policy (:class:`Scheduler`, :class:`SchedulingContext`,
+  :class:`SchedulerDecision`),
+* :mod:`repro.cluster.footprint` — vectorized carbon/water footprint
+  matrices for a batch of jobs across regions (what the policies optimize),
+* :mod:`repro.cluster.datacenter` — the per-region capacity/queue model,
+* :mod:`repro.cluster.simulator` — the discrete-event trace-driven simulator,
+* :mod:`repro.cluster.metrics` — per-job outcomes and aggregate results,
+* :mod:`repro.cluster.capacity` — helpers to size clusters for a target
+  utilization (the paper's 5% / 15% / 25% settings).
+"""
+
+from repro.cluster.capacity import servers_for_target_utilization
+from repro.cluster.datacenter import Datacenter
+from repro.cluster.footprint import FootprintCalculator
+from repro.cluster.interface import Scheduler, SchedulerDecision, SchedulingContext
+from repro.cluster.metrics import JobOutcome, SimulationResult
+from repro.cluster.simulator import Simulator
+
+__all__ = [
+    "Datacenter",
+    "FootprintCalculator",
+    "JobOutcome",
+    "Scheduler",
+    "SchedulerDecision",
+    "SchedulingContext",
+    "SimulationResult",
+    "Simulator",
+    "servers_for_target_utilization",
+]

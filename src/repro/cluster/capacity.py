@@ -1,0 +1,60 @@
+"""Cluster sizing helpers.
+
+The paper evaluates WaterWise at an average utilization of ≈ 15% (with 5% and
+25% sensitivity points), obtained by fixing the number of servers per region
+for a given trace.  :func:`servers_for_target_utilization` inverts that
+relationship: given a trace and a utilization target, it returns the number
+of servers per region such that
+
+``total busy server-seconds ≈ target × servers × regions × horizon``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro._validation import ensure_positive
+from repro.traces.trace import Trace
+
+__all__ = ["servers_for_target_utilization"]
+
+
+def servers_for_target_utilization(
+    trace: Trace,
+    region_keys: Sequence[str],
+    target_utilization: float = 0.15,
+    minimum_servers: int = 2,
+) -> int:
+    """Servers per region needed to hit ``target_utilization`` for ``trace``.
+
+    Assumes jobs are spread roughly evenly across regions (which all policies
+    in the evaluation approximately do) and that each job occupies
+    ``servers_required`` servers for its execution time.
+
+    Parameters
+    ----------
+    trace:
+        The workload to size for.
+    region_keys:
+        The regions sharing the load.
+    target_utilization:
+        Desired average utilization in (0, 1].
+    minimum_servers:
+        Lower bound so tiny traces still get a workable cluster.
+    """
+    if not region_keys:
+        raise ValueError("region_keys must not be empty")
+    if not 0.0 < target_utilization <= 1.0:
+        raise ValueError(f"target_utilization must be in (0, 1], got {target_utilization}")
+    if len(trace) == 0:
+        return int(minimum_servers)
+    ensure_positive(minimum_servers, "minimum_servers")
+
+    busy_server_seconds = sum(
+        job.realized_execution_time * job.servers_required for job in trace
+    )
+    horizon = max(trace.horizon_s, 1.0)
+    n_regions = len(region_keys)
+    servers = busy_server_seconds / (target_utilization * n_regions * horizon)
+    return max(int(minimum_servers), int(math.ceil(servers)))

@@ -1,0 +1,170 @@
+"""Vectorized carbon/water footprint evaluation for scheduling decisions.
+
+Every scheduling policy in this repository — WaterWise's MILP as well as the
+greedy oracles — needs the same quantity: for a batch of M jobs and N
+candidate regions, the carbon footprint ``CO2(m, n)`` and water footprint
+``H2O(m, n)`` of running job *m* in region *n* right now (or at some future
+time, for the oracles).  :class:`FootprintCalculator` builds those M×N
+matrices in a handful of NumPy operations using the job *estimates* (what a
+real scheduler would know) and the dataset's intensity values at the decision
+time.
+
+The simulator separately uses :meth:`FootprintCalculator.integrate_job` for
+*accounting*: the realized footprint of a finished job, integrating the
+region's hourly intensity series over the job's actual execution window.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.sustainability.carbon import CarbonModel
+from repro.sustainability.datasets import SustainabilityDataset
+from repro.sustainability.embodied import DEFAULT_SERVER, ServerSpec
+from repro.sustainability.water import WaterModel
+from repro.traces.job import Job
+
+__all__ = ["FootprintCalculator"]
+
+_SECONDS_PER_HOUR = 3600.0
+
+
+class FootprintCalculator:
+    """Carbon/water footprints of jobs across regions.
+
+    Parameters
+    ----------
+    dataset:
+        Sustainability dataset providing per-region intensity series.
+    server:
+        Server model for embodied footprints.
+    include_embodied:
+        Whether embodied carbon/water are included (True for WaterWise,
+        configurable for baselines and ablations).
+    """
+
+    def __init__(
+        self,
+        dataset: SustainabilityDataset,
+        server: ServerSpec = DEFAULT_SERVER,
+        include_embodied: bool = True,
+    ) -> None:
+        self.dataset = dataset
+        self.server = server
+        self.include_embodied = bool(include_embodied)
+        self.carbon_model = CarbonModel(server=server, include_embodied=include_embodied)
+        self.water_model = WaterModel(server=server, include_embodied=include_embodied)
+
+    # -- decision-time estimates ---------------------------------------------------
+    def _region_factors(self, region_keys: Sequence[str], time_s: float):
+        """Per-region (CI, EWIF, WUE, WSF, PUE) arrays at ``time_s``."""
+        ci, ewif, wue, wsf, pue = [], [], [], [], []
+        for key in region_keys:
+            series = self.dataset.series_for(key)
+            ci.append(series.carbon_intensity_at(time_s))
+            ewif.append(series.ewif_at(time_s))
+            wue.append(series.wue_at(time_s))
+            wsf.append(series.wsf)
+            pue.append(series.pue)
+        return (np.array(ci), np.array(ewif), np.array(wue), np.array(wsf), np.array(pue))
+
+    def carbon_matrix(
+        self, jobs: Sequence[Job], region_keys: Sequence[str], time_s: float
+    ) -> np.ndarray:
+        """Estimated carbon footprint (g) of each job in each region at ``time_s``.
+
+        Shape ``(len(jobs), len(region_keys))``; uses the scheduler-visible
+        estimates of energy and execution time.
+        """
+        if not jobs or not region_keys:
+            return np.zeros((len(jobs), len(region_keys)))
+        energy = np.array([job.energy_kwh for job in jobs])[:, None]
+        exec_time = np.array([job.execution_time for job in jobs])[:, None]
+        ci = self._region_factors(region_keys, time_s)[0][None, :]
+        return np.asarray(self.carbon_model.total(energy, ci, exec_time))
+
+    def water_matrix(
+        self, jobs: Sequence[Job], region_keys: Sequence[str], time_s: float
+    ) -> np.ndarray:
+        """Estimated water footprint (L) of each job in each region at ``time_s``."""
+        if not jobs or not region_keys:
+            return np.zeros((len(jobs), len(region_keys)))
+        energy = np.array([job.energy_kwh for job in jobs])[:, None]
+        exec_time = np.array([job.execution_time for job in jobs])[:, None]
+        _, ewif, wue, wsf, pue = self._region_factors(region_keys, time_s)
+        return np.asarray(
+            self.water_model.total(
+                energy, ewif[None, :], wue[None, :], wsf[None, :], pue[None, :], exec_time
+            )
+        )
+
+    def footprint_matrices(
+        self, jobs: Sequence[Job], region_keys: Sequence[str], time_s: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Both matrices in one call (the common case for the MILP objective)."""
+        return (
+            self.carbon_matrix(jobs, region_keys, time_s),
+            self.water_matrix(jobs, region_keys, time_s),
+        )
+
+    # -- accounting of realized executions --------------------------------------------
+    def integrate_job(
+        self, job: Job, region_key: str, start_time_s: float
+    ) -> tuple[float, float]:
+        """Realized (carbon_g, water_l) of running ``job`` in ``region_key``.
+
+        The job's realized energy is spread uniformly over its realized
+        execution window and integrated against the region's hourly intensity
+        series, so a job spanning a carbon-intensity dip is charged less than
+        one that runs entirely inside a peak.  Embodied footprints are added
+        according to the calculator's configuration.
+        """
+        series = self.dataset.series_for(region_key)
+        duration = job.realized_execution_time
+        energy = job.realized_energy_kwh
+        if duration <= 0.0:
+            return 0.0, 0.0
+
+        # Split the execution window at hour boundaries.
+        start = start_time_s
+        end = start_time_s + duration
+        first_hour = int(start // _SECONDS_PER_HOUR)
+        last_hour = int(np.ceil(end / _SECONDS_PER_HOUR))
+        boundaries = np.arange(first_hour, last_hour + 1, dtype=float) * _SECONDS_PER_HOUR
+        boundaries[0] = start
+        boundaries[-1] = end
+        segment_durations = np.diff(boundaries)
+        if segment_durations.sum() <= 0.0:
+            return 0.0, 0.0
+        weights = segment_durations / duration
+        segment_times = boundaries[:-1]
+
+        ci = np.array([series.carbon_intensity_at(t) for t in segment_times])
+        ewif = np.array([series.ewif_at(t) for t in segment_times])
+        wue = np.array([series.wue_at(t) for t in segment_times])
+
+        seg_energy = energy * weights
+        carbon = float(np.sum(self.carbon_model.operational(seg_energy, ci)))
+        water = float(
+            np.sum(self.water_model.operational(seg_energy, ewif, wue, series.wsf, series.pue))
+        )
+        if self.include_embodied:
+            carbon += self.carbon_model.embodied(duration)
+            water += self.water_model.embodied(duration)
+        return carbon, water
+
+    # -- per-region normalization helpers ------------------------------------------------
+    def worst_case_footprints(
+        self, jobs: Sequence[Job], region_keys: Sequence[str], time_s: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-job maxima across regions, used to normalize the MILP objective.
+
+        Returns ``(CO2_max[m], H2O_max[m])`` — the paper's
+        :math:`CO^{max}_{2,j}` and :math:`H_2O^{max}_j` (Eq. 7).
+        """
+        carbon, water = self.footprint_matrices(jobs, region_keys, time_s)
+        if carbon.size == 0:
+            return np.zeros(len(jobs)), np.zeros(len(jobs))
+        return carbon.max(axis=1), water.max(axis=1)

@@ -1,0 +1,142 @@
+"""Contract between the simulator and scheduling policies.
+
+A scheduling policy sees the world exactly the way WaterWise's Optimization
+Decision Controller does in the paper: at each scheduling round it receives
+the batch of jobs awaiting placement (newly arrived plus previously deferred),
+a snapshot of remaining capacity per region, the current carbon/water
+intensities (through the footprint calculator and dataset), the transfer
+latency model and the configured delay tolerance.  It must account for every
+job in the batch — either by assigning it to a region or by explicitly
+deferring it to the next round.
+
+Oracles with future knowledge (the Carbon-/Water-Greedy-Opt baselines) are
+given access to the full dataset series through the same context, which is
+precisely the "infeasible in practice" information advantage the paper
+describes.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from collections.abc import Mapping, Sequence
+
+from repro.cluster.footprint import FootprintCalculator
+from repro.regions.latency import TransferLatencyModel
+from repro.regions.region import Region
+from repro.sustainability.datasets import SustainabilityDataset
+from repro.traces.job import Job
+
+__all__ = ["SchedulingContext", "SchedulerDecision", "Scheduler"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SchedulingContext:
+    """Snapshot of the cluster handed to a policy at one scheduling round.
+
+    Attributes
+    ----------
+    now:
+        Current simulation time (seconds since trace start).
+    regions:
+        Candidate regions, in a stable order.
+    capacity:
+        Remaining capacity (free server slots not already promised to queued
+        jobs) per region key — the paper's ``cap(n)``.
+    dataset:
+        Sustainability dataset (current and, for oracles, future intensities).
+    latency:
+        Inter-region transfer latency model.
+    footprints:
+        Vectorized footprint calculator bound to ``dataset``.
+    delay_tolerance:
+        Allowed relative increase of service time over execution time
+        (0.25 = 25%).
+    scheduling_interval_s:
+        Period between scheduling rounds, exposed so policies can reason
+        about deferral cost.
+    job_wait_times:
+        Seconds each job in the batch has already been waiting since its
+        arrival (keyed by ``job_id``); the slack manager's
+        ``T_start − T_current`` term.
+    """
+
+    now: float
+    regions: tuple[Region, ...]
+    capacity: Mapping[str, int]
+    dataset: SustainabilityDataset
+    latency: TransferLatencyModel
+    footprints: FootprintCalculator
+    delay_tolerance: float
+    scheduling_interval_s: float
+    job_wait_times: Mapping[int, float]
+
+    @property
+    def region_keys(self) -> list[str]:
+        return [region.key for region in self.regions]
+
+    @property
+    def total_capacity(self) -> int:
+        return int(sum(self.capacity.values()))
+
+    def wait_time(self, job: Job) -> float:
+        """Time ``job`` has been waiting since arrival (0 if unknown)."""
+        return float(self.job_wait_times.get(job.job_id, max(0.0, self.now - job.arrival_time)))
+
+    def transfer_time(self, job: Job, region_key: str) -> float:
+        """Transfer latency of moving ``job`` from home to ``region_key``."""
+        return self.latency.transfer_time(job.home_region, region_key, job.package_gb)
+
+
+@dataclasses.dataclass(frozen=True)
+class SchedulerDecision:
+    """Outcome of one scheduling round.
+
+    ``assignments`` maps job id → destination region key; ``deferred`` lists
+    job ids intentionally postponed to the next round.  Every job given to
+    the policy must appear in exactly one of the two; the simulator enforces
+    this and fails loudly otherwise (a silently dropped job would corrupt the
+    evaluation).
+    """
+
+    assignments: Mapping[int, str] = dataclasses.field(default_factory=dict)
+    deferred: Sequence[int] = dataclasses.field(default_factory=tuple)
+
+    def validate_for(self, jobs: Sequence[Job], known_regions: Sequence[str]) -> None:
+        """Raise ``ValueError`` unless the decision covers the batch exactly."""
+        job_ids = {job.job_id for job in jobs}
+        assigned = set(self.assignments)
+        deferred = set(self.deferred)
+        unknown = (assigned | deferred) - job_ids
+        if unknown:
+            raise ValueError(f"decision references unknown job ids: {sorted(unknown)}")
+        overlap = assigned & deferred
+        if overlap:
+            raise ValueError(f"jobs both assigned and deferred: {sorted(overlap)}")
+        missing = job_ids - assigned - deferred
+        if missing:
+            raise ValueError(f"decision does not cover jobs: {sorted(missing)}")
+        bad_regions = {r for r in self.assignments.values() if r not in known_regions}
+        if bad_regions:
+            raise ValueError(f"decision assigns to unknown regions: {sorted(bad_regions)}")
+
+
+class Scheduler(abc.ABC):
+    """Base class for scheduling policies.
+
+    Subclasses implement :meth:`schedule`; :attr:`name` identifies the policy
+    in results and reports.
+    """
+
+    #: Human-readable policy name (overridden by subclasses).
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def schedule(self, jobs: Sequence[Job], context: SchedulingContext) -> SchedulerDecision:
+        """Place (or defer) every job in ``jobs`` given the cluster ``context``."""
+
+    def reset(self) -> None:
+        """Clear any internal state before a fresh simulation (optional)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

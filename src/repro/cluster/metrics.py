@@ -1,0 +1,251 @@
+"""Per-job outcomes and aggregate simulation results."""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+from collections.abc import Mapping, Sequence
+
+__all__ = ["JobOutcome", "SimulationResult"]
+
+
+@dataclasses.dataclass(frozen=True)
+class JobOutcome:
+    """Everything the evaluation needs to know about one completed job.
+
+    Times are seconds since the start of the trace.  ``service_time`` follows
+    the paper's definition of delay tolerance: it measures the extra delay a
+    job experienced relative to running immediately with no transfer or
+    queuing, so it is counted from the first scheduling round at which the
+    job was considered (``considered_time``) rather than from the raw arrival
+    time; the batching alignment delay is identical for every policy and
+    would otherwise obscure the comparison.  ``raw_service_time`` (from
+    arrival) is also kept for completeness.
+    """
+
+    job_id: int
+    workload: str
+    home_region: str
+    executed_region: str
+    arrival_time: float
+    considered_time: float
+    assigned_time: float
+    ready_time: float
+    start_time: float
+    finish_time: float
+    execution_time: float
+    transfer_latency: float
+    carbon_g: float
+    water_l: float
+    deferrals: int
+    delay_tolerance: float
+
+    @property
+    def queue_delay(self) -> float:
+        """Seconds spent waiting for a free server after the transfer completed."""
+        return max(0.0, self.start_time - self.ready_time)
+
+    @property
+    def scheduling_delay(self) -> float:
+        """Seconds between first consideration and final assignment (deferrals)."""
+        return max(0.0, self.assigned_time - self.considered_time)
+
+    @property
+    def service_time(self) -> float:
+        """Delay-tolerance-relevant service time (see class docstring)."""
+        return self.finish_time - self.considered_time
+
+    @property
+    def raw_service_time(self) -> float:
+        """Service time measured from the job's raw arrival."""
+        return self.finish_time - self.arrival_time
+
+    @property
+    def service_ratio(self) -> float:
+        """Service time normalized to the realized execution time (1.0 = no delay)."""
+        return self.service_time / self.execution_time
+
+    @property
+    def migrated(self) -> bool:
+        """Whether the job executed away from its home region."""
+        return self.executed_region != self.home_region
+
+    @property
+    def violated_delay_tolerance(self) -> bool:
+        """Whether the service time exceeded the allowed delay tolerance."""
+        return self.service_time > (1.0 + self.delay_tolerance) * self.execution_time + 1e-9
+
+
+class SimulationResult:
+    """Aggregated result of one simulation run.
+
+    Provides the figures of merit used throughout the paper's evaluation:
+    total carbon and water footprints, average normalized service time,
+    percentage of delay-tolerance violations, job distribution across regions,
+    utilization, and the scheduler decision-making overhead.
+    """
+
+    def __init__(
+        self,
+        scheduler_name: str,
+        outcomes: Sequence[JobOutcome],
+        region_servers: Mapping[str, int],
+        region_utilization: Mapping[str, float],
+        makespan_s: float,
+        decision_times_s: Sequence[float],
+        round_times_s: Sequence[float],
+        delay_tolerance: float,
+        trace_name: str = "",
+    ) -> None:
+        self.scheduler_name = scheduler_name
+        self.outcomes = tuple(outcomes)
+        self.region_servers = dict(region_servers)
+        self.region_utilization = dict(region_utilization)
+        self.makespan_s = float(makespan_s)
+        self.decision_times_s = tuple(decision_times_s)
+        self.round_times_s = tuple(round_times_s)
+        self.delay_tolerance = float(delay_tolerance)
+        self.trace_name = trace_name
+
+    # -- totals ------------------------------------------------------------------------
+    @property
+    def num_jobs(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def total_carbon_g(self) -> float:
+        return float(sum(outcome.carbon_g for outcome in self.outcomes))
+
+    @property
+    def total_carbon_kg(self) -> float:
+        return self.total_carbon_g / 1000.0
+
+    @property
+    def total_water_l(self) -> float:
+        return float(sum(outcome.water_l for outcome in self.outcomes))
+
+    @property
+    def total_water_m3(self) -> float:
+        return self.total_water_l / 1000.0
+
+    # -- service time / violations ----------------------------------------------------------
+    @property
+    def mean_service_ratio(self) -> float:
+        """Average service time normalized to execution time (paper Table 2)."""
+        if not self.outcomes:
+            return float("nan")
+        return statistics.fmean(outcome.service_ratio for outcome in self.outcomes)
+
+    @property
+    def violation_fraction(self) -> float:
+        """Fraction of jobs whose delay tolerance was violated (paper Table 2)."""
+        if not self.outcomes:
+            return 0.0
+        violated = sum(1 for outcome in self.outcomes if outcome.violated_delay_tolerance)
+        return violated / len(self.outcomes)
+
+    @property
+    def mean_queue_delay_s(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return statistics.fmean(outcome.queue_delay for outcome in self.outcomes)
+
+    @property
+    def mean_transfer_latency_s(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return statistics.fmean(outcome.transfer_latency for outcome in self.outcomes)
+
+    @property
+    def migration_fraction(self) -> float:
+        """Fraction of jobs executed away from their home region."""
+        if not self.outcomes:
+            return 0.0
+        return sum(1 for outcome in self.outcomes if outcome.migrated) / len(self.outcomes)
+
+    # -- distribution / utilization -------------------------------------------------------------
+    def jobs_per_region(self) -> dict[str, int]:
+        """Number of jobs executed in each region (paper Fig. 3b)."""
+        counts: dict[str, int] = {key: 0 for key in self.region_servers}
+        for outcome in self.outcomes:
+            counts[outcome.executed_region] = counts.get(outcome.executed_region, 0) + 1
+        return counts
+
+    def region_distribution(self) -> dict[str, float]:
+        """Share of jobs executed in each region (sums to 1)."""
+        counts = self.jobs_per_region()
+        total = sum(counts.values())
+        if total == 0:
+            return {key: 0.0 for key in counts}
+        return {key: value / total for key, value in counts.items()}
+
+    @property
+    def overall_utilization(self) -> float:
+        """Server-weighted average utilization across regions."""
+        total_servers = sum(self.region_servers.values())
+        if total_servers == 0:
+            return 0.0
+        return (
+            sum(
+                self.region_utilization.get(key, 0.0) * servers
+                for key, servers in self.region_servers.items()
+            )
+            / total_servers
+        )
+
+    # -- overhead ----------------------------------------------------------------------------------
+    @property
+    def total_decision_time_s(self) -> float:
+        """Total wall-clock time spent inside the scheduling policy."""
+        return float(sum(self.decision_times_s))
+
+    @property
+    def mean_decision_time_s(self) -> float:
+        if not self.decision_times_s:
+            return 0.0
+        return statistics.fmean(self.decision_times_s)
+
+    def decision_overhead_fraction(self) -> float:
+        """Decision time as a fraction of the mean job execution time (Fig. 13)."""
+        if not self.outcomes:
+            return 0.0
+        mean_exec = statistics.fmean(outcome.execution_time for outcome in self.outcomes)
+        if mean_exec == 0.0:
+            return 0.0
+        return self.mean_decision_time_s / mean_exec
+
+    # -- comparisons --------------------------------------------------------------------------------
+    def carbon_savings_vs(self, baseline: "SimulationResult") -> float:
+        """Percent carbon-footprint saving relative to ``baseline`` (higher is better)."""
+        if baseline.total_carbon_g == 0.0:
+            return 0.0
+        return 100.0 * (1.0 - self.total_carbon_g / baseline.total_carbon_g)
+
+    def water_savings_vs(self, baseline: "SimulationResult") -> float:
+        """Percent water-footprint saving relative to ``baseline`` (higher is better)."""
+        if baseline.total_water_l == 0.0:
+            return 0.0
+        return 100.0 * (1.0 - self.total_water_l / baseline.total_water_l)
+
+    # -- reporting -----------------------------------------------------------------------------------
+    def summary(self) -> dict[str, float | str | int]:
+        """Flat summary dictionary for reports and benchmark output."""
+        return {
+            "scheduler": self.scheduler_name,
+            "trace": self.trace_name,
+            "jobs": self.num_jobs,
+            "carbon_kg": round(self.total_carbon_kg, 3),
+            "water_m3": round(self.total_water_m3, 3),
+            "mean_service_ratio": round(self.mean_service_ratio, 4),
+            "violation_pct": round(100.0 * self.violation_fraction, 3),
+            "migration_pct": round(100.0 * self.migration_fraction, 2),
+            "utilization_pct": round(100.0 * self.overall_utilization, 2),
+            "mean_decision_time_s": round(self.mean_decision_time_s, 5),
+            "delay_tolerance_pct": round(100.0 * self.delay_tolerance, 1),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult({self.scheduler_name!r}, jobs={self.num_jobs}, "
+            f"carbon={self.total_carbon_kg:.2f} kg, water={self.total_water_m3:.2f} m3)"
+        )

@@ -1,0 +1,134 @@
+"""Cost-aware extension of WaterWise (paper Sec. 7, "Cost Considerations").
+
+The paper's discussion section notes that financial cost could be integrated
+into the optimization objective as a future extension.  This module provides
+that extension without changing the core formulation:
+
+* :class:`ElectricityPriceTable` — regional electricity prices and
+  cross-region egress prices (synthetic, representative magnitudes),
+* :class:`CostModel` — dollar cost of running a job in a region (energy at
+  the destination's price, PUE-inflated, plus egress for the package),
+* :class:`CostAwareWaterWiseScheduler` — a :class:`WaterWiseScheduler`
+  subclass that adds a normalized, ``lambda_cost``-weighted cost term to the
+  placement objective through the scheduler's ``extra_cost`` extension hook.
+
+The carbon/water terms keep their configured weights; ``lambda_cost`` is an
+*additional* weight, so setting it to 0 recovers the paper's scheduler
+exactly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro._validation import ensure_non_negative
+from repro.cluster.interface import SchedulingContext
+from repro.core.config import WaterWiseConfig
+from repro.core.waterwise import WaterWiseScheduler
+from repro.regions.latency import TransferLatencyModel
+from repro.traces.job import Job
+
+__all__ = ["ElectricityPriceTable", "CostModel", "CostAwareWaterWiseScheduler"]
+
+#: Representative industrial electricity prices (USD/kWh) per evaluation region.
+DEFAULT_ELECTRICITY_PRICES: dict[str, float] = {
+    "zurich": 0.21,
+    "madrid": 0.14,
+    "oregon": 0.07,
+    "milan": 0.19,
+    "mumbai": 0.09,
+}
+
+#: Representative inter-region egress price (USD/GB).
+DEFAULT_EGRESS_PRICE_PER_GB = 0.05
+
+
+class ElectricityPriceTable:
+    """Regional electricity and egress prices."""
+
+    def __init__(
+        self,
+        prices_usd_per_kwh: Mapping[str, float] | None = None,
+        egress_usd_per_gb: float = DEFAULT_EGRESS_PRICE_PER_GB,
+        default_price: float = 0.12,
+    ) -> None:
+        prices = dict(prices_usd_per_kwh) if prices_usd_per_kwh else dict(DEFAULT_ELECTRICITY_PRICES)
+        for region, price in prices.items():
+            ensure_non_negative(price, f"price for {region!r}")
+        self._prices = prices
+        self.egress_usd_per_gb = ensure_non_negative(egress_usd_per_gb, "egress_usd_per_gb")
+        self.default_price = ensure_non_negative(default_price, "default_price")
+
+    def price(self, region_key: str) -> float:
+        """Electricity price (USD/kWh) for a region (falls back to the default)."""
+        return float(self._prices.get(region_key.strip().lower(), self.default_price))
+
+    def egress(self, source: str, destination: str, package_gb: float) -> float:
+        """Egress cost (USD) of shipping ``package_gb`` between two regions."""
+        ensure_non_negative(package_gb, "package_gb")
+        if source == destination:
+            return 0.0
+        return self.egress_usd_per_gb * float(package_gb)
+
+
+class CostModel:
+    """Dollar cost of running jobs in regions."""
+
+    def __init__(self, prices: ElectricityPriceTable | None = None, pue: float = 1.2) -> None:
+        self.prices = prices if prices is not None else ElectricityPriceTable()
+        if pue < 1.0:
+            raise ValueError("pue must be >= 1.0")
+        self.pue = float(pue)
+
+    def job_cost(self, job: Job, region_key: str, latency: TransferLatencyModel | None = None) -> float:
+        """Cost (USD) of executing ``job`` in ``region_key``."""
+        energy_cost = self.pue * job.energy_kwh * self.prices.price(region_key)
+        egress_cost = 0.0
+        if region_key != job.home_region:
+            egress_cost = self.prices.egress(job.home_region, region_key, job.package_gb)
+        return energy_cost + egress_cost
+
+    def cost_matrix(self, jobs: Sequence[Job], region_keys: Sequence[str]) -> np.ndarray:
+        """(M × N) cost matrix in USD."""
+        matrix = np.zeros((len(jobs), len(region_keys)))
+        for m, job in enumerate(jobs):
+            for n, region in enumerate(region_keys):
+                matrix[m, n] = self.job_cost(job, region)
+        return matrix
+
+
+class CostAwareWaterWiseScheduler(WaterWiseScheduler):
+    """WaterWise with financial cost as an additional objective.
+
+    Parameters
+    ----------
+    config:
+        Base WaterWise configuration (carbon/water weights etc.).
+    lambda_cost:
+        Weight of the normalized cost term added on top of the carbon/water
+        objective; 0 recovers plain WaterWise.
+    prices:
+        Electricity/egress price table.
+    """
+
+    name = "waterwise-cost-aware"
+
+    def __init__(
+        self,
+        config: WaterWiseConfig | None = None,
+        lambda_cost: float = 0.3,
+        prices: ElectricityPriceTable | None = None,
+    ) -> None:
+        super().__init__(config)
+        self.lambda_cost = ensure_non_negative(lambda_cost, "lambda_cost")
+        self.cost_model = CostModel(prices=prices)
+
+    def _extra_cost(self, jobs: Sequence[Job], context: SchedulingContext):
+        if not jobs or self.lambda_cost == 0.0:
+            return None
+        matrix = self.cost_model.cost_matrix(jobs, context.region_keys)
+        maxima = matrix.max(axis=1, keepdims=True)
+        maxima[maxima <= 0.0] = 1.0
+        return self.lambda_cost * (matrix / maxima)

@@ -1,0 +1,159 @@
+"""Optimization Decision Controller: solve the placement MILP for one round.
+
+The controller implements the solve-side of the paper's Algorithm 1:
+
+1. build and solve the hard-constraint MILP (Eq. 8–11);
+2. if the solver reports infeasibility (or the caller requested it outright,
+   as Algorithm 1 does when the slack manager had to shed load), rebuild with
+   soft delay constraints (Eq. 12–13) and solve again;
+3. if even the soft problem cannot be solved — which only happens when the
+   MILP backend errors out — fall back to a deterministic greedy assignment
+   that respects capacity, so a scheduling round never returns nothing.
+
+The controller records which path produced each decision; the evaluation uses
+that to report how often constraints had to be softened.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.cluster.interface import SchedulingContext
+from repro.core.config import WaterWiseConfig
+from repro.core.history import HistoryLearner
+from repro.core.objective import PlacementModel, build_placement_problem
+from repro.milp import SolveResult, solve
+from repro.traces.job import Job
+
+__all__ = ["ControllerResult", "DecisionController"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ControllerResult:
+    """Assignments produced by the decision controller for one round."""
+
+    assignments: dict[int, str]
+    used_soft_constraints: bool
+    used_fallback: bool
+    solve_result: SolveResult | None
+    model: PlacementModel | None
+
+    @property
+    def objective_value(self) -> float:
+        return float("nan") if self.solve_result is None else self.solve_result.objective
+
+
+class DecisionController:
+    """Builds and solves the WaterWise placement MILP."""
+
+    def __init__(self, config: WaterWiseConfig | None = None) -> None:
+        self.config = config if config is not None else WaterWiseConfig()
+        # Round counters exposed for diagnostics / the evaluation.
+        self.rounds_solved = 0
+        self.rounds_softened = 0
+        self.rounds_fallback = 0
+
+    def reset(self) -> None:
+        self.rounds_solved = 0
+        self.rounds_softened = 0
+        self.rounds_fallback = 0
+
+    # -- fallback ---------------------------------------------------------------------
+    @staticmethod
+    def _greedy_assignment(
+        jobs: Sequence[Job], context: SchedulingContext, cost: np.ndarray
+    ) -> dict[int, str]:
+        """Deterministic cost-greedy assignment respecting remaining capacity."""
+        region_keys = context.region_keys
+        remaining = {key: int(context.capacity.get(key, 0)) for key in region_keys}
+        assignments: dict[int, str] = {}
+        for m, job in enumerate(jobs):
+            order = np.argsort(cost[m])
+            chosen = None
+            for idx in order:
+                key = region_keys[int(idx)]
+                if remaining[key] >= job.servers_required:
+                    chosen = key
+                    break
+            if chosen is None:
+                chosen = job.home_region if job.home_region in region_keys else region_keys[0]
+            assignments[job.job_id] = chosen
+            if chosen in remaining:
+                remaining[chosen] -= job.servers_required
+        return assignments
+
+    # -- main entry point -----------------------------------------------------------------
+    def decide(
+        self,
+        jobs: Sequence[Job],
+        context: SchedulingContext,
+        history: HistoryLearner | None = None,
+        force_soft: bool = False,
+        extra_cost=None,
+    ) -> ControllerResult:
+        """Choose a region for every job in ``jobs``.
+
+        ``force_soft`` skips the hard-constraint attempt (Algorithm 1 uses the
+        soft controller directly when the slack manager had to shed load).
+        ``extra_cost`` is an optional pre-weighted (M × N) additive objective
+        term forwarded to :func:`build_placement_problem` (extension hook).
+        """
+        if not jobs:
+            return ControllerResult(
+                assignments={}, used_soft_constraints=False, used_fallback=False,
+                solve_result=None, model=None,
+            )
+        region_keys = context.region_keys
+        if history is not None and self.config.use_history:
+            co2_ref, h2o_ref = history.reference(region_keys)
+        else:
+            co2_ref = h2o_ref = None
+
+        attempts: list[bool] = []
+        if not force_soft:
+            attempts.append(False)
+        if self.config.use_soft_constraints or not attempts:
+            attempts.append(True)
+
+        last_model: PlacementModel | None = None
+        for soft in attempts:
+            if soft and not self.config.use_soft_constraints and not force_soft:
+                continue
+            model = build_placement_problem(
+                jobs, context, self.config, co2_ref=co2_ref, h2o_ref=h2o_ref, soft=soft,
+                extra_cost=extra_cost,
+            )
+            last_model = model
+            result = solve(
+                model.problem,
+                solver=self.config.solver,
+                time_limit=self.config.solver_time_limit_s,
+            )
+            if result.status.is_success:
+                assignments = model.assignment_from_values(dict(result.values))
+                self.rounds_solved += 1
+                if soft:
+                    self.rounds_softened += 1
+                return ControllerResult(
+                    assignments=assignments,
+                    used_soft_constraints=soft,
+                    used_fallback=False,
+                    solve_result=result,
+                    model=model,
+                )
+
+        # Defensive fallback: the MILP backend failed outright.
+        model = last_model
+        cost = model.cost if model is not None else np.zeros((len(jobs), len(region_keys)))
+        assignments = self._greedy_assignment(jobs, context, cost)
+        self.rounds_fallback += 1
+        return ControllerResult(
+            assignments=assignments,
+            used_soft_constraints=True,
+            used_fallback=True,
+            solve_result=None,
+            model=model,
+        )

@@ -1,0 +1,84 @@
+"""History learner: per-region reference terms for the MILP objective.
+
+The paper augments the placement objective with "the historical carbon
+footprint and water footprint (normalized) of every region in a time window"
+(Eq. 8), weighted by λ_ref.  The learner keeps a sliding window of the last
+``window`` scheduling rounds; at each round it records every region's carbon
+and water intensity normalized by that round's maximum across regions, and
+the reference term is the per-region mean over the window.  A region that has
+recently been carbon- or water-expensive therefore carries a standing penalty
+even at an instant where its current intensity happens to dip — smoothing
+decisions against short-lived fluctuations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["HistoryLearner"]
+
+
+class HistoryLearner:
+    """Sliding-window normalized intensity history per region."""
+
+    def __init__(self, window: int = 10) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = int(window)
+        self._carbon: deque[dict[str, float]] = deque(maxlen=self.window)
+        self._water: deque[dict[str, float]] = deque(maxlen=self.window)
+
+    def reset(self) -> None:
+        """Forget all recorded rounds."""
+        self._carbon.clear()
+        self._water.clear()
+
+    @property
+    def rounds_recorded(self) -> int:
+        return len(self._carbon)
+
+    # -- recording -------------------------------------------------------------------
+    def observe(
+        self,
+        region_keys: Sequence[str],
+        carbon_intensity: Sequence[float],
+        water_intensity: Sequence[float],
+    ) -> None:
+        """Record one scheduling round's per-region intensities.
+
+        Values are normalized by the round's maximum so the reference terms
+        stay in ``[0, 1]`` regardless of units.
+        """
+        if not (len(region_keys) == len(carbon_intensity) == len(water_intensity)):
+            raise ValueError("region_keys, carbon_intensity and water_intensity must align")
+        carbon = np.asarray(carbon_intensity, dtype=float)
+        water = np.asarray(water_intensity, dtype=float)
+        if np.any(carbon < 0) or np.any(water < 0):
+            raise ValueError("intensities must be non-negative")
+        carbon_max = carbon.max() if carbon.size and carbon.max() > 0 else 1.0
+        water_max = water.max() if water.size and water.max() > 0 else 1.0
+        self._carbon.append({k: float(c / carbon_max) for k, c in zip(region_keys, carbon)})
+        self._water.append({k: float(w / water_max) for k, w in zip(region_keys, water)})
+
+    # -- reference terms ---------------------------------------------------------------
+    def reference(self, region_keys: Sequence[str]) -> tuple[np.ndarray, np.ndarray]:
+        """Mean normalized (carbon, water) history per region.
+
+        Regions never observed (or before any round was recorded) get 0 —
+        i.e. no historical penalty.
+        """
+        co2_ref = np.zeros(len(region_keys))
+        h2o_ref = np.zeros(len(region_keys))
+        if not self._carbon:
+            return co2_ref, h2o_ref
+        for idx, key in enumerate(region_keys):
+            carbon_values = [entry[key] for entry in self._carbon if key in entry]
+            water_values = [entry[key] for entry in self._water if key in entry]
+            if carbon_values:
+                co2_ref[idx] = float(np.mean(carbon_values))
+            if water_values:
+                h2o_ref[idx] = float(np.mean(water_values))
+        return co2_ref, h2o_ref

@@ -1,0 +1,220 @@
+"""Construction of the WaterWise placement MILP (Eq. 7–13).
+
+Given a batch of M jobs, N candidate regions and the current sustainability
+state, :func:`build_placement_problem` produces a
+:class:`repro.milp.problem.Problem` with:
+
+* binary placement variables ``x[m, n]``,
+* the normalized carbon + water objective with the history-learner reference
+  term (Eq. 8) and, in soft mode, the penalty terms (Eq. 12),
+* the assignment constraint (Eq. 9), the per-region capacity constraint
+  (Eq. 10), and the delay-tolerance constraint — hard (Eq. 11) or softened
+  through per-(m, n) penalty variables (Eq. 13).
+
+The per-job delay allowance is reduced by the time the job has already spent
+waiting in previous rounds, so a job that was deferred keeps a consistent
+end-to-end tolerance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.cluster.interface import SchedulingContext
+from repro.core.config import WaterWiseConfig
+from repro.milp import Problem, VarType, Variable, lin_sum
+from repro.traces.job import Job
+
+__all__ = ["PlacementModel", "build_placement_problem"]
+
+#: Footprint maxima below this are treated as "no signal" to avoid divide-by-zero.
+_EPSILON = 1e-12
+
+
+@dataclasses.dataclass
+class PlacementModel:
+    """The built MILP plus the bookkeeping needed to read the solution back."""
+
+    problem: Problem
+    jobs: tuple[Job, ...]
+    region_keys: tuple[str, ...]
+    x_names: np.ndarray  # (M, N) array of variable names
+    penalty_names: np.ndarray | None  # (M, N) array or None in hard mode
+    cost: np.ndarray  # (M, N) per-placement objective coefficients
+    soft: bool
+
+    def assignment_from_values(self, values: dict[str, float]) -> dict[int, str]:
+        """Extract job → region assignments from a solved variable dictionary."""
+        assignments: dict[int, str] = {}
+        for m, job in enumerate(self.jobs):
+            chosen = None
+            best_value = 0.5  # binary variables: anything above 0.5 counts as selected
+            for n, region in enumerate(self.region_keys):
+                value = values.get(str(self.x_names[m, n]), 0.0)
+                if value > best_value:
+                    best_value = value
+                    chosen = region
+            if chosen is None:
+                raise ValueError(f"no region selected for job {job.job_id} in MILP solution")
+            assignments[job.job_id] = chosen
+        return assignments
+
+
+def _normalized(matrix: np.ndarray) -> np.ndarray:
+    """Normalize each row by its maximum (the paper's per-job normalization)."""
+    maxima = matrix.max(axis=1, keepdims=True)
+    maxima = np.where(maxima > _EPSILON, maxima, 1.0)
+    return matrix / maxima
+
+
+def build_placement_problem(
+    jobs: Sequence[Job],
+    context: SchedulingContext,
+    config: WaterWiseConfig,
+    co2_ref: np.ndarray | None = None,
+    h2o_ref: np.ndarray | None = None,
+    soft: bool = False,
+    extra_cost: np.ndarray | None = None,
+) -> PlacementModel:
+    """Build the placement MILP for one scheduling round.
+
+    Parameters
+    ----------
+    jobs:
+        Batch of jobs to place (already filtered by the slack manager when
+        demand exceeds capacity).
+    context:
+        Scheduling context for the round.
+    config:
+        WaterWise configuration (weights, penalty weight).
+    co2_ref / h2o_ref:
+        Per-region history-learner reference terms; zeros when omitted.
+    soft:
+        Whether to build the soft-constraint variant (Eq. 12/13).
+    extra_cost:
+        Optional pre-weighted (M × N) additive objective term.  This is the
+        hook used by extensions such as the cost-aware scheduler the paper's
+        discussion section sketches; it must already be normalized/weighted by
+        the caller.
+    """
+    if not jobs:
+        raise ValueError("cannot build a placement problem for an empty batch")
+    region_keys = tuple(context.region_keys)
+    n_regions = len(region_keys)
+    if n_regions == 0:
+        raise ValueError("cannot build a placement problem without regions")
+    jobs = tuple(jobs)
+    m_jobs = len(jobs)
+
+    carbon, water = context.footprints.footprint_matrices(jobs, region_keys, context.now)
+    carbon_norm = _normalized(carbon)
+    water_norm = _normalized(water)
+
+    if co2_ref is None:
+        co2_ref = np.zeros(n_regions)
+    if h2o_ref is None:
+        h2o_ref = np.zeros(n_regions)
+    co2_ref = np.asarray(co2_ref, dtype=float)
+    h2o_ref = np.asarray(h2o_ref, dtype=float)
+    if co2_ref.shape != (n_regions,) or h2o_ref.shape != (n_regions,):
+        raise ValueError("reference terms must have one entry per region")
+
+    reference = config.lambda_ref * (
+        config.lambda_co2 * co2_ref + config.lambda_h2o * h2o_ref
+    )
+    cost = (
+        config.lambda_co2 * carbon_norm
+        + config.lambda_h2o * water_norm
+        + reference[None, :]
+    )
+    if extra_cost is not None:
+        extra_cost = np.asarray(extra_cost, dtype=float)
+        if extra_cost.shape != cost.shape:
+            raise ValueError(
+                f"extra_cost must have shape {cost.shape}, got {extra_cost.shape}"
+            )
+        cost = cost + extra_cost
+
+    # Transfer-latency ratio L_mn / t_mn and the per-job remaining tolerance.
+    transfer = np.array(
+        [[context.transfer_time(job, region) for region in region_keys] for job in jobs]
+    )
+    exec_times = np.array([job.execution_time for job in jobs])
+    latency_ratio = transfer / exec_times[:, None]
+    waited_ratio = np.array([context.wait_time(job) for job in jobs]) / exec_times
+    tolerance = np.maximum(0.0, context.delay_tolerance - waited_ratio)
+
+    problem = Problem(name="waterwise-placement")
+    x_names = np.empty((m_jobs, n_regions), dtype=object)
+    x_vars: list[list[Variable]] = []
+    for m, job in enumerate(jobs):
+        row = []
+        for n, region in enumerate(region_keys):
+            name = f"x_{job.job_id}_{region}"
+            var = Variable(name, var_type=VarType.BINARY)
+            problem.add_variable(var)
+            x_names[m, n] = name
+            row.append(var)
+        x_vars.append(row)
+
+    penalty_names: np.ndarray | None = None
+    penalty_vars: list[list[Variable]] | None = None
+    if soft:
+        penalty_names = np.empty((m_jobs, n_regions), dtype=object)
+        penalty_vars = []
+        for m, job in enumerate(jobs):
+            row = []
+            for n, region in enumerate(region_keys):
+                name = f"p_{job.job_id}_{region}"
+                var = Variable(name, low=0.0)
+                problem.add_variable(var)
+                penalty_names[m, n] = name
+                row.append(var)
+            penalty_vars.append(row)
+
+    # Objective: Eq. 8 (hard) or Eq. 12 (soft).
+    objective_terms = [
+        float(cost[m, n]) * x_vars[m][n] for m in range(m_jobs) for n in range(n_regions)
+    ]
+    if soft and penalty_vars is not None:
+        objective_terms.extend(
+            config.penalty_weight * penalty_vars[m][n]
+            for m in range(m_jobs)
+            for n in range(n_regions)
+        )
+    problem.set_objective(lin_sum(objective_terms))
+
+    # Eq. 9: each job is placed in exactly one region.
+    for m, job in enumerate(jobs):
+        problem.add_constraint(lin_sum(x_vars[m]) == 1, name=f"assign_{job.job_id}")
+
+    # Eq. 10: regional capacity.
+    for n, region in enumerate(region_keys):
+        capacity = int(context.capacity.get(region, 0))
+        problem.add_constraint(
+            lin_sum(job.servers_required * x_vars[m][n] for m, job in enumerate(jobs))
+            <= capacity,
+            name=f"capacity_{region}",
+        )
+
+    # Eq. 11 (hard) / Eq. 13 (soft): delay tolerance on the transfer latency.
+    for m, job in enumerate(jobs):
+        lhs_terms = [float(latency_ratio[m, n]) * x_vars[m][n] for n in range(n_regions)]
+        if soft and penalty_vars is not None:
+            lhs_terms.extend(-1.0 * penalty_vars[m][n] for n in range(n_regions))
+        problem.add_constraint(
+            lin_sum(lhs_terms) <= float(tolerance[m]), name=f"delay_{job.job_id}"
+        )
+
+    return PlacementModel(
+        problem=problem,
+        jobs=jobs,
+        region_keys=region_keys,
+        x_names=x_names,
+        penalty_names=penalty_names,
+        cost=cost,
+        soft=soft,
+    )

@@ -1,0 +1,74 @@
+"""Slack manager: job prioritization when demand exceeds capacity (Eq. 14).
+
+The MILP is stateless across rounds: it does not know which jobs have already
+been waiting and are close to violating their delay tolerance.  When the
+batch is larger than the total remaining capacity, WaterWise ranks jobs by an
+urgency (slack) score and only hands the most urgent ones to the decision
+controller this round; the rest are deferred to the next round (Algorithm 1).
+
+The paper's Eq. 14 combines three terms: the job's total delay allowance
+``TOL% · t_m``, the average transfer latency to the other regions
+``L_avg_m`` and the time the job has already been waiting.  A job whose
+remaining allowance is small — because its execution time is short, transfers
+are expensive or it has waited for a long time — has little slack left and is
+scheduled first.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+from repro.cluster.interface import SchedulingContext
+from repro.traces.job import Job
+
+__all__ = ["SlackManager", "SlackSelection"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SlackSelection:
+    """Result of a slack-manager pass: jobs to schedule now vs. to defer."""
+
+    selected: tuple[Job, ...]
+    deferred: tuple[Job, ...]
+    scores: dict[int, float]
+
+
+class SlackManager:
+    """Ranks jobs by remaining slack and selects the most urgent ones."""
+
+    def urgency(self, job: Job, context: SchedulingContext) -> float:
+        """Slack score of ``job`` (smaller = more urgent), paper Eq. 14.
+
+        ``TOL% · t_m − L_avg_m − waited_m``: the delay allowance minus the
+        average cost of moving the job and minus the time it has already
+        spent waiting since the controller received it.
+        """
+        allowance = context.delay_tolerance * job.execution_time
+        average_transfer = context.latency.average_from(job.home_region, job.package_gb)
+        waited = context.wait_time(job)
+        return allowance - average_transfer - waited
+
+    def select(
+        self, jobs: Sequence[Job], context: SchedulingContext, capacity_slots: int
+    ) -> SlackSelection:
+        """Pick the most urgent jobs that fit in ``capacity_slots`` server slots.
+
+        Jobs are sorted by ascending slack; selection stops once the next
+        job's server requirement no longer fits.  With zero capacity every
+        job is deferred.
+        """
+        if capacity_slots < 0:
+            raise ValueError("capacity_slots must be >= 0")
+        scores = {job.job_id: self.urgency(job, context) for job in jobs}
+        ranked = sorted(jobs, key=lambda job: (scores[job.job_id], job.job_id))
+        selected: list[Job] = []
+        deferred: list[Job] = []
+        remaining = int(capacity_slots)
+        for job in ranked:
+            if job.servers_required <= remaining:
+                selected.append(job)
+                remaining -= job.servers_required
+            else:
+                deferred.append(job)
+        return SlackSelection(selected=tuple(selected), deferred=tuple(deferred), scores=scores)

@@ -1,0 +1,40 @@
+"""MILP substrate: a PuLP-like modeling layer with pluggable exact solvers.
+
+WaterWise formulates job placement as a Mixed Integer Linear Program (the
+paper uses PuLP + GLPK).  This subpackage provides the same capability from
+scratch:
+
+* :mod:`repro.milp.expression` / :mod:`repro.milp.constraint` /
+  :mod:`repro.milp.problem` — the modeling layer (variables, affine
+  expressions, constraints, problems).
+* :mod:`repro.milp.simplex` — a dense two-phase primal simplex LP solver.
+* :mod:`repro.milp.branch_and_bound` — a best-first branch & bound MILP
+  solver on top of any LP solver.
+* :mod:`repro.milp.scipy_backend` — the same problems solved through SciPy's
+  HiGHS bindings (``scipy.optimize.linprog`` / ``scipy.optimize.milp``).
+* :mod:`repro.milp.solver` — the user-facing :func:`solve` dispatch.
+
+Both solver families are exact; they are cross-checked against each other in
+the test suite so scheduling results do not depend on the backend choice.
+"""
+
+from repro.milp.constraint import Constraint, ConstraintSense
+from repro.milp.expression import LinExpr, Variable, VarType, lin_sum
+from repro.milp.problem import ObjectiveSense, Problem
+from repro.milp.solver import available_solvers, solve
+from repro.milp.status import SolveResult, SolveStatus
+
+__all__ = [
+    "Constraint",
+    "ConstraintSense",
+    "LinExpr",
+    "ObjectiveSense",
+    "Problem",
+    "SolveResult",
+    "SolveStatus",
+    "VarType",
+    "Variable",
+    "available_solvers",
+    "lin_sum",
+    "solve",
+]

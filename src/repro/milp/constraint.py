@@ -1,0 +1,75 @@
+"""Linear constraints for the MILP modeling layer."""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Mapping
+
+from repro.milp.expression import LinExpr, Variable
+
+__all__ = ["ConstraintSense", "Constraint"]
+
+
+class ConstraintSense(enum.Enum):
+    """Relational sense of a constraint, relative to zero."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+class Constraint:
+    """A linear constraint ``expr (<=|>=|==) 0``.
+
+    The right-hand side is folded into the expression's constant term, so the
+    canonical representation is always relative to zero.  :attr:`lhs` exposes
+    the variable terms and :attr:`rhs` the (moved) constant right-hand side,
+    matching the ``A x (<=,>=,=) b`` form solvers consume.
+    """
+
+    __slots__ = ("expr", "sense", "name")
+
+    def __init__(self, expr: LinExpr, sense: ConstraintSense, name: str | None = None) -> None:
+        if not isinstance(expr, LinExpr):
+            raise TypeError("Constraint expects a LinExpr")
+        if not expr.terms:
+            raise ValueError("constraint has no variables (it is trivially true or false)")
+        self.expr = expr
+        self.sense = sense
+        self.name = name
+
+    def with_name(self, name: str) -> "Constraint":
+        """Return the same constraint with a name attached (used by Problem.add)."""
+        return Constraint(self.expr, self.sense, name=name)
+
+    @property
+    def lhs(self) -> dict[Variable, float]:
+        """Variable coefficients of the constraint's left-hand side."""
+        return dict(self.expr.terms)
+
+    @property
+    def rhs(self) -> float:
+        """Right-hand side after moving the constant to the other side."""
+        return -self.expr.constant
+
+    def satisfied(self, assignment: Mapping[Variable, float], tol: float = 1e-7) -> bool:
+        """Whether the constraint holds for ``assignment`` within ``tol``."""
+        value = self.expr.value(assignment)
+        if self.sense is ConstraintSense.LE:
+            return value <= tol
+        if self.sense is ConstraintSense.GE:
+            return value >= -tol
+        return abs(value) <= tol
+
+    def violation(self, assignment: Mapping[Variable, float]) -> float:
+        """Amount by which ``assignment`` violates the constraint (0 if satisfied)."""
+        value = self.expr.value(assignment)
+        if self.sense is ConstraintSense.LE:
+            return max(0.0, value)
+        if self.sense is ConstraintSense.GE:
+            return max(0.0, -value)
+        return abs(value)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"Constraint{label}({self.expr!r} {self.sense.value} 0)"

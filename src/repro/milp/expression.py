@@ -1,0 +1,263 @@
+"""Variables and affine expressions for the MILP modeling layer.
+
+The modeling API mirrors PuLP closely so the WaterWise formulation reads like
+the paper's artifact code::
+
+    x = Variable("x", low=0, up=1, var_type=VarType.BINARY)
+    y = Variable("y", low=0)
+    expr = 2 * x + 3 * y + 1
+    constraint = expr <= 10
+
+Expressions are immutable-by-convention mappings from :class:`Variable` to
+coefficient plus a constant term.  Arithmetic never mutates operands, which
+keeps model construction safe when the same sub-expression is reused in
+several constraints.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import math
+from collections.abc import Iterable, Mapping
+from typing import Union
+
+__all__ = ["VarType", "Variable", "LinExpr", "lin_sum"]
+
+Number = Union[int, float]
+_var_counter = itertools.count()
+
+
+class VarType(enum.Enum):
+    """Domain of a decision variable."""
+
+    CONTINUOUS = "continuous"
+    INTEGER = "integer"
+    BINARY = "binary"
+
+
+class Variable:
+    """A single decision variable.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name; used in solution dictionaries and error messages.
+    low, up:
+        Lower and upper bounds.  ``None`` means unbounded in that direction.
+        Binary variables are always bounded to ``[0, 1]``.
+    var_type:
+        One of :class:`VarType`.
+    """
+
+    __slots__ = ("name", "low", "up", "var_type", "_uid")
+
+    def __init__(
+        self,
+        name: str,
+        low: Number | None = None,
+        up: Number | None = None,
+        var_type: VarType = VarType.CONTINUOUS,
+    ) -> None:
+        if not name:
+            raise ValueError("Variable name must be a non-empty string")
+        if var_type is VarType.BINARY:
+            low = 0.0 if low is None else float(low)
+            up = 1.0 if up is None else float(up)
+            if low < 0.0 or up > 1.0:
+                raise ValueError(
+                    f"binary variable {name!r} bounds must be within [0, 1], got [{low}, {up}]"
+                )
+        if low is not None and up is not None and float(low) > float(up):
+            raise ValueError(f"variable {name!r} has low={low} > up={up}")
+        self.name = str(name)
+        self.low = None if low is None else float(low)
+        self.up = None if up is None else float(up)
+        self.var_type = var_type
+        self._uid = next(_var_counter)
+
+    @property
+    def is_integer(self) -> bool:
+        """Whether the variable must take integer values."""
+        return self.var_type in (VarType.INTEGER, VarType.BINARY)
+
+    # -- arithmetic: every operation promotes to LinExpr -------------------
+    def _as_expr(self) -> "LinExpr":
+        return LinExpr({self: 1.0})
+
+    def __add__(self, other: "Variable | LinExpr | Number") -> "LinExpr":
+        return self._as_expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Variable | LinExpr | Number") -> "LinExpr":
+        return self._as_expr() - other
+
+    def __rsub__(self, other: "Variable | LinExpr | Number") -> "LinExpr":
+        return (-self._as_expr()) + other
+
+    def __mul__(self, other: Number) -> "LinExpr":
+        return self._as_expr() * other
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Number) -> "LinExpr":
+        return self._as_expr() / other
+
+    def __neg__(self) -> "LinExpr":
+        return self._as_expr() * -1.0
+
+    def __le__(self, other: "Variable | LinExpr | Number"):
+        return self._as_expr() <= other
+
+    def __ge__(self, other: "Variable | LinExpr | Number"):
+        return self._as_expr() >= other
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        from repro.milp.constraint import Constraint  # local import to avoid cycle
+
+        if isinstance(other, (Variable, LinExpr, int, float)):
+            return self._as_expr() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._uid
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r}, low={self.low}, up={self.up}, type={self.var_type.value})"
+
+
+class LinExpr:
+    """An affine expression ``sum_i coeff_i * var_i + constant``."""
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(
+        self,
+        terms: Mapping[Variable, Number] | None = None,
+        constant: Number = 0.0,
+    ) -> None:
+        self.terms: dict[Variable, float] = {}
+        if terms:
+            for var, coeff in terms.items():
+                coeff = float(coeff)
+                if not math.isfinite(coeff):
+                    raise ValueError(f"coefficient for {var.name!r} must be finite, got {coeff}")
+                if coeff != 0.0:
+                    self.terms[var] = coeff
+        self.constant = float(constant)
+        if not math.isfinite(self.constant):
+            raise ValueError(f"constant term must be finite, got {self.constant}")
+
+    # -- helpers ------------------------------------------------------------
+    @staticmethod
+    def _coerce(other: "Variable | LinExpr | Number") -> "LinExpr":
+        if isinstance(other, LinExpr):
+            return other
+        if isinstance(other, Variable):
+            return LinExpr({other: 1.0})
+        if isinstance(other, (int, float)):
+            return LinExpr(constant=other)
+        raise TypeError(f"cannot build a linear expression from {type(other).__name__}")
+
+    def copy(self) -> "LinExpr":
+        """Return an independent copy of this expression."""
+        return LinExpr(dict(self.terms), self.constant)
+
+    def coefficient(self, var: Variable) -> float:
+        """Coefficient of ``var`` in this expression (0.0 if absent)."""
+        return self.terms.get(var, 0.0)
+
+    def variables(self) -> list[Variable]:
+        """Variables referenced by this expression (insertion order)."""
+        return list(self.terms)
+
+    def value(self, assignment: Mapping[Variable, Number]) -> float:
+        """Evaluate the expression for a variable assignment.
+
+        Missing variables are treated as 0, matching the behaviour of LP
+        solvers that leave non-basic variables at their (zero) lower bound.
+        """
+        total = self.constant
+        for var, coeff in self.terms.items():
+            total += coeff * float(assignment.get(var, 0.0))
+        return total
+
+    # -- arithmetic ----------------------------------------------------------
+    def __add__(self, other: "Variable | LinExpr | Number") -> "LinExpr":
+        other = self._coerce(other)
+        terms = dict(self.terms)
+        for var, coeff in other.terms.items():
+            terms[var] = terms.get(var, 0.0) + coeff
+        return LinExpr(terms, self.constant + other.constant)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Variable | LinExpr | Number") -> "LinExpr":
+        return self + (self._coerce(other) * -1.0)
+
+    def __rsub__(self, other: "Variable | LinExpr | Number") -> "LinExpr":
+        return (self * -1.0) + other
+
+    def __mul__(self, scalar: Number) -> "LinExpr":
+        if isinstance(scalar, (Variable, LinExpr)):
+            raise TypeError("only linear expressions are supported (cannot multiply variables)")
+        scalar = float(scalar)
+        return LinExpr({v: c * scalar for v, c in self.terms.items()}, self.constant * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: Number) -> "LinExpr":
+        return self * (1.0 / float(scalar))
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    # -- constraint construction ---------------------------------------------
+    def __le__(self, other: "Variable | LinExpr | Number"):
+        from repro.milp.constraint import Constraint, ConstraintSense
+
+        return Constraint(self - other, ConstraintSense.LE)
+
+    def __ge__(self, other: "Variable | LinExpr | Number"):
+        from repro.milp.constraint import Constraint, ConstraintSense
+
+        return Constraint(self - other, ConstraintSense.GE)
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        from repro.milp.constraint import Constraint, ConstraintSense
+
+        if isinstance(other, (Variable, LinExpr, int, float)):
+            return Constraint(self - other, ConstraintSense.EQ)
+        return NotImplemented
+
+    def __hash__(self) -> int:  # expressions are not meant to be dict keys, but keep hashable
+        return id(self)
+
+    def __repr__(self) -> str:
+        parts = [f"{coeff:+g}*{var.name}" for var, coeff in self.terms.items()]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return "LinExpr(" + " ".join(parts) + ")"
+
+
+def lin_sum(items: Iterable["Variable | LinExpr | Number"]) -> LinExpr:
+    """Sum an iterable of variables/expressions/numbers into one ``LinExpr``.
+
+    Considerably faster than ``sum(...)`` for large models because it avoids
+    building one intermediate expression per element.
+    """
+    terms: dict[Variable, float] = {}
+    constant = 0.0
+    for item in items:
+        if isinstance(item, Variable):
+            terms[item] = terms.get(item, 0.0) + 1.0
+        elif isinstance(item, LinExpr):
+            for var, coeff in item.terms.items():
+                terms[var] = terms.get(var, 0.0) + coeff
+            constant += item.constant
+        elif isinstance(item, (int, float)):
+            constant += float(item)
+        else:
+            raise TypeError(f"cannot sum object of type {type(item).__name__}")
+    return LinExpr(terms, constant)

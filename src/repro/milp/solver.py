@@ -1,0 +1,137 @@
+"""User-facing solve dispatch for the MILP modeling layer.
+
+:func:`solve` accepts a :class:`~repro.milp.problem.Problem` and a solver
+name, and returns a :class:`~repro.milp.status.SolveResult` with values keyed
+by variable name.  Two solver families are available:
+
+``"native"``
+    The from-scratch two-phase simplex + branch & bound implemented in this
+    package.
+``"scipy"``
+    SciPy's HiGHS bindings (``linprog`` for LPs, ``milp`` for MILPs).
+
+``"auto"`` (the default) picks SciPy for speed and falls back to the native
+solver if SciPy is unavailable or errors out.  Both are exact, and the test
+suite cross-checks them on random problems.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.milp.branch_and_bound import solve_milp_arrays
+from repro.milp.problem import Problem, StandardForm
+from repro.milp.simplex import solve_lp_arrays
+from repro.milp.status import SolveResult, SolveStatus
+
+__all__ = ["solve", "available_solvers", "solve_standard_form"]
+
+_SOLVERS = ("auto", "scipy", "native")
+
+
+def available_solvers() -> tuple[str, ...]:
+    """Names accepted by :func:`solve`'s ``solver`` argument."""
+    return _SOLVERS
+
+
+def _result_from_arrays(
+    problem: Problem,
+    form: StandardForm,
+    status: SolveStatus,
+    x: np.ndarray,
+    objective: float,
+    iterations: int,
+    nodes: int,
+    solver: str,
+    solve_time: float,
+) -> SolveResult:
+    if status.is_success:
+        values = {var.name: float(val) for var, val in zip(form.variables, x)}
+    else:
+        values = {}
+        objective = float("nan")
+    return SolveResult(
+        status=status,
+        objective=objective,
+        values=values,
+        iterations=iterations,
+        nodes=nodes,
+        solver=solver,
+        solve_time=solve_time,
+    )
+
+
+def solve_standard_form(
+    form: StandardForm,
+    solver: str = "auto",
+    node_limit: int = 10_000,
+    time_limit: float | None = None,
+) -> tuple[SolveStatus, np.ndarray, float, int, int, str, float]:
+    """Solve a :class:`StandardForm`, returning raw arrays.
+
+    This is the lower-level entry point used by the WaterWise decision
+    controller (which builds its own forms) and by :func:`solve`.
+    """
+    if solver not in _SOLVERS:
+        raise ValueError(f"unknown solver {solver!r}; expected one of {_SOLVERS}")
+
+    if solver in ("auto", "scipy"):
+        try:
+            from repro.milp.scipy_backend import solve_form_scipy
+
+            status, x, objective, nodes, solve_time = solve_form_scipy(
+                form, time_limit=time_limit
+            )
+            return status, x, objective, nodes, nodes, "scipy", solve_time
+        except Exception:
+            if solver == "scipy":
+                raise
+            # fall through to the native solver
+
+    start = time.perf_counter()
+    if np.any(form.integrality):
+        bb = solve_milp_arrays(form, node_limit=node_limit, time_limit=time_limit)
+        return (
+            bb.status,
+            bb.x,
+            bb.objective,
+            bb.iterations,
+            bb.nodes,
+            "native",
+            time.perf_counter() - start,
+        )
+    lp = solve_lp_arrays(form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq, form.lower, form.upper)
+    objective = form.objective_value(lp.x) if lp.status.is_success else float("nan")
+    return lp.status, lp.x, objective, lp.iterations, 1, "native", time.perf_counter() - start
+
+
+def solve(
+    problem: Problem,
+    solver: str = "auto",
+    node_limit: int = 10_000,
+    time_limit: float | None = None,
+) -> SolveResult:
+    """Solve ``problem`` and return a :class:`SolveResult`.
+
+    Parameters
+    ----------
+    problem:
+        The model to solve.
+    solver:
+        ``"auto"`` (default), ``"scipy"`` or ``"native"``.
+    node_limit:
+        Branch & bound node limit (native solver only).
+    time_limit:
+        Optional wall-clock limit in seconds.
+    """
+    if problem.num_variables == 0:
+        raise ValueError("cannot solve a problem with no variables")
+    form = problem.to_standard_form()
+    status, x, objective, iterations, nodes, used, solve_time = solve_standard_form(
+        form, solver=solver, node_limit=node_limit, time_limit=time_limit
+    )
+    return _result_from_arrays(
+        problem, form, status, x, objective, iterations, nodes, used, solve_time
+    )

@@ -1,0 +1,64 @@
+"""Solve statuses and results returned by every MILP/LP backend."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections.abc import Mapping
+
+__all__ = ["SolveStatus", "SolveResult"]
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a solve call (shared by all backends)."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+    NODE_LIMIT = "node_limit"
+    ERROR = "error"
+
+    @property
+    def is_success(self) -> bool:
+        """Whether a usable (optimal) solution is available."""
+        return self is SolveStatus.OPTIMAL
+
+
+@dataclasses.dataclass(frozen=True)
+class SolveResult:
+    """Result of solving a :class:`~repro.milp.problem.Problem`.
+
+    Attributes
+    ----------
+    status:
+        Outcome of the solve.
+    objective:
+        Objective value at the returned solution (``nan`` when no solution).
+    values:
+        Mapping from variable *name* to value.  Variable names are unique per
+        problem, enforced by :class:`~repro.milp.problem.Problem`.
+    iterations:
+        Simplex iterations (native backend) or reported iteration count.
+    nodes:
+        Branch-and-bound nodes explored (1 for pure LPs).
+    solver:
+        Name of the backend that produced the result.
+    solve_time:
+        Wall-clock seconds spent inside the backend.
+    """
+
+    status: SolveStatus
+    objective: float
+    values: Mapping[str, float]
+    iterations: int = 0
+    nodes: int = 0
+    solver: str = ""
+    solve_time: float = 0.0
+
+    def __getitem__(self, name: str) -> float:
+        return self.values[name]
+
+    def value_or(self, name: str, default: float = 0.0) -> float:
+        """Value of variable ``name`` or ``default`` when absent."""
+        return float(self.values.get(name, default))

@@ -1,0 +1,33 @@
+"""Region substrate: the evaluation regions, transfer latency and weather.
+
+The paper evaluates WaterWise on data centers in five AWS regions —
+Zurich (eu-central-2), Oregon (us-west-2), Madrid/Spain (eu-south-2),
+Milan (eu-south-1) and Mumbai (ap-south-1).  This subpackage provides:
+
+* :mod:`repro.regions.region` — the :class:`Region` description,
+* :mod:`repro.regions.catalog` — the default five-region catalog and helpers
+  for building subsets (used by the region-availability sensitivity study),
+* :mod:`repro.regions.latency` — the inter-region transfer-latency model,
+* :mod:`repro.regions.weather` — a seasonal + diurnal wet-bulb temperature
+  model per region (the input to the WUE model).
+"""
+
+from repro.regions.catalog import (
+    DEFAULT_REGION_KEYS,
+    default_regions,
+    get_region,
+    region_subset,
+)
+from repro.regions.latency import TransferLatencyModel
+from repro.regions.region import Region
+from repro.regions.weather import WetBulbModel
+
+__all__ = [
+    "DEFAULT_REGION_KEYS",
+    "Region",
+    "TransferLatencyModel",
+    "WetBulbModel",
+    "default_regions",
+    "get_region",
+    "region_subset",
+]

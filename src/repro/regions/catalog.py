@@ -1,0 +1,102 @@
+"""The default five-region catalog used throughout the evaluation.
+
+The regions and their water-scarcity factors follow the paper's Fig. 2:
+Zurich has the lowest carbon intensity but a water-hungry (hydro/biomass
+heavy) grid; Madrid is carbon-friendly but highly water-stressed; Mumbai has
+the highest carbon intensity but a comparatively low EWIF; Oregon and Milan
+sit in between.  The numbers are synthetic re-encodings of the published
+figure, not live data (see DESIGN.md §1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.regions.region import Region
+
+__all__ = ["DEFAULT_REGION_KEYS", "default_regions", "get_region", "region_subset"]
+
+_CATALOG: dict[str, Region] = {
+    "zurich": Region(
+        key="zurich",
+        name="Zurich",
+        aws_code="eu-central-2",
+        latitude=47.38,
+        longitude=8.54,
+        climate="alpine",
+        water_scarcity=0.12,
+        pue=1.2,
+    ),
+    "madrid": Region(
+        key="madrid",
+        name="Madrid",
+        aws_code="eu-south-2",
+        latitude=40.42,
+        longitude=-3.70,
+        climate="mediterranean",
+        water_scarcity=0.80,
+        pue=1.2,
+    ),
+    "oregon": Region(
+        key="oregon",
+        name="Oregon",
+        aws_code="us-west-2",
+        latitude=45.52,
+        longitude=-122.68,
+        climate="temperate",
+        water_scarcity=0.60,
+        pue=1.2,
+    ),
+    "milan": Region(
+        key="milan",
+        name="Milan",
+        aws_code="eu-south-1",
+        latitude=45.46,
+        longitude=9.19,
+        climate="temperate",
+        water_scarcity=0.45,
+        pue=1.2,
+    ),
+    "mumbai": Region(
+        key="mumbai",
+        name="Mumbai",
+        aws_code="ap-south-1",
+        latitude=19.08,
+        longitude=72.88,
+        climate="tropical",
+        water_scarcity=0.65,
+        pue=1.2,
+    ),
+}
+
+#: Region keys in the paper's presentation order (sorted by carbon intensity).
+DEFAULT_REGION_KEYS: tuple[str, ...] = ("zurich", "madrid", "oregon", "milan", "mumbai")
+
+
+def default_regions() -> list[Region]:
+    """The five evaluation regions in the paper's presentation order."""
+    return [_CATALOG[key] for key in DEFAULT_REGION_KEYS]
+
+
+def get_region(key: str) -> Region:
+    """Look up a region from the default catalog by key (case-insensitive)."""
+    normalized = key.strip().lower()
+    try:
+        return _CATALOG[normalized]
+    except KeyError:
+        raise KeyError(
+            f"unknown region {key!r}; known regions: {sorted(_CATALOG)}"
+        ) from None
+
+
+def region_subset(keys: Iterable[str] | Sequence[str]) -> list[Region]:
+    """Build a subset of the catalog, preserving the order of ``keys``.
+
+    Used by the region-availability sensitivity experiment (paper Fig. 12).
+    Raises ``ValueError`` on duplicates so an experiment cannot silently count
+    a region twice.
+    """
+    keys = list(keys)
+    if len(set(k.strip().lower() for k in keys)) != len(keys):
+        raise ValueError(f"duplicate region keys in subset: {keys!r}")
+    return [get_region(key) for key in keys]

@@ -1,0 +1,60 @@
+"""Region description used across the simulator and the schedulers."""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["Region"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Region:
+    """A geographic data-center region.
+
+    Attributes
+    ----------
+    key:
+        Short stable identifier used throughout the package (e.g. ``"zurich"``).
+    name:
+        Human-readable name (e.g. ``"Zurich"``).
+    aws_code:
+        The AWS region code the paper maps this region to (informational).
+    latitude, longitude:
+        Approximate site coordinates; used by the latency model (great-circle
+        distance) and the weather model (climate archetype).
+    climate:
+        Coarse climate archetype, one of ``"alpine"``, ``"mediterranean"``,
+        ``"temperate"``, ``"tropical"``.  Drives the wet-bulb temperature
+        profile.
+    water_scarcity:
+        Static Water Scarcity Factor (WSF) of the region, dimensionless
+        (higher = more water stressed), as in the paper's Fig. 2(d).
+    pue:
+        Power Usage Effectiveness of the data center in this region.  The
+        paper uses a single PUE of 1.2 for all regions; it is configurable
+        per region here.
+    """
+
+    key: str
+    name: str
+    aws_code: str
+    latitude: float
+    longitude: float
+    climate: str
+    water_scarcity: float
+    pue: float = 1.2
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ValueError("region key must be non-empty")
+        if not -90.0 <= self.latitude <= 90.0:
+            raise ValueError(f"latitude out of range for region {self.key!r}: {self.latitude}")
+        if not -180.0 <= self.longitude <= 180.0:
+            raise ValueError(f"longitude out of range for region {self.key!r}: {self.longitude}")
+        if self.water_scarcity < 0.0:
+            raise ValueError(f"water_scarcity must be >= 0 for region {self.key!r}")
+        if self.pue < 1.0:
+            raise ValueError(f"PUE must be >= 1.0 for region {self.key!r}, got {self.pue}")
+
+    def __str__(self) -> str:  # keeps log/report output compact
+        return self.key

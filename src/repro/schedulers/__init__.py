@@ -1,0 +1,38 @@
+"""Scheduling policies compared against WaterWise in the paper's evaluation.
+
+* :class:`BaselineScheduler` — every job runs in its home region immediately
+  (the carbon- and water-unaware reference all savings are measured against).
+* :class:`RoundRobinScheduler` / :class:`LeastLoadScheduler` — classic
+  load-balancing policies that spread jobs across regions without any
+  sustainability awareness (paper Fig. 10).
+* :class:`CarbonGreedyOptimalScheduler` / :class:`WaterGreedyOptimalScheduler`
+  — infeasible-in-practice oracles with future knowledge of carbon/water
+  intensity that optimize a single objective (paper Fig. 3/5).
+* :class:`EcovisorLikeScheduler` — a home-region, operational-carbon-only
+  policy in the spirit of Ecovisor (paper Fig. 7).
+
+The WaterWise scheduler itself lives in :mod:`repro.core`.
+"""
+
+from repro.schedulers.baseline import BaselineScheduler
+from repro.schedulers.ecovisor import EcovisorLikeScheduler
+from repro.schedulers.greedy_optimal import (
+    CarbonGreedyOptimalScheduler,
+    GreedyOptimalScheduler,
+    WaterGreedyOptimalScheduler,
+)
+from repro.schedulers.least_load import LeastLoadScheduler
+from repro.schedulers.registry import available_schedulers, make_scheduler
+from repro.schedulers.round_robin import RoundRobinScheduler
+
+__all__ = [
+    "BaselineScheduler",
+    "CarbonGreedyOptimalScheduler",
+    "EcovisorLikeScheduler",
+    "GreedyOptimalScheduler",
+    "LeastLoadScheduler",
+    "RoundRobinScheduler",
+    "WaterGreedyOptimalScheduler",
+    "available_schedulers",
+    "make_scheduler",
+]

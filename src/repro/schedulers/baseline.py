@@ -1,0 +1,33 @@
+"""Carbon- and water-unaware baseline: run every job in its home region.
+
+This is the reference policy the paper measures every saving against:
+"every job is executed in its home region ... without exploring the potential
+of carbon and water savings via migration or opportunistic delaying".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.cluster.interface import Scheduler, SchedulerDecision, SchedulingContext
+from repro.traces.job import Job
+
+__all__ = ["BaselineScheduler"]
+
+
+class BaselineScheduler(Scheduler):
+    """Assign every job to its home region, never deferring."""
+
+    name = "baseline"
+
+    def schedule(self, jobs: Sequence[Job], context: SchedulingContext) -> SchedulerDecision:
+        known = set(context.region_keys)
+        assignments: dict[int, str] = {}
+        for job in jobs:
+            if job.home_region not in known:
+                raise ValueError(
+                    f"job {job.job_id} has home region {job.home_region!r} which is not part "
+                    f"of the simulated cluster ({sorted(known)})"
+                )
+            assignments[job.job_id] = job.home_region
+        return SchedulerDecision(assignments=assignments)

@@ -1,0 +1,34 @@
+"""Least-load balancing across regions (sustainability-unaware)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.cluster.interface import Scheduler, SchedulerDecision, SchedulingContext
+from repro.traces.job import Job
+
+__all__ = ["LeastLoadScheduler"]
+
+
+class LeastLoadScheduler(Scheduler):
+    """Send each job to the region with the most remaining capacity.
+
+    The remaining-capacity view is updated as the batch is assigned, so a
+    large batch spreads out rather than piling onto the single emptiest
+    region.  Matches the paper's Least-Load comparison point (Fig. 10): aware
+    of load, unaware of carbon and water.
+    """
+
+    name = "least-load"
+
+    def schedule(self, jobs: Sequence[Job], context: SchedulingContext) -> SchedulerDecision:
+        if not context.region_keys:
+            raise ValueError("least-load needs at least one region")
+        remaining = {key: float(context.capacity.get(key, 0)) for key in context.region_keys}
+        assignments: dict[int, str] = {}
+        for job in jobs:
+            # Highest remaining capacity; ties broken by region order for determinism.
+            target = max(context.region_keys, key=lambda key: (remaining[key], -context.region_keys.index(key)))
+            assignments[job.job_id] = target
+            remaining[target] -= job.servers_required
+        return SchedulerDecision(assignments=assignments)

@@ -1,0 +1,59 @@
+"""Name-based scheduler construction (used by benchmarks and examples)."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.cluster.interface import Scheduler
+from repro.schedulers.baseline import BaselineScheduler
+from repro.schedulers.ecovisor import EcovisorLikeScheduler
+from repro.schedulers.greedy_optimal import (
+    CarbonGreedyOptimalScheduler,
+    WaterGreedyOptimalScheduler,
+)
+from repro.schedulers.least_load import LeastLoadScheduler
+from repro.schedulers.round_robin import RoundRobinScheduler
+
+__all__ = ["available_schedulers", "make_scheduler", "register_scheduler"]
+
+_FACTORIES: dict[str, Callable[..., Scheduler]] = {
+    "baseline": BaselineScheduler,
+    "round-robin": RoundRobinScheduler,
+    "least-load": LeastLoadScheduler,
+    "carbon-greedy-opt": CarbonGreedyOptimalScheduler,
+    "water-greedy-opt": WaterGreedyOptimalScheduler,
+    "ecovisor-like": EcovisorLikeScheduler,
+}
+
+
+def register_scheduler(name: str, factory: Callable[..., Scheduler]) -> None:
+    """Register an additional scheduler factory under ``name``.
+
+    The WaterWise core registers itself here on import so that
+    ``make_scheduler("waterwise")`` works without this module importing
+    :mod:`repro.core` (which would create an import cycle).
+    """
+    key = name.strip().lower()
+    if not key:
+        raise ValueError("scheduler name must be non-empty")
+    _FACTORIES[key] = factory
+
+
+def available_schedulers() -> tuple[str, ...]:
+    """Names accepted by :func:`make_scheduler`."""
+    return tuple(sorted(_FACTORIES))
+
+
+def make_scheduler(name: str, **kwargs) -> Scheduler:
+    """Instantiate a scheduler by name (kwargs forwarded to its constructor)."""
+    key = name.strip().lower()
+    if key == "waterwise" and key not in _FACTORIES:
+        # Importing the core package registers the WaterWise factory.
+        import repro.core  # noqa: F401  (side-effect import)
+    try:
+        factory = _FACTORIES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; available: {list(available_schedulers())}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,37 @@
+"""Round-robin load balancing across regions (sustainability-unaware)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.cluster.interface import Scheduler, SchedulerDecision, SchedulingContext
+from repro.traces.job import Job
+
+__all__ = ["RoundRobinScheduler"]
+
+
+class RoundRobinScheduler(Scheduler):
+    """Distribute jobs to regions in a fixed circular order.
+
+    The cursor persists across scheduling rounds (and is cleared by
+    :meth:`reset`), so the distribution stays even over the whole trace, as in
+    the paper's Round-Robin comparison point (Fig. 10).
+    """
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def schedule(self, jobs: Sequence[Job], context: SchedulingContext) -> SchedulerDecision:
+        keys = context.region_keys
+        if not keys:
+            raise ValueError("round-robin needs at least one region")
+        assignments: dict[int, str] = {}
+        for job in jobs:
+            assignments[job.job_id] = keys[self._cursor % len(keys)]
+            self._cursor += 1
+        return SchedulerDecision(assignments=assignments)

@@ -1,0 +1,60 @@
+"""Sustainability substrate: carbon- and water-footprint models and data.
+
+This subpackage implements every sustainability quantity the WaterWise
+scheduler consumes (paper Sec. 2):
+
+* :mod:`repro.sustainability.energy_sources` — per-energy-source carbon
+  intensity and Energy Water Intensity Factor (EWIF), Fig. 1.
+* :mod:`repro.sustainability.grid` — time-varying grid energy mix per region
+  and the resulting regional carbon-intensity / EWIF series, Fig. 2(a, b, e).
+* :mod:`repro.sustainability.wue` — Water Usage Effectiveness from wet-bulb
+  temperature, Fig. 2(c).
+* :mod:`repro.sustainability.wsf` — Water Scarcity Factors, Fig. 2(d).
+* :mod:`repro.sustainability.embodied` — server embodied carbon/water and
+  amortization (Eq. 1 and Eq. 4).
+* :mod:`repro.sustainability.carbon` / :mod:`repro.sustainability.water` —
+  the operational + embodied footprint models (Eq. 1–5).
+* :mod:`repro.sustainability.intensity` — the carbon/water intensity metrics
+  (Eq. 6) used for scheduling decisions.
+* :mod:`repro.sustainability.datasets` — synthetic stand-ins for the
+  Electricity Maps and World Resources Institute data feeds.
+"""
+
+from repro.sustainability.carbon import CarbonModel
+from repro.sustainability.datasets import (
+    ElectricityMapsLikeProvider,
+    RegionSustainabilitySeries,
+    SustainabilityDataset,
+    WRILikeProvider,
+)
+from repro.sustainability.embodied import ServerSpec
+from repro.sustainability.energy_sources import (
+    ENERGY_SOURCES,
+    EnergySource,
+    get_energy_source,
+)
+from repro.sustainability.grid import GridMix, GridMixModel, REGION_GRID_MIXES
+from repro.sustainability.intensity import carbon_intensity_metric, water_intensity
+from repro.sustainability.water import WaterModel
+from repro.sustainability.wsf import water_scarcity_factor
+from repro.sustainability.wue import wue_from_wet_bulb
+
+__all__ = [
+    "ENERGY_SOURCES",
+    "CarbonModel",
+    "ElectricityMapsLikeProvider",
+    "EnergySource",
+    "GridMix",
+    "GridMixModel",
+    "REGION_GRID_MIXES",
+    "RegionSustainabilitySeries",
+    "ServerSpec",
+    "SustainabilityDataset",
+    "WaterModel",
+    "WRILikeProvider",
+    "carbon_intensity_metric",
+    "get_energy_source",
+    "water_intensity",
+    "water_scarcity_factor",
+    "wue_from_wet_bulb",
+]

@@ -1,0 +1,67 @@
+"""Carbon-footprint model (paper Eq. 1).
+
+The carbon footprint of a job is the sum of
+
+* **operational carbon** — the job's energy multiplied by the real-time
+  carbon intensity of the grid powering the data center, and
+* **embodied carbon** — the server's manufacturing carbon amortized over the
+  hardware lifetime and scaled by the job's execution time.
+
+Functions accept scalars or NumPy arrays so that a whole batch of jobs ×
+regions can be evaluated in one vectorized call (that is what the WaterWise
+decision controller does every scheduling round).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sustainability.embodied import DEFAULT_SERVER, ServerSpec
+
+__all__ = ["CarbonModel"]
+
+
+class CarbonModel:
+    """Computes operational, embodied and total carbon footprints.
+
+    Parameters
+    ----------
+    server:
+        Hardware description used for embodied-carbon amortization.
+    include_embodied:
+        When False, only operational carbon is reported (used by the
+        Ecovisor-like baseline, which ignores embodied carbon, and by
+        ablation studies).
+    """
+
+    def __init__(self, server: ServerSpec = DEFAULT_SERVER, include_embodied: bool = True) -> None:
+        self.server = server
+        self.include_embodied = bool(include_embodied)
+
+    def operational(self, energy_kwh, carbon_intensity):
+        """Operational carbon (g) = energy (kWh) × carbon intensity (gCO₂/kWh)."""
+        energy = np.asarray(energy_kwh, dtype=float)
+        intensity = np.asarray(carbon_intensity, dtype=float)
+        if np.any(energy < 0):
+            raise ValueError("energy_kwh must be non-negative")
+        if np.any(intensity < 0):
+            raise ValueError("carbon_intensity must be non-negative")
+        result = energy * intensity
+        return float(result) if result.ndim == 0 else result
+
+    def embodied(self, execution_time_s):
+        """Embodied carbon (g) attributed to a job of the given duration."""
+        exec_time = np.asarray(execution_time_s, dtype=float)
+        if np.any(exec_time < 0):
+            raise ValueError("execution_time_s must be non-negative")
+        result = (exec_time / self.server.lifetime_seconds) * self.server.embodied_carbon_g
+        return float(result) if result.ndim == 0 else result
+
+    def total(self, energy_kwh, carbon_intensity, execution_time_s):
+        """Total job carbon footprint in grams CO₂e (Eq. 1)."""
+        operational = self.operational(energy_kwh, carbon_intensity)
+        if not self.include_embodied:
+            return operational
+        embodied = self.embodied(execution_time_s)
+        result = np.asarray(operational) + np.asarray(embodied)
+        return float(result) if result.ndim == 0 else result

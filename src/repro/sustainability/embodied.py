@@ -1,0 +1,122 @@
+"""Server embodied carbon / water footprints and their amortization.
+
+Embodied footprints are one-time costs from manufacturing the server,
+amortized over the hardware lifetime and attributed to a job in proportion to
+its execution time (paper Eq. 1 for carbon and Eq. 4/5 for water).
+
+The paper takes the total embodied carbon of an AWS ``m5.metal`` server from
+the Teads EC2 dataset and, lacking public embodied-*water* data, estimates it
+by converting the embodied carbon back into manufacturing energy (via the
+carbon intensity of the manufacturing region's grid) and multiplying by the
+manufacturing region's EWIF and ``(1 + WSF)``.  :class:`ServerSpec` carries
+all of those parameters so the derivation is explicit and overridable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro._validation import ensure_non_negative, ensure_positive
+
+__all__ = ["ServerSpec", "DEFAULT_SERVER"]
+
+_SECONDS_PER_YEAR = 365.0 * 24.0 * 3600.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ServerSpec:
+    """Hardware description used for energy and embodied-footprint accounting.
+
+    Attributes
+    ----------
+    name:
+        Label of the server model (default mirrors the paper's m5.metal).
+    embodied_carbon_kg:
+        Total cradle-to-gate embodied carbon of one server, kgCO₂e.
+    lifetime_years:
+        Amortization period of the hardware.
+    manufacturing_carbon_intensity:
+        Carbon intensity (gCO₂/kWh) of the grid where the server was
+        manufactured; used to back out manufacturing energy from embodied
+        carbon (Eq. 4).
+    manufacturing_ewif:
+        EWIF (L/kWh) of the manufacturing region's grid.
+    manufacturing_wsf:
+        Water Scarcity Factor of the manufacturing region.
+    idle_power_w / peak_power_w:
+        Power envelope of the server, used by the workload profiles to turn
+        utilization and duration into energy.
+    cores:
+        Number of physical cores (capacity accounting in the simulator is
+        per-server, but the core count is kept for workload scaling).
+    """
+
+    name: str = "m5.metal"
+    embodied_carbon_kg: float = 4500.0
+    lifetime_years: float = 4.0
+    manufacturing_carbon_intensity: float = 550.0
+    manufacturing_ewif: float = 1.8
+    manufacturing_wsf: float = 0.4
+    idle_power_w: float = 150.0
+    peak_power_w: float = 750.0
+    cores: int = 96
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.embodied_carbon_kg, "embodied_carbon_kg")
+        ensure_positive(self.lifetime_years, "lifetime_years")
+        ensure_positive(self.manufacturing_carbon_intensity, "manufacturing_carbon_intensity")
+        ensure_non_negative(self.manufacturing_ewif, "manufacturing_ewif")
+        ensure_non_negative(self.manufacturing_wsf, "manufacturing_wsf")
+        ensure_non_negative(self.idle_power_w, "idle_power_w")
+        ensure_positive(self.peak_power_w, "peak_power_w")
+        if self.peak_power_w < self.idle_power_w:
+            raise ValueError("peak_power_w must be >= idle_power_w")
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+
+    # -- derived quantities ----------------------------------------------------
+    @property
+    def lifetime_seconds(self) -> float:
+        """Hardware lifetime in seconds (the denominator of the amortization)."""
+        return self.lifetime_years * _SECONDS_PER_YEAR
+
+    @property
+    def embodied_carbon_g(self) -> float:
+        """Total embodied carbon in grams CO₂e."""
+        return self.embodied_carbon_kg * 1000.0
+
+    @property
+    def manufacturing_energy_kwh(self) -> float:
+        """Manufacturing energy (kWh) backed out of the embodied carbon (Eq. 4)."""
+        return self.embodied_carbon_g / self.manufacturing_carbon_intensity
+
+    @property
+    def embodied_water_l(self) -> float:
+        """Total embodied water (liters), Eq. 4:
+        ``E_manufacturing × EWIF × (1 + WSF_server_region)``."""
+        return (
+            self.manufacturing_energy_kwh
+            * self.manufacturing_ewif
+            * (1.0 + self.manufacturing_wsf)
+        )
+
+    # -- amortization ------------------------------------------------------------
+    def amortized_embodied_carbon(self, execution_time_s: float) -> float:
+        """Embodied carbon (g) attributed to a job running ``execution_time_s``."""
+        execution_time_s = ensure_non_negative(execution_time_s, "execution_time_s")
+        return (execution_time_s / self.lifetime_seconds) * self.embodied_carbon_g
+
+    def amortized_embodied_water(self, execution_time_s: float) -> float:
+        """Embodied water (L) attributed to a job running ``execution_time_s``."""
+        execution_time_s = ensure_non_negative(execution_time_s, "execution_time_s")
+        return (execution_time_s / self.lifetime_seconds) * self.embodied_water_l
+
+    def power_at_utilization(self, utilization: float) -> float:
+        """Server power draw (W) at a given utilization in [0, 1] (linear model)."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError(f"utilization must be within [0, 1], got {utilization}")
+        return self.idle_power_w + (self.peak_power_w - self.idle_power_w) * utilization
+
+
+#: Default server model used throughout the evaluation (paper's m5.metal).
+DEFAULT_SERVER = ServerSpec()

@@ -1,0 +1,115 @@
+"""Per-energy-source carbon intensity and water intensity (EWIF).
+
+This is the synthetic re-encoding of the paper's Fig. 1: carbon intensity
+per generation technology (IPCC AR5 Annex III life-cycle values, the paper's
+reference [9]) and operational water-consumption factors (Macknick et al.,
+references [35, 36]).  The two anchor points the paper calls out explicitly
+are preserved exactly:
+
+* coal ≈ 1050 gCO₂/kWh, roughly 62× hydro's ≈ 17 gCO₂/kWh;
+* hydro's EWIF ≈ 17 L/kWh, roughly 11× coal's ≈ 1.5 L/kWh.
+
+The broader pattern — carbon-friendly sources tending to need *more* water
+per kWh — is what creates the carbon/water tension WaterWise navigates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+
+__all__ = ["EnergySource", "ENERGY_SOURCES", "get_energy_source", "mix_carbon_intensity", "mix_ewif"]
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergySource:
+    """A single electricity-generation technology.
+
+    Attributes
+    ----------
+    key:
+        Stable identifier, e.g. ``"hydro"``.
+    name:
+        Display name used in reports (matches the paper's Fig. 1 labels).
+    carbon_intensity:
+        Life-cycle carbon intensity in gCO₂/kWh.
+    ewif:
+        Energy Water Intensity Factor in L/kWh (operational water consumed
+        per unit of electricity generated).
+    renewable:
+        Whether the source counts as renewable / carbon-friendly.
+    """
+
+    key: str
+    name: str
+    carbon_intensity: float
+    ewif: float
+    renewable: bool
+
+    def __post_init__(self) -> None:
+        if self.carbon_intensity < 0 or self.ewif < 0:
+            raise ValueError(f"energy source {self.key!r} has negative intensity values")
+
+
+#: The nine generation technologies of the paper's Fig. 1.
+ENERGY_SOURCES: dict[str, EnergySource] = {
+    source.key: source
+    for source in (
+        EnergySource("nuclear", "Nuclear", carbon_intensity=12.0, ewif=2.5, renewable=True),
+        EnergySource("wind", "Wind", carbon_intensity=11.0, ewif=0.01, renewable=True),
+        EnergySource("hydro", "Hydro", carbon_intensity=17.0, ewif=17.0, renewable=True),
+        EnergySource("geothermal", "Geothermal", carbon_intensity=38.0, ewif=1.4, renewable=True),
+        EnergySource("solar", "Solar", carbon_intensity=45.0, ewif=0.12, renewable=True),
+        EnergySource("biomass", "Biomass", carbon_intensity=230.0, ewif=2.2, renewable=True),
+        EnergySource("gas", "Gas", carbon_intensity=490.0, ewif=1.0, renewable=False),
+        EnergySource("oil", "Oil", carbon_intensity=740.0, ewif=1.6, renewable=False),
+        EnergySource("coal", "Coal", carbon_intensity=1050.0, ewif=1.55, renewable=False),
+    )
+}
+
+
+def get_energy_source(key: str) -> EnergySource:
+    """Look up an energy source by key (case-insensitive)."""
+    normalized = key.strip().lower()
+    try:
+        return ENERGY_SOURCES[normalized]
+    except KeyError:
+        raise KeyError(
+            f"unknown energy source {key!r}; known sources: {sorted(ENERGY_SOURCES)}"
+        ) from None
+
+
+def _validate_mix(mix: Mapping[str, float]) -> dict[str, float]:
+    if not mix:
+        raise ValueError("energy mix must not be empty")
+    shares = {}
+    for key, share in mix.items():
+        source_key = key.strip().lower()
+        if source_key not in ENERGY_SOURCES:
+            raise KeyError(f"unknown energy source {key!r} in mix")
+        if share < 0:
+            raise ValueError(f"energy mix share for {key!r} must be >= 0, got {share}")
+        shares[source_key] = float(share)
+    total = sum(shares.values())
+    if total <= 0:
+        raise ValueError("energy mix shares must sum to a positive value")
+    return {key: share / total for key, share in shares.items()}
+
+
+def mix_carbon_intensity(mix: Mapping[str, float]) -> float:
+    """Carbon intensity (gCO₂/kWh) of an energy mix (shares are normalized)."""
+    shares = _validate_mix(mix)
+    return sum(share * ENERGY_SOURCES[key].carbon_intensity for key, share in shares.items())
+
+
+def mix_ewif(mix: Mapping[str, float], ewif_table: Mapping[str, float] | None = None) -> float:
+    """EWIF (L/kWh) of an energy mix.
+
+    ``ewif_table`` optionally overrides the per-source EWIF values — the
+    World Resources Institute robustness study (paper Fig. 6) swaps in a
+    different table through this hook.
+    """
+    shares = _validate_mix(mix)
+    if ewif_table is None:
+        return sum(share * ENERGY_SOURCES[key].ewif for key, share in shares.items())
+    return sum(share * float(ewif_table.get(key, ENERGY_SOURCES[key].ewif)) for key, share in shares.items())

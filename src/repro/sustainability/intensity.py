@@ -1,0 +1,47 @@
+"""Carbon- and water-intensity metrics (paper Eq. 6).
+
+The scheduler reasons about regions through two per-region, per-time-step
+scalars:
+
+* **carbon intensity** (gCO₂/kWh) — taken directly from the grid mix, and
+* **water intensity** (L/kWh) — defined by the paper as
+  ``(WUE + PUE × EWIF) × (1 + WSF_dc)``, combining the onsite and offsite
+  water requirements per unit of IT energy and the regional water scarcity.
+
+Embodied footprints are deliberately excluded from the intensity metrics (they
+depend on where the server was manufactured, not where it runs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["water_intensity", "carbon_intensity_metric"]
+
+
+def water_intensity(wue, ewif, wsf, pue):
+    """Water intensity (L/kWh), Eq. 6: ``(WUE + PUE · EWIF) · (1 + WSF)``.
+
+    Accepts scalars or arrays (broadcast together); lower is better.
+    """
+    wue_arr = np.asarray(wue, dtype=float)
+    ewif_arr = np.asarray(ewif, dtype=float)
+    wsf_arr = np.asarray(wsf, dtype=float)
+    pue_arr = np.asarray(pue, dtype=float)
+    if np.any(wue_arr < 0) or np.any(ewif_arr < 0) or np.any(wsf_arr < 0):
+        raise ValueError("WUE, EWIF and WSF must be non-negative")
+    if np.any(pue_arr < 1.0):
+        raise ValueError("PUE must be >= 1.0")
+    result = (wue_arr + pue_arr * ewif_arr) * (1.0 + wsf_arr)
+    return float(result) if result.ndim == 0 else result
+
+
+def carbon_intensity_metric(carbon_intensity):
+    """Carbon intensity passthrough with validation (gCO₂/kWh; lower is better).
+
+    Exists so scheduling code treats both intensity metrics symmetrically.
+    """
+    arr = np.asarray(carbon_intensity, dtype=float)
+    if np.any(arr < 0):
+        raise ValueError("carbon intensity must be non-negative")
+    return float(arr) if arr.ndim == 0 else arr

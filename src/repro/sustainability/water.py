@@ -1,0 +1,86 @@
+"""Water-footprint model (paper Eq. 2–5).
+
+The water footprint of a job has three components:
+
+* **offsite** (Eq. 2) — water consumed generating the electricity the data
+  center draws from the grid: ``PUE × E × EWIF × (1 + WSF_dc)``;
+* **onsite** (Eq. 3) — water evaporated cooling the data center:
+  ``E × WUE × (1 + WSF_dc)``;
+* **embodied** (Eq. 4/5) — manufacturing water amortized over the server
+  lifetime, scaled by execution time.
+
+All entry points are vectorized over NumPy arrays so a scheduling round can
+evaluate a full jobs × regions matrix at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sustainability.embodied import DEFAULT_SERVER, ServerSpec
+
+__all__ = ["WaterModel"]
+
+
+def _non_negative(name: str, value) -> np.ndarray:
+    arr = np.asarray(value, dtype=float)
+    if np.any(arr < 0):
+        raise ValueError(f"{name} must be non-negative")
+    return arr
+
+
+class WaterModel:
+    """Computes offsite, onsite, embodied and total water footprints.
+
+    Parameters
+    ----------
+    server:
+        Hardware description used for embodied-water amortization.
+    include_embodied:
+        When False, only operational water is reported.
+    """
+
+    def __init__(self, server: ServerSpec = DEFAULT_SERVER, include_embodied: bool = True) -> None:
+        self.server = server
+        self.include_embodied = bool(include_embodied)
+
+    def offsite(self, energy_kwh, ewif, wsf, pue):
+        """Offsite water (L), Eq. 2: ``PUE × E × EWIF × (1 + WSF)``."""
+        energy = _non_negative("energy_kwh", energy_kwh)
+        ewif_arr = _non_negative("ewif", ewif)
+        wsf_arr = _non_negative("wsf", wsf)
+        pue_arr = np.asarray(pue, dtype=float)
+        if np.any(pue_arr < 1.0):
+            raise ValueError("pue must be >= 1.0")
+        result = pue_arr * energy * ewif_arr * (1.0 + wsf_arr)
+        return float(result) if result.ndim == 0 else result
+
+    def onsite(self, energy_kwh, wue, wsf):
+        """Onsite (cooling) water (L), Eq. 3: ``E × WUE × (1 + WSF)``."""
+        energy = _non_negative("energy_kwh", energy_kwh)
+        wue_arr = _non_negative("wue", wue)
+        wsf_arr = _non_negative("wsf", wsf)
+        result = energy * wue_arr * (1.0 + wsf_arr)
+        return float(result) if result.ndim == 0 else result
+
+    def embodied(self, execution_time_s):
+        """Embodied water (L) attributed to a job of the given duration (Eq. 4)."""
+        exec_time = _non_negative("execution_time_s", execution_time_s)
+        result = (exec_time / self.server.lifetime_seconds) * self.server.embodied_water_l
+        return float(result) if result.ndim == 0 else result
+
+    def operational(self, energy_kwh, ewif, wue, wsf, pue):
+        """Operational water (L): offsite + onsite."""
+        offsite = np.asarray(self.offsite(energy_kwh, ewif, wsf, pue))
+        onsite = np.asarray(self.onsite(energy_kwh, wue, wsf))
+        result = offsite + onsite
+        return float(result) if result.ndim == 0 else result
+
+    def total(self, energy_kwh, ewif, wue, wsf, pue, execution_time_s):
+        """Total job water footprint in liters (Eq. 5)."""
+        operational = np.asarray(self.operational(energy_kwh, ewif, wue, wsf, pue))
+        if not self.include_embodied:
+            return float(operational) if operational.ndim == 0 else operational
+        embodied = np.asarray(self.embodied(execution_time_s))
+        result = operational + embodied
+        return float(result) if result.ndim == 0 else result

@@ -1,0 +1,46 @@
+"""Water Scarcity Factors (WSF) per region.
+
+The WSF gauges how precious a liter of water is in a given region (paper
+Sec. 2.2, data from Our World in Data's water-stress indicators).  It is a
+static per-region scalar in the paper's model; both the offsite and onsite
+water footprints are scaled by ``(1 + WSF)`` and the effective water metric
+used in scheduling inherits that scaling.
+
+The default values re-encode the paper's Fig. 2(d): Madrid is the most
+water-stressed of the five evaluation regions, Mumbai and Oregon are also
+stressed, Milan is moderate and Zurich is water-abundant.
+"""
+
+from __future__ import annotations
+
+from repro._validation import ensure_non_negative
+
+__all__ = ["DEFAULT_WSF", "water_scarcity_factor"]
+
+#: Default WSF per region key (dimensionless, higher = more water stressed).
+DEFAULT_WSF: dict[str, float] = {
+    "zurich": 0.12,
+    "madrid": 0.80,
+    "oregon": 0.60,
+    "milan": 0.45,
+    "mumbai": 0.65,
+}
+
+
+def water_scarcity_factor(region_key: str, overrides: dict[str, float] | None = None) -> float:
+    """WSF for ``region_key``.
+
+    ``overrides`` takes precedence over the built-in table; unknown regions
+    without an override raise ``KeyError`` (a silent default would let an
+    experiment quietly ignore water stress).
+    """
+    key = region_key.strip().lower()
+    if overrides and key in overrides:
+        return ensure_non_negative(overrides[key], f"WSF override for {region_key!r}")
+    try:
+        return DEFAULT_WSF[key]
+    except KeyError:
+        raise KeyError(
+            f"no water scarcity factor known for region {region_key!r}; "
+            f"known regions: {sorted(DEFAULT_WSF)}"
+        ) from None

@@ -1,0 +1,47 @@
+"""Water Usage Effectiveness (WUE) from wet-bulb temperature.
+
+The onsite water footprint of a data center is driven by evaporative cooling:
+the warmer (and more humid) the outside air, the more water the cooling
+towers evaporate per unit of IT energy.  The paper derives WUE from each
+region's wet-bulb temperature (following "Making AI Less Thirsty", its
+reference [32]).  We use the same empirical cooling-tower relationship:
+WUE grows roughly quadratically with wet-bulb temperature and is clamped to a
+small positive floor (even in cold weather some make-up water is consumed).
+
+The resulting regional averages land in the 1–8 L/kWh range of the paper's
+Fig. 2(c), with tropical Mumbai near the top and alpine Zurich near the
+bottom.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["wue_from_wet_bulb", "WUE_FLOOR_L_PER_KWH", "WUE_CEILING_L_PER_KWH"]
+
+#: Minimum WUE: residual water use (blowdown, humidification) even in cold weather.
+WUE_FLOOR_L_PER_KWH = 0.3
+#: Maximum WUE the cooling model saturates at (extremely hot, humid conditions).
+WUE_CEILING_L_PER_KWH = 9.0
+
+# Empirical cooling-tower curve coefficients (quadratic in wet-bulb °C).
+_A = 0.0082
+_B = 0.0349
+_C = 0.5
+
+
+def wue_from_wet_bulb(wet_bulb_c: float | np.ndarray) -> float | np.ndarray:
+    """Water Usage Effectiveness (L/kWh) for a wet-bulb temperature in °C.
+
+    Accepts scalars or NumPy arrays (the conversion is vectorized).  Below
+    0 °C evaporative cooling demand bottoms out, so the input temperature is
+    clamped at 0 °C before applying the quadratic curve; the result is clamped
+    to ``[WUE_FLOOR_L_PER_KWH, WUE_CEILING_L_PER_KWH]``.  The mapping is
+    therefore monotonically non-decreasing in wet-bulb temperature.
+    """
+    wet_bulb = np.clip(np.asarray(wet_bulb_c, dtype=float), 0.0, None)
+    wue = _A * wet_bulb**2 + _B * wet_bulb + _C
+    wue = np.clip(wue, WUE_FLOOR_L_PER_KWH, WUE_CEILING_L_PER_KWH)
+    if np.isscalar(wet_bulb_c) or np.ndim(wet_bulb_c) == 0:
+        return float(wue)
+    return wue

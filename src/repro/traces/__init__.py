@@ -1,0 +1,48 @@
+"""Trace substrate: jobs, workload profiles and synthetic production traces.
+
+The paper drives its evaluation with job inter-arrivals from the Google Borg
+cluster trace (and, for robustness, the Alibaba VM trace), executing PARSEC
+and CloudSuite benchmarks whose execution time and energy were profiled on
+AWS ``m5.metal`` machines.  Offline, this subpackage provides the equivalent
+pieces:
+
+* :mod:`repro.traces.job` — the :class:`Job` description consumed by the
+  simulator and the schedulers,
+* :mod:`repro.traces.workloads` — the ten benchmark profiles of the paper's
+  Table 1 (execution-time and power characteristics),
+* :mod:`repro.traces.arrival` — arrival processes (diurnal Poisson for
+  Borg-like traces, bursty for Alibaba-like traces),
+* :mod:`repro.traces.borg` / :mod:`repro.traces.alibaba` — trace generators
+  reproducing the two production traces' marginal statistics at a
+  configurable scale,
+* :mod:`repro.traces.trace` — the :class:`Trace` container with filtering,
+  scaling and (de)serialization helpers.
+"""
+
+from repro.traces.alibaba import AlibabaTraceGenerator
+from repro.traces.arrival import (
+    BurstyArrivalProcess,
+    DiurnalPoissonProcess,
+    PoissonArrivalProcess,
+)
+from repro.traces.borg import BorgTraceGenerator
+from repro.traces.job import Job
+from repro.traces.trace import Trace
+from repro.traces.workloads import (
+    WORKLOAD_PROFILES,
+    WorkloadProfile,
+    get_workload,
+)
+
+__all__ = [
+    "AlibabaTraceGenerator",
+    "BorgTraceGenerator",
+    "BurstyArrivalProcess",
+    "DiurnalPoissonProcess",
+    "Job",
+    "PoissonArrivalProcess",
+    "Trace",
+    "WORKLOAD_PROFILES",
+    "WorkloadProfile",
+    "get_workload",
+]

@@ -1,0 +1,163 @@
+"""Trace container: an immutable, time-ordered collection of jobs."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro._validation import ensure_positive
+from repro.traces.job import Job
+
+__all__ = ["Trace"]
+
+
+class Trace:
+    """A time-ordered collection of :class:`~repro.traces.job.Job` objects.
+
+    Jobs are sorted by arrival time at construction; the container is
+    read-only afterwards.  Provides the filtering, windowing and rescaling
+    operations the simulator and the benchmark harness need, plus JSON-lines
+    (de)serialization so generated traces can be persisted and shared.
+    """
+
+    def __init__(self, jobs: Iterable[Job], name: str = "trace") -> None:
+        self._jobs: tuple[Job, ...] = tuple(sorted(jobs, key=lambda j: (j.arrival_time, j.job_id)))
+        self.name = str(name)
+        ids = [job.job_id for job in self._jobs]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"trace {name!r} contains duplicate job ids")
+
+    # -- basic container protocol ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self._jobs)
+
+    def __getitem__(self, index: int) -> Job:
+        return self._jobs[index]
+
+    def __repr__(self) -> str:
+        horizon = self.horizon_s
+        return f"Trace({self.name!r}, {len(self)} jobs, horizon {horizon / 3600.0:.1f} h)"
+
+    @property
+    def jobs(self) -> tuple[Job, ...]:
+        return self._jobs
+
+    @property
+    def horizon_s(self) -> float:
+        """Time of the last arrival (0 for an empty trace)."""
+        return self._jobs[-1].arrival_time if self._jobs else 0.0
+
+    # -- statistics --------------------------------------------------------------------
+    def arrival_times(self) -> np.ndarray:
+        return np.array([job.arrival_time for job in self._jobs])
+
+    def execution_times(self) -> np.ndarray:
+        return np.array([job.execution_time for job in self._jobs])
+
+    def total_energy_kwh(self) -> float:
+        return float(sum(job.energy_kwh for job in self._jobs))
+
+    def mean_interarrival_s(self) -> float:
+        """Mean inter-arrival time in seconds (NaN for traces with < 2 jobs)."""
+        if len(self._jobs) < 2:
+            return float("nan")
+        return float(np.mean(np.diff(self.arrival_times())))
+
+    def arrival_rate_per_hour(self) -> float:
+        """Average arrival rate over the trace horizon."""
+        if len(self._jobs) < 2 or self.horizon_s == 0.0:
+            return float("nan")
+        return len(self._jobs) / (self.horizon_s / 3600.0)
+
+    def jobs_per_region(self) -> dict[str, int]:
+        """Number of jobs submitted from each home region."""
+        counts: dict[str, int] = {}
+        for job in self._jobs:
+            counts[job.home_region] = counts.get(job.home_region, 0) + 1
+        return counts
+
+    def jobs_per_workload(self) -> dict[str, int]:
+        """Number of jobs per benchmark workload."""
+        counts: dict[str, int] = {}
+        for job in self._jobs:
+            counts[job.workload] = counts.get(job.workload, 0) + 1
+        return counts
+
+    # -- slicing / transformation ----------------------------------------------------------
+    def window(self, start_s: float, end_s: float) -> "Trace":
+        """Jobs arriving in ``[start_s, end_s)``."""
+        if end_s < start_s:
+            raise ValueError("window end must be >= start")
+        selected = [job for job in self._jobs if start_s <= job.arrival_time < end_s]
+        return Trace(selected, name=f"{self.name}[{start_s:.0f}:{end_s:.0f}]")
+
+    def filter(self, predicate: Callable[[Job], bool]) -> "Trace":
+        """Jobs satisfying ``predicate``."""
+        return Trace([job for job in self._jobs if predicate(job)], name=self.name)
+
+    def head(self, count: int) -> "Trace":
+        """The first ``count`` jobs by arrival time."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        return Trace(self._jobs[:count], name=f"{self.name}[:{count}]")
+
+    def scale_rate(self, factor: float) -> "Trace":
+        """Divide inter-arrival times by ``factor`` (``2.0`` doubles the request rate).
+
+        Used by the request-rate sensitivity study (the paper doubles the
+        Borg trace's rate); job contents are unchanged.
+        """
+        factor = ensure_positive(factor, "factor")
+        return Trace(
+            [job.with_arrival_time(job.arrival_time / factor) for job in self._jobs],
+            name=f"{self.name}@{factor:g}x",
+        )
+
+    def restricted_to_regions(self, region_keys: Sequence[str], reassign: bool = True) -> "Trace":
+        """Remap jobs whose home region is unavailable onto the allowed regions.
+
+        With ``reassign=False`` the jobs from unavailable regions are dropped
+        instead.  Used by the region-availability sensitivity study (Fig. 12).
+        """
+        allowed = [key.strip().lower() for key in region_keys]
+        if not allowed:
+            raise ValueError("region_keys must not be empty")
+        jobs: list[Job] = []
+        for job in self._jobs:
+            if job.home_region in allowed:
+                jobs.append(job)
+            elif reassign:
+                target = allowed[job.job_id % len(allowed)]
+                jobs.append(dataclasses.replace(job, home_region=target))
+        return Trace(jobs, name=f"{self.name}|{'+'.join(allowed)}")
+
+    # -- serialization ---------------------------------------------------------------------
+    def to_jsonl(self, path: str | Path) -> None:
+        """Write the trace as JSON-lines (one job per line)."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            for job in self._jobs:
+                record = dataclasses.asdict(job)
+                record["metadata"] = dict(job.metadata)
+                handle.write(json.dumps(record) + "\n")
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path, name: str | None = None) -> "Trace":
+        """Read a trace previously written with :meth:`to_jsonl`."""
+        path = Path(path)
+        jobs = []
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                jobs.append(Job(**record))
+        return cls(jobs, name=name or path.stem)

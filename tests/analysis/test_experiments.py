@@ -1,0 +1,139 @@
+"""Smoke and shape tests for the per-figure experiment functions.
+
+These run the actual experiment harness at a deliberately tiny scale so the
+whole test suite stays fast; the paper-scale shape checks live in the
+benchmark harness (``benchmarks/``).
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    fig1_energy_sources,
+    fig2_regional_factors,
+    fig7_ecovisor,
+    fig8_weight_sensitivity,
+    fig10_loadbalancers,
+)
+from repro.analysis.studies import (
+    ablation_components,
+    fig12_region_availability,
+    fig13_overhead,
+    sensitivity_request_rate,
+    table2_service_time,
+    table3_communication_overhead,
+)
+from repro.analysis.sweep import ExperimentScale, delay_tolerance_sweep, run_policies
+from repro.schedulers import BaselineScheduler
+from repro.core import WaterWiseScheduler
+
+TINY = ExperimentScale(rate_per_hour=15.0, duration_days=0.15, seed=9)
+
+
+class TestCharacterization:
+    def test_fig1_contains_all_sources_and_anchors(self):
+        result = fig1_energy_sources()
+        assert len(result.rows) == 9
+        assert result.metadata["coal_over_hydro_carbon_ratio"] == pytest.approx(62.0, rel=0.1)
+        assert result.metadata["hydro_over_coal_ewif_ratio"] == pytest.approx(11.0, rel=0.1)
+
+    def test_fig2_regional_ordering(self):
+        result = fig2_regional_factors(horizon_hours=24 * 21, seed=3)
+        regions = result.column("region")
+        carbon = result.column("carbon_intensity")
+        assert regions == ["zurich", "madrid", "oregon", "milan", "mumbai"]
+        assert carbon == sorted(carbon)
+        # Zurich has the highest EWIF despite the lowest carbon intensity.
+        ewif = dict(zip(regions, result.column("ewif")))
+        assert ewif["zurich"] == max(ewif.values())
+
+
+class TestSweepPlumbing:
+    def test_run_policies_shares_conditions(self):
+        trace = TINY.borg_trace()
+        dataset = TINY.dataset()
+        servers = TINY.servers_for(trace, dataset.region_keys)
+        results = run_policies(
+            trace, dataset,
+            {"baseline": BaselineScheduler, "waterwise": WaterWiseScheduler},
+            servers_per_region=servers, delay_tolerance=0.5,
+        )
+        assert set(results) == {"baseline", "waterwise"}
+        assert results["baseline"].num_jobs == results["waterwise"].num_jobs == len(trace)
+
+    def test_delay_tolerance_sweep_keys(self):
+        trace = TINY.borg_trace()
+        dataset = TINY.dataset()
+        sweep = delay_tolerance_sweep(
+            trace, dataset, {"baseline": BaselineScheduler},
+            servers_per_region=4, tolerances=[0.25, 1.0],
+        )
+        assert set(sweep) == {0.25, 1.0}
+
+    def test_empty_tolerances_rejected(self):
+        with pytest.raises(ValueError):
+            delay_tolerance_sweep(
+                TINY.borg_trace(), TINY.dataset(), {"baseline": BaselineScheduler},
+                servers_per_region=4, tolerances=[],
+            )
+
+
+class TestEvaluationExperiments:
+    def test_fig7_rows_cover_both_sources_and_policies(self):
+        result = fig7_ecovisor(TINY, delay_tolerance=0.5)
+        sources = set(result.column("data_source"))
+        policies = set(result.column("policy"))
+        assert sources == {"electricity-maps", "wri"}
+        assert policies == {"ecovisor-like", "waterwise"}
+
+    def test_fig8_weight_direction(self):
+        result = fig8_weight_sensitivity(TINY, lambda_values=(0.3, 0.7), delay_tolerance=0.5)
+        carbon = dict(zip(result.column("lambda_co2"), result.column("carbon_savings_pct")))
+        water = dict(zip(result.column("lambda_co2"), result.column("water_savings_pct")))
+        # More carbon weight should not reduce carbon savings (and vice versa).
+        assert carbon[0.7] >= carbon[0.3] - 1.0
+        assert water[0.3] >= water[0.7] - 1.0
+
+    def test_fig10_policies_present(self):
+        result = fig10_loadbalancers(TINY, delay_tolerance=0.5)
+        assert set(result.column("policy")) == {"round-robin", "least-load", "waterwise"}
+
+    def test_fig12_region_subsets(self):
+        result = fig12_region_availability(
+            TINY, subsets=(("zurich", "mumbai"), ("zurich", "oregon")), delay_tolerance=0.5
+        )
+        assert len(result.rows) == 2
+        assert all("+" in label for label in result.column("available_regions"))
+
+    def test_fig13_overhead_small(self):
+        result = fig13_overhead(TINY, delay_tolerance=0.5)
+        assert set(result.column("trace")) == {"google-borg-like", "alibaba-like"}
+        assert all(value < 10.0 for value in result.column("mean_overhead_pct_of_exec"))
+
+    def test_table2_has_all_policies_and_tolerances(self):
+        result = table2_service_time(TINY, tolerances=(0.25, 1.0))
+        assert set(result.column("policy")) == {
+            "baseline", "carbon-greedy-opt", "water-greedy-opt", "waterwise",
+        }
+        ratios = result.column("service_time_ratio")
+        assert all(r >= 1.0 - 1e-9 for r in ratios)
+
+    def test_table3_overheads_are_small_percentages(self):
+        result = table3_communication_overhead()
+        assert set(result.column("destination")) == {"zurich", "madrid", "milan", "mumbai"}
+        assert all(0.0 < v < 50.0 for v in result.column("carbon_overhead_pct"))
+        assert all(0.0 < v < 50.0 for v in result.column("water_overhead_pct"))
+
+    def test_sensitivity_request_rate_rows(self):
+        result = sensitivity_request_rate(TINY, rate_multipliers=(1.0, 2.0), delay_tolerance=0.5)
+        jobs = result.column("jobs")
+        assert jobs[1] > jobs[0]
+
+    def test_ablation_contains_all_variants(self):
+        result = ablation_components(TINY, delay_tolerance=0.5)
+        variants = set(result.column("variant"))
+        assert variants == {
+            "waterwise-full",
+            "waterwise-no-history",
+            "waterwise-no-slack",
+            "waterwise-no-soft",
+        }

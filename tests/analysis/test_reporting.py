@@ -1,0 +1,112 @@
+"""Tests for report formatting, savings computation and the result container."""
+
+import pytest
+
+from repro.analysis import format_table, savings_table
+from repro.analysis.experiment_result import ExperimentResult
+from repro.analysis.report import format_kv_block
+from repro.analysis.savings import savings_for
+from repro.cluster.metrics import JobOutcome, SimulationResult
+
+
+def _result(name, carbon, water, n_jobs=4):
+    outcomes = [
+        JobOutcome(
+            job_id=i,
+            workload="dedup",
+            home_region="zurich",
+            executed_region="zurich",
+            arrival_time=0.0,
+            considered_time=0.0,
+            assigned_time=0.0,
+            ready_time=0.0,
+            start_time=0.0,
+            finish_time=100.0,
+            execution_time=100.0,
+            transfer_latency=0.0,
+            carbon_g=carbon / n_jobs,
+            water_l=water / n_jobs,
+            deferrals=0,
+            delay_tolerance=0.25,
+        )
+        for i in range(n_jobs)
+    ]
+    return SimulationResult(
+        scheduler_name=name,
+        outcomes=outcomes,
+        region_servers={"zurich": 2},
+        region_utilization={"zurich": 0.2},
+        makespan_s=100.0,
+        decision_times_s=[0.001],
+        round_times_s=[0.0],
+        delay_tolerance=0.25,
+    )
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        table = format_table(
+            ["name", "value"], [["a", 1.23456], ["long-name", 7]], title="Demo"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "Demo"
+        assert lines[1] == "===="
+        assert "1.23" in table
+        assert "long-name" in table
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_kv_block(self):
+        block = format_kv_block("meta", {"jobs": 10, "seed": 3})
+        assert "jobs" in block and "seed" in block
+        assert format_kv_block("empty", {}) == "empty"
+
+
+class TestSavings:
+    def test_savings_relative_to_baseline(self):
+        baseline = _result("baseline", carbon=1000.0, water=500.0)
+        better = _result("waterwise", carbon=800.0, water=450.0)
+        entry = savings_for(better, baseline)
+        assert entry.carbon_savings_pct == pytest.approx(20.0)
+        assert entry.water_savings_pct == pytest.approx(10.0)
+
+    def test_savings_table_includes_baseline_row(self):
+        results = {
+            "baseline": _result("baseline", 1000.0, 500.0),
+            "waterwise": _result("waterwise", 700.0, 400.0),
+        }
+        rows = savings_table(results)
+        assert len(rows) == 2
+        baseline_row = [r for r in rows if r.policy == "baseline"][0]
+        assert baseline_row.carbon_savings_pct == pytest.approx(0.0)
+
+    def test_missing_baseline_key(self):
+        with pytest.raises(KeyError):
+            savings_table({"waterwise": _result("waterwise", 1.0, 1.0)})
+
+    def test_as_row_formatting(self):
+        entry = savings_for(_result("x", 900.0, 450.0), _result("baseline", 1000.0, 500.0))
+        row = entry.as_row()
+        assert row[0] == "x"
+        assert float(row[1]) == pytest.approx(10.0)
+
+
+class TestExperimentResult:
+    def test_table_and_metadata(self):
+        result = ExperimentResult(
+            experiment="figure-X",
+            description="demo",
+            headers=["a", "b"],
+            rows=[[1, 2.5], [3, 4.5]],
+            metadata={"seed": 1},
+        )
+        assert "figure-X" in result.table()
+        assert "seed" in result.report()
+
+    def test_column_access(self):
+        result = ExperimentResult("e", "d", ["a", "b"], [[1, 2], [3, 4]])
+        assert result.column("b") == [2, 4]
+        with pytest.raises(KeyError):
+            result.column("missing")

@@ -1,0 +1,75 @@
+"""Shared fixtures and minimal schedulers for the cluster-simulator tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.interface import Scheduler, SchedulerDecision
+from repro.sustainability import ElectricityMapsLikeProvider
+from repro.traces import BorgTraceGenerator, Job, Trace
+
+
+class HomeRegionTestScheduler(Scheduler):
+    """Assign every job to its home region (the simplest valid policy)."""
+
+    name = "test-home"
+
+    def schedule(self, jobs, context):
+        return SchedulerDecision(assignments={job.job_id: job.home_region for job in jobs})
+
+
+class FixedRegionTestScheduler(Scheduler):
+    """Assign every job to one fixed region."""
+
+    name = "test-fixed"
+
+    def __init__(self, region_key: str) -> None:
+        self.region_key = region_key
+
+    def schedule(self, jobs, context):
+        return SchedulerDecision(assignments={job.job_id: self.region_key for job in jobs})
+
+
+class DeferOnceTestScheduler(Scheduler):
+    """Defer every job exactly once, then send it home (tests deferral plumbing)."""
+
+    name = "test-defer-once"
+
+    def __init__(self) -> None:
+        self.seen: set[int] = set()
+
+    def reset(self) -> None:
+        self.seen.clear()
+
+    def schedule(self, jobs, context):
+        assignments = {}
+        deferred = []
+        for job in jobs:
+            if job.job_id in self.seen:
+                assignments[job.job_id] = job.home_region
+            else:
+                self.seen.add(job.job_id)
+                deferred.append(job.job_id)
+        return SchedulerDecision(assignments=assignments, deferred=deferred)
+
+
+def make_job(job_id, arrival, region="zurich", exec_time=600.0, energy=0.2, **kwargs):
+    return Job(
+        job_id=job_id,
+        workload=kwargs.pop("workload", "dedup"),
+        arrival_time=arrival,
+        execution_time=exec_time,
+        energy_kwh=energy,
+        home_region=region,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    return ElectricityMapsLikeProvider(horizon_hours=72, seed=1)
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    return BorgTraceGenerator(rate_per_hour=40.0, duration_days=0.25, seed=11).generate()

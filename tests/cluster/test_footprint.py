@@ -1,0 +1,116 @@
+"""Tests for the vectorized footprint calculator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import FootprintCalculator
+from repro.sustainability import CarbonModel, WaterModel
+
+from .conftest import make_job
+
+
+@pytest.fixture(scope="module")
+def calculator(small_dataset):
+    return FootprintCalculator(small_dataset)
+
+
+class TestFootprintMatrices:
+    def test_matrix_shapes(self, calculator, small_dataset):
+        jobs = [make_job(i, 0.0) for i in range(4)]
+        keys = small_dataset.region_keys
+        carbon = calculator.carbon_matrix(jobs, keys, time_s=0.0)
+        water = calculator.water_matrix(jobs, keys, time_s=0.0)
+        assert carbon.shape == (4, 5)
+        assert water.shape == (4, 5)
+        assert np.all(carbon > 0.0)
+        assert np.all(water > 0.0)
+
+    def test_empty_inputs(self, calculator):
+        assert calculator.carbon_matrix([], ["zurich"], 0.0).shape == (0, 1)
+        assert calculator.water_matrix([make_job(1, 0.0)], [], 0.0).shape == (1, 0)
+
+    def test_matrix_matches_scalar_models(self, calculator, small_dataset):
+        job = make_job(7, 0.0, exec_time=1200.0, energy=0.5)
+        keys = small_dataset.region_keys
+        carbon = calculator.carbon_matrix([job], keys, time_s=3600.0)[0]
+        water = calculator.water_matrix([job], keys, time_s=3600.0)[0]
+        carbon_model = CarbonModel(server=calculator.server)
+        water_model = WaterModel(server=calculator.server)
+        for i, key in enumerate(keys):
+            series = small_dataset.series_for(key)
+            expected_c = carbon_model.total(
+                job.energy_kwh, series.carbon_intensity_at(3600.0), job.execution_time
+            )
+            expected_w = water_model.total(
+                job.energy_kwh,
+                series.ewif_at(3600.0),
+                series.wue_at(3600.0),
+                series.wsf,
+                series.pue,
+                job.execution_time,
+            )
+            assert carbon[i] == pytest.approx(expected_c)
+            assert water[i] == pytest.approx(expected_w)
+
+    def test_carbon_ordering_tracks_regional_intensity(self, calculator, small_dataset):
+        job = make_job(1, 0.0, energy=1.0)
+        keys = small_dataset.region_keys
+        carbon = calculator.carbon_matrix([job], keys, time_s=0.0)[0]
+        intensities = [small_dataset.series_for(k).carbon_intensity_at(0.0) for k in keys]
+        assert np.argsort(carbon).tolist() == np.argsort(intensities).tolist()
+
+    def test_worst_case_footprints(self, calculator, small_dataset):
+        jobs = [make_job(i, 0.0, energy=0.1 * (i + 1)) for i in range(3)]
+        keys = small_dataset.region_keys
+        co2_max, h2o_max = calculator.worst_case_footprints(jobs, keys, 0.0)
+        carbon, water = calculator.footprint_matrices(jobs, keys, 0.0)
+        np.testing.assert_allclose(co2_max, carbon.max(axis=1))
+        np.testing.assert_allclose(h2o_max, water.max(axis=1))
+
+    def test_include_embodied_toggle(self, small_dataset):
+        with_embodied = FootprintCalculator(small_dataset, include_embodied=True)
+        without = FootprintCalculator(small_dataset, include_embodied=False)
+        job = make_job(1, 0.0, exec_time=3600.0)
+        keys = ["zurich"]
+        assert (
+            with_embodied.carbon_matrix([job], keys, 0.0)[0, 0]
+            > without.carbon_matrix([job], keys, 0.0)[0, 0]
+        )
+
+
+class TestIntegration:
+    def test_integrate_job_positive(self, calculator):
+        job = make_job(1, 0.0, exec_time=1800.0, energy=0.4)
+        carbon, water = calculator.integrate_job(job, "milan", start_time_s=1000.0)
+        assert carbon > 0.0
+        assert water > 0.0
+
+    def test_integration_spanning_hours_matches_weighted_average(self, calculator, small_dataset):
+        # A job running exactly across two hours with equal halves.
+        job = make_job(2, 0.0, exec_time=3600.0, energy=1.0, true_execution_time=3600.0)
+        start = 1800.0  # second half of hour 0, first half of hour 1
+        carbon, _ = calculator.integrate_job(job, "mumbai", start_time_s=start)
+        series = small_dataset.series_for("mumbai")
+        expected_operational = 0.5 * series.carbon_intensity_at(0.0) + 0.5 * series.carbon_intensity_at(3600.0)
+        expected = expected_operational + calculator.carbon_model.embodied(3600.0)
+        assert carbon == pytest.approx(expected, rel=1e-6)
+
+    def test_integration_uses_realized_values(self, calculator):
+        estimated = make_job(3, 0.0, exec_time=1000.0, energy=0.2)
+        realized = make_job(
+            4, 0.0, exec_time=1000.0, energy=0.2, true_execution_time=2000.0, true_energy_kwh=0.4
+        )
+        c_est, w_est = calculator.integrate_job(estimated, "oregon", 0.0)
+        c_real, w_real = calculator.integrate_job(realized, "oregon", 0.0)
+        assert c_real > c_est
+        assert w_real > w_est
+
+    def test_short_job_within_one_hour(self, calculator, small_dataset):
+        job = make_job(5, 0.0, exec_time=600.0, energy=0.1)
+        carbon, water = calculator.integrate_job(job, "zurich", start_time_s=100.0)
+        series = small_dataset.series_for("zurich")
+        expected_c = calculator.carbon_model.total(
+            0.1, series.carbon_intensity_at(100.0), 600.0
+        )
+        assert carbon == pytest.approx(expected_c, rel=1e-9)
+        assert water > 0.0

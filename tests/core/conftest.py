@@ -1,0 +1,11 @@
+"""Shared fixtures for the WaterWise core tests (reuses the scheduler fixtures)."""
+
+from tests.schedulers.conftest import (  # noqa: F401  (re-exported fixtures)
+    dataset,
+    footprints,
+    latency,
+    make_context,
+    regions,
+    small_trace,
+)
+from tests.schedulers.conftest import make_job  # noqa: F401

@@ -1,0 +1,97 @@
+"""Tests for the cost-aware extension (paper Sec. 7 future-work feature)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CostAwareWaterWiseScheduler,
+    CostModel,
+    ElectricityPriceTable,
+    WaterWiseScheduler,
+)
+
+from .conftest import make_job
+
+
+class TestPriceTable:
+    def test_defaults_cover_all_regions(self):
+        table = ElectricityPriceTable()
+        for region in ("zurich", "madrid", "oregon", "milan", "mumbai"):
+            assert table.price(region) > 0.0
+
+    def test_unknown_region_uses_default(self):
+        table = ElectricityPriceTable(default_price=0.5)
+        assert table.price("atlantis") == 0.5
+
+    def test_egress_zero_within_region(self):
+        table = ElectricityPriceTable()
+        assert table.egress("zurich", "zurich", 10.0) == 0.0
+        assert table.egress("zurich", "milan", 10.0) > 0.0
+
+    def test_negative_prices_rejected(self):
+        with pytest.raises(ValueError):
+            ElectricityPriceTable({"zurich": -1.0})
+        with pytest.raises(ValueError):
+            ElectricityPriceTable(egress_usd_per_gb=-0.1)
+
+
+class TestCostModel:
+    def test_job_cost_components(self):
+        prices = ElectricityPriceTable({"zurich": 0.2, "oregon": 0.1}, egress_usd_per_gb=1.0)
+        model = CostModel(prices=prices, pue=1.2)
+        job = make_job(0, region="zurich", energy=2.0, package_gb=3.0)
+        home_cost = model.job_cost(job, "zurich")
+        remote_cost = model.job_cost(job, "oregon")
+        assert home_cost == pytest.approx(1.2 * 2.0 * 0.2)
+        assert remote_cost == pytest.approx(1.2 * 2.0 * 0.1 + 3.0)
+
+    def test_cost_matrix_shape(self):
+        model = CostModel()
+        jobs = [make_job(i) for i in range(3)]
+        matrix = model.cost_matrix(jobs, ["zurich", "oregon"])
+        assert matrix.shape == (3, 2)
+        assert np.all(matrix > 0.0)
+
+    def test_invalid_pue(self):
+        with pytest.raises(ValueError):
+            CostModel(pue=0.9)
+
+
+class TestCostAwareScheduler:
+    def test_zero_weight_matches_plain_waterwise(self, make_context):
+        context = make_context(delay_tolerance=2.0)
+        jobs = [make_job(i, region="milan") for i in range(5)]
+        plain = WaterWiseScheduler().schedule(jobs, context)
+        cost_zero = CostAwareWaterWiseScheduler(lambda_cost=0.0).schedule(jobs, context)
+        assert plain.assignments == cost_zero.assignments
+
+    def test_high_cost_weight_prefers_cheap_regions(self, make_context):
+        # Make the cheapest-carbon region prohibitively expensive: with a large
+        # cost weight the scheduler must move away from it.
+        context = make_context(delay_tolerance=5.0)
+        jobs = [make_job(i, region="milan", exec_time=3600.0) for i in range(5)]
+        plain = WaterWiseScheduler().schedule(jobs, context)
+        plain_regions = set(plain.assignments.values())
+
+        expensive = ElectricityPriceTable(
+            {region: (5.0 if region in plain_regions else 0.01) for region in context.region_keys},
+            egress_usd_per_gb=0.0,
+        )
+        costly = CostAwareWaterWiseScheduler(lambda_cost=10.0, prices=expensive).schedule(jobs, context)
+        assert set(costly.assignments.values()) != plain_regions
+
+    def test_registered_in_scheduler_registry(self):
+        from repro.schedulers import make_scheduler
+
+        scheduler = make_scheduler("waterwise-cost-aware")
+        assert scheduler.name == "waterwise-cost-aware"
+
+    def test_every_job_still_accounted(self, make_context):
+        scheduler = CostAwareWaterWiseScheduler(lambda_cost=0.5)
+        jobs = [make_job(i) for i in range(8)]
+        decision = scheduler.schedule(jobs, make_context())
+        assert len(decision.assignments) + len(decision.deferred) == 8
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            CostAwareWaterWiseScheduler(lambda_cost=-0.1)

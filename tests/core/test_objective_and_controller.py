@@ -1,0 +1,163 @@
+"""Tests for the placement MILP construction and the decision controller."""
+
+import numpy as np
+import pytest
+
+from repro.core import DecisionController, HistoryLearner, WaterWiseConfig, build_placement_problem
+from repro.milp import solve
+
+from .conftest import make_job
+
+
+class TestPlacementProblem:
+    def test_problem_dimensions_hard(self, make_context):
+        context = make_context()
+        jobs = [make_job(i) for i in range(3)]
+        model = build_placement_problem(jobs, context, WaterWiseConfig(), soft=False)
+        # 3 jobs x 5 regions binary variables.
+        assert model.problem.num_variables == 15
+        # 3 assignment + 5 capacity + 3 delay constraints.
+        assert model.problem.num_constraints == 11
+        assert not model.soft
+        assert model.penalty_names is None
+
+    def test_problem_dimensions_soft(self, make_context):
+        context = make_context()
+        jobs = [make_job(i) for i in range(2)]
+        model = build_placement_problem(jobs, context, WaterWiseConfig(), soft=True)
+        # x variables + penalty variables.
+        assert model.problem.num_variables == 20
+        assert model.soft
+        assert model.penalty_names is not None
+
+    def test_cost_matrix_blends_carbon_and_water(self, make_context):
+        context = make_context()
+        jobs = [make_job(0)]
+        carbon_only = build_placement_problem(
+            jobs, context, WaterWiseConfig.with_weights(1.0, lambda_ref=0.0)
+        )
+        water_only = build_placement_problem(
+            jobs, context, WaterWiseConfig.with_weights(0.0, lambda_ref=0.0)
+        )
+        carbon, water = context.footprints.footprint_matrices(jobs, context.region_keys, 0.0)
+        np.testing.assert_allclose(carbon_only.cost, carbon / carbon.max(axis=1, keepdims=True))
+        np.testing.assert_allclose(water_only.cost, water / water.max(axis=1, keepdims=True))
+
+    def test_history_reference_shifts_cost(self, make_context):
+        context = make_context()
+        jobs = [make_job(0)]
+        config = WaterWiseConfig(lambda_ref=0.5)
+        co2_ref = np.array([1.0, 0.0, 0.0, 0.0, 0.0])
+        h2o_ref = np.zeros(5)
+        with_ref = build_placement_problem(jobs, context, config, co2_ref=co2_ref, h2o_ref=h2o_ref)
+        without_ref = build_placement_problem(jobs, context, config)
+        delta = with_ref.cost - without_ref.cost
+        assert delta[0, 0] == pytest.approx(0.5 * 0.5 * 1.0)
+        np.testing.assert_allclose(delta[0, 1:], 0.0)
+
+    def test_empty_batch_rejected(self, make_context):
+        with pytest.raises(ValueError):
+            build_placement_problem([], make_context(), WaterWiseConfig())
+
+    def test_mismatched_reference_rejected(self, make_context):
+        with pytest.raises(ValueError):
+            build_placement_problem(
+                [make_job(0)], make_context(), WaterWiseConfig(), co2_ref=np.zeros(2), h2o_ref=np.zeros(2)
+            )
+
+    def test_solution_respects_assignment_constraint(self, make_context):
+        context = make_context()
+        jobs = [make_job(i) for i in range(4)]
+        model = build_placement_problem(jobs, context, WaterWiseConfig())
+        result = solve(model.problem)
+        assert result.status.is_success
+        assignments = model.assignment_from_values(dict(result.values))
+        assert set(assignments) == {0, 1, 2, 3}
+        assert all(region in context.region_keys for region in assignments.values())
+
+    def test_zero_tolerance_forces_home_region(self, make_context):
+        context = make_context(delay_tolerance=0.0)
+        jobs = [make_job(0, region="milan"), make_job(1, region="mumbai")]
+        model = build_placement_problem(jobs, context, WaterWiseConfig())
+        result = solve(model.problem)
+        assignments = model.assignment_from_values(dict(result.values))
+        assert assignments == {0: "milan", 1: "mumbai"}
+
+    def test_capacity_constraint_limits_region(self, make_context):
+        # Every region except Zurich is full; all jobs must go to Zurich even
+        # if it is not the cheapest choice.
+        capacity = {"zurich": 5, "madrid": 0, "oregon": 0, "milan": 0, "mumbai": 0}
+        context = make_context(capacity=capacity, delay_tolerance=10.0)
+        jobs = [make_job(i, region="mumbai", exec_time=7200.0) for i in range(3)]
+        model = build_placement_problem(jobs, context, WaterWiseConfig())
+        result = solve(model.problem)
+        assignments = model.assignment_from_values(dict(result.values))
+        assert all(region == "zurich" for region in assignments.values())
+
+
+class TestDecisionController:
+    def test_empty_batch(self, make_context):
+        controller = DecisionController()
+        result = controller.decide([], make_context())
+        assert result.assignments == {}
+        assert result.solve_result is None
+
+    def test_hard_constraints_used_when_feasible(self, make_context):
+        controller = DecisionController()
+        result = controller.decide([make_job(i) for i in range(3)], make_context())
+        assert not result.used_soft_constraints
+        assert not result.used_fallback
+        assert len(result.assignments) == 3
+
+    def test_soft_retry_on_infeasible_hard_problem(self, make_context):
+        # Zero tolerance but the home region has no capacity: Eq. 11 (hard) plus
+        # Eq. 10 is infeasible, so the controller must soften the delay constraint.
+        capacity = {"zurich": 0, "madrid": 5, "oregon": 5, "milan": 5, "mumbai": 5}
+        context = make_context(capacity=capacity, delay_tolerance=0.0)
+        controller = DecisionController()
+        result = controller.decide([make_job(0, region="zurich")], context)
+        assert result.used_soft_constraints
+        assert not result.used_fallback
+        assert result.assignments[0] != "zurich"
+        assert controller.rounds_softened == 1
+
+    def test_force_soft(self, make_context):
+        controller = DecisionController()
+        result = controller.decide([make_job(0)], make_context(), force_soft=True)
+        assert result.used_soft_constraints
+
+    def test_soft_disabled_falls_back_to_greedy(self, make_context):
+        capacity = {"zurich": 0, "madrid": 5, "oregon": 5, "milan": 5, "mumbai": 5}
+        context = make_context(capacity=capacity, delay_tolerance=0.0)
+        config = WaterWiseConfig(use_soft_constraints=False)
+        controller = DecisionController(config)
+        result = controller.decide([make_job(0, region="zurich")], context)
+        assert result.used_fallback
+        assert 0 in result.assignments
+        assert controller.rounds_fallback == 1
+
+    def test_history_biases_decisions(self, make_context):
+        """A heavy historical penalty on the otherwise-best region flips the choice."""
+        context = make_context(delay_tolerance=10.0)
+        job = make_job(0, region="milan", exec_time=3600.0)
+        config = WaterWiseConfig(lambda_ref=5.0)
+
+        plain = DecisionController(config).decide([job], context)
+        baseline_choice = plain.assignments[0]
+
+        history = HistoryLearner(window=10)
+        keys = context.region_keys
+        carbon = np.ones(len(keys)) * 0.01
+        water = np.ones(len(keys)) * 0.01
+        idx = keys.index(baseline_choice)
+        carbon[idx] = 1000.0
+        water[idx] = 1000.0
+        history.observe(keys, carbon, water)
+
+        biased = DecisionController(config).decide([job], context, history=history)
+        assert biased.assignments[0] != baseline_choice
+
+    def test_objective_value_exposed(self, make_context):
+        controller = DecisionController()
+        result = controller.decide([make_job(0)], make_context())
+        assert np.isfinite(result.objective_value)

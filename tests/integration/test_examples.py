@@ -1,0 +1,37 @@
+"""Smoke tests: every example script runs end to end at a tiny scale."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+_EXAMPLE_ARGS = {
+    "quickstart.py": ["--jobs-per-hour", "15", "--hours", "3", "--seed", "2"],
+    "delay_tolerance_study.py": [
+        "--jobs-per-hour", "15", "--hours", "3", "--seed", "2", "--tolerances", "0.25", "1.0",
+    ],
+    "carbon_water_tradeoff.py": [
+        "--jobs-per-hour", "15", "--hours", "3", "--seed", "2", "--steps", "2",
+    ],
+    "custom_region_portfolio.py": ["--jobs-per-hour", "15", "--hours", "3", "--seed", "2"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(_EXAMPLE_ARGS))
+def test_example_runs(script, capsys, monkeypatch):
+    path = _EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} is missing"
+    monkeypatch.setattr(sys, "argv", [str(path)] + _EXAMPLE_ARGS[script])
+    runpy.run_path(str(path), run_name="__main__")
+    output = capsys.readouterr().out
+    assert len(output.splitlines()) > 5, f"{script} produced no meaningful output"
+
+
+def test_examples_directory_has_quickstart_plus_scenarios():
+    scripts = sorted(p.name for p in _EXAMPLES_DIR.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 3
+    assert set(scripts) == set(_EXAMPLE_ARGS), "new examples need a smoke-test entry"

@@ -1,0 +1,183 @@
+"""Tests for the MILP modeling-layer expressions and variables."""
+
+import math
+
+import pytest
+
+from repro.milp import Constraint, ConstraintSense, LinExpr, VarType, Variable, lin_sum
+
+
+class TestVariable:
+    def test_defaults_are_unbounded_continuous(self):
+        x = Variable("x")
+        assert x.low is None
+        assert x.up is None
+        assert x.var_type is VarType.CONTINUOUS
+        assert not x.is_integer
+
+    def test_binary_defaults_to_unit_bounds(self):
+        b = Variable("b", var_type=VarType.BINARY)
+        assert b.low == 0.0
+        assert b.up == 1.0
+        assert b.is_integer
+
+    def test_binary_rejects_out_of_range_bounds(self):
+        with pytest.raises(ValueError):
+            Variable("b", low=-1, var_type=VarType.BINARY)
+        with pytest.raises(ValueError):
+            Variable("b", up=2, var_type=VarType.BINARY)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            Variable("x", low=3, up=1)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_integer_is_integer(self):
+        assert Variable("i", var_type=VarType.INTEGER).is_integer
+
+    def test_distinct_variables_have_distinct_hashes(self):
+        a, b = Variable("a"), Variable("b")
+        assert hash(a) != hash(b)
+
+    def test_variables_usable_as_dict_keys(self):
+        a, b = Variable("a"), Variable("a")  # same name, different objects
+        d = {a: 1.0, b: 2.0}
+        assert len(d) == 2
+
+
+class TestLinExprArithmetic:
+    def test_variable_addition(self):
+        x, y = Variable("x"), Variable("y")
+        expr = x + y
+        assert expr.coefficient(x) == 1.0
+        assert expr.coefficient(y) == 1.0
+        assert expr.constant == 0.0
+
+    def test_scalar_operations(self):
+        x = Variable("x")
+        expr = 3 * x + 5
+        assert expr.coefficient(x) == 3.0
+        assert expr.constant == 5.0
+        expr2 = expr / 2
+        assert expr2.coefficient(x) == 1.5
+        assert expr2.constant == 2.5
+
+    def test_subtraction_and_negation(self):
+        x, y = Variable("x"), Variable("y")
+        expr = 2 * x - 3 * y - 1
+        assert expr.coefficient(x) == 2.0
+        assert expr.coefficient(y) == -3.0
+        assert expr.constant == -1.0
+        neg = -expr
+        assert neg.coefficient(x) == -2.0
+        assert neg.constant == 1.0
+
+    def test_rsub(self):
+        x = Variable("x")
+        expr = 10 - x
+        assert expr.coefficient(x) == -1.0
+        assert expr.constant == 10.0
+
+    def test_zero_coefficients_are_dropped(self):
+        x, y = Variable("x"), Variable("y")
+        expr = x + y - x
+        assert x not in expr.terms
+        assert expr.coefficient(y) == 1.0
+
+    def test_addition_does_not_mutate_operands(self):
+        x, y = Variable("x"), Variable("y")
+        base = x + 1
+        _ = base + y
+        assert y not in base.terms
+
+    def test_value_evaluation(self):
+        x, y = Variable("x"), Variable("y")
+        expr = 2 * x + 3 * y + 1
+        assert expr.value({x: 2.0, y: 1.0}) == pytest.approx(8.0)
+        # missing variables evaluate as zero
+        assert expr.value({x: 2.0}) == pytest.approx(5.0)
+
+    def test_multiplying_two_expressions_raises(self):
+        x, y = Variable("x"), Variable("y")
+        with pytest.raises(TypeError):
+            (x + 1) * (y + 1)
+
+    def test_non_finite_values_rejected(self):
+        x = Variable("x")
+        with pytest.raises(ValueError):
+            LinExpr({x: math.inf})
+        with pytest.raises(ValueError):
+            LinExpr(constant=math.nan)
+
+    def test_lin_sum_matches_manual_sum(self):
+        xs = [Variable(f"x{i}") for i in range(5)]
+        quick = lin_sum(2 * x for x in xs)
+        slow = xs[0] * 2
+        for x in xs[1:]:
+            slow = slow + 2 * x
+        assert {v.name: c for v, c in quick.terms.items()} == {
+            v.name: c for v, c in slow.terms.items()
+        }
+
+    def test_lin_sum_with_constants(self):
+        x = Variable("x")
+        expr = lin_sum([x, 2.5, x, 1])
+        assert expr.coefficient(x) == 2.0
+        assert expr.constant == 3.5
+
+    def test_lin_sum_rejects_bad_types(self):
+        with pytest.raises(TypeError):
+            lin_sum(["not a variable"])
+
+
+class TestConstraintConstruction:
+    def test_le_constraint(self):
+        x = Variable("x")
+        con = (2 * x + 1) <= 5
+        assert isinstance(con, Constraint)
+        assert con.sense is ConstraintSense.LE
+        assert con.rhs == pytest.approx(4.0)
+
+    def test_ge_constraint(self):
+        x = Variable("x")
+        con = x >= 3
+        assert con.sense is ConstraintSense.GE
+        assert con.rhs == pytest.approx(3.0)
+
+    def test_eq_constraint_from_expression(self):
+        x, y = Variable("x"), Variable("y")
+        con = (x + y) == 4
+        assert con.sense is ConstraintSense.EQ
+        assert con.rhs == pytest.approx(4.0)
+
+    def test_variable_vs_variable_constraint(self):
+        x, y = Variable("x"), Variable("y")
+        con = x <= y
+        assert con.lhs[x] == 1.0
+        assert con.lhs[y] == -1.0
+
+    def test_satisfied_and_violation(self):
+        x = Variable("x")
+        con = (x <= 5)
+        assert con.satisfied({x: 5.0})
+        assert con.satisfied({x: 4.0})
+        assert not con.satisfied({x: 6.0})
+        assert con.violation({x: 7.0}) == pytest.approx(2.0)
+        assert con.violation({x: 3.0}) == 0.0
+
+    def test_equality_violation(self):
+        x = Variable("x")
+        con = (x == 2)
+        assert con.violation({x: 2.5}) == pytest.approx(0.5)
+
+    def test_constant_only_constraint_rejected(self):
+        with pytest.raises(ValueError):
+            Constraint(LinExpr(constant=1.0), ConstraintSense.LE)
+
+    def test_with_name(self):
+        x = Variable("x")
+        con = (x <= 1).with_name("cap")
+        assert con.name == "cap"

@@ -1,0 +1,104 @@
+"""Property-based tests for the MILP layer as a whole.
+
+Random placement-shaped MILPs (assignment + capacity structure, the same
+shape WaterWise builds every round) are generated and solved with both the
+native branch & bound and the SciPy/HiGHS backend; the two exact solvers must
+agree and their solutions must satisfy every constraint.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.milp import Problem, SolveStatus, VarType, Variable, lin_sum, solve
+
+
+def _placement_problem(costs: np.ndarray, capacities: np.ndarray) -> Problem:
+    """min sum c[m,n] x[m,n]  s.t. each job assigned once, capacity per region."""
+    m_jobs, n_regions = costs.shape
+    prob = Problem("placement")
+    x = [
+        [Variable(f"x_{m}_{n}", var_type=VarType.BINARY) for n in range(n_regions)]
+        for m in range(m_jobs)
+    ]
+    prob.set_objective(
+        lin_sum(float(costs[m, n]) * x[m][n] for m in range(m_jobs) for n in range(n_regions))
+    )
+    for m in range(m_jobs):
+        prob.add_constraint(lin_sum(x[m]) == 1)
+    for n in range(n_regions):
+        prob.add_constraint(lin_sum(x[m][n] for m in range(m_jobs)) <= int(capacities[n]))
+    return prob
+
+
+@st.composite
+def placement_instance(draw):
+    m_jobs = draw(st.integers(min_value=1, max_value=6))
+    n_regions = draw(st.integers(min_value=2, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    costs = rng.uniform(0.1, 5.0, size=(m_jobs, n_regions))
+    # Guarantee feasibility: total capacity >= number of jobs.
+    capacities = rng.integers(0, m_jobs + 1, size=n_regions)
+    deficit = m_jobs - int(capacities.sum())
+    if deficit > 0:
+        capacities[0] += deficit
+    return costs, capacities
+
+
+class TestPlacementMILPs:
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(instance=placement_instance())
+    def test_backends_agree_and_solutions_feasible(self, instance):
+        costs, capacities = instance
+        prob = _placement_problem(costs, capacities)
+        native = solve(prob, solver="native")
+        scipy_result = solve(prob, solver="scipy")
+        assert native.status is SolveStatus.OPTIMAL
+        assert scipy_result.status is SolveStatus.OPTIMAL
+        assert native.objective == pytest.approx(scipy_result.objective, rel=1e-6, abs=1e-6)
+
+        # Reconstruct and verify the native solution.
+        m_jobs, n_regions = costs.shape
+        assignment = np.zeros((m_jobs, n_regions))
+        for m in range(m_jobs):
+            for n in range(n_regions):
+                assignment[m, n] = native.values[f"x_{m}_{n}"]
+        np.testing.assert_allclose(assignment.sum(axis=1), 1.0, atol=1e-6)
+        assert np.all(assignment.sum(axis=0) <= capacities + 1e-6)
+        assert native.objective == pytest.approx(float((assignment * costs).sum()), abs=1e-6)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        m_jobs=st.integers(min_value=2, max_value=5),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_infeasible_when_capacity_short(self, m_jobs, seed):
+        rng = np.random.default_rng(seed)
+        n_regions = 3
+        costs = rng.uniform(0.1, 5.0, size=(m_jobs, n_regions))
+        capacities = np.zeros(n_regions, dtype=int)
+        capacities[0] = m_jobs - 1  # one job too many
+        prob = _placement_problem(costs, capacities)
+        for solver in ("native", "scipy"):
+            assert solve(prob, solver=solver).status is SolveStatus.INFEASIBLE
+
+    @settings(max_examples=15, deadline=None)
+    @given(instance=placement_instance())
+    def test_optimal_is_lower_bound_of_greedy(self, instance):
+        """The MILP optimum is never worse than a greedy capacity-respecting assignment."""
+        costs, capacities = instance
+        prob = _placement_problem(costs, capacities)
+        optimal = solve(prob).objective
+
+        remaining = capacities.astype(float).copy()
+        greedy_total = 0.0
+        for m in range(costs.shape[0]):
+            order = np.argsort(costs[m])
+            for n in order:
+                if remaining[n] >= 1.0:
+                    remaining[n] -= 1.0
+                    greedy_total += costs[m, n]
+                    break
+        assert optimal <= greedy_total + 1e-6

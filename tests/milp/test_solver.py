@@ -1,0 +1,107 @@
+"""Tests for the top-level solve() dispatch across backends."""
+
+import pytest
+
+from repro.milp import (
+    ObjectiveSense,
+    Problem,
+    SolveStatus,
+    VarType,
+    Variable,
+    available_solvers,
+    lin_sum,
+    solve,
+)
+
+
+def _production_lp():
+    # Furniture-shop LP: max 40 tables + 30 chairs, wood/labor constraints.
+    prob = Problem("production", sense=ObjectiveSense.MAXIMIZE)
+    tables = Variable("tables", low=0)
+    chairs = Variable("chairs", low=0)
+    prob.set_objective(40 * tables + 30 * chairs)
+    prob.add_constraint(2 * tables + 1 * chairs <= 100, name="wood")
+    prob.add_constraint(1 * tables + 1 * chairs <= 80, name="labor")
+    return prob
+
+
+def _facility_milp():
+    # Tiny facility-location MILP with a known optimum.
+    prob = Problem("facility")
+    open_a = Variable("open_a", var_type=VarType.BINARY)
+    open_b = Variable("open_b", var_type=VarType.BINARY)
+    serve = {
+        (c, f): Variable(f"serve_{c}_{f}", var_type=VarType.BINARY)
+        for c in ("c1", "c2")
+        for f in ("a", "b")
+    }
+    cost = {("c1", "a"): 1.0, ("c1", "b"): 4.0, ("c2", "a"): 5.0, ("c2", "b"): 1.0}
+    prob.set_objective(
+        10 * open_a + 10 * open_b + lin_sum(cost[k] * v for k, v in serve.items())
+    )
+    for c in ("c1", "c2"):
+        prob.add_constraint(lin_sum(serve[(c, f)] for f in ("a", "b")) == 1)
+    for (c, f), var in serve.items():
+        prob.add_constraint(var <= (open_a if f == "a" else open_b))
+    return prob
+
+
+class TestSolveDispatch:
+    def test_available_solvers(self):
+        names = available_solvers()
+        assert "scipy" in names and "native" in names and "auto" in names
+
+    @pytest.mark.parametrize("solver", ["auto", "scipy", "native"])
+    def test_lp_all_backends_agree(self, solver):
+        result = solve(_production_lp(), solver=solver)
+        assert result.status is SolveStatus.OPTIMAL
+        # Optimum at the intersection of both constraints: 20 tables, 60 chairs.
+        assert result.objective == pytest.approx(2600.0)
+        assert result["tables"] == pytest.approx(20.0)
+        assert result["chairs"] == pytest.approx(60.0)
+
+    @pytest.mark.parametrize("solver", ["auto", "scipy", "native"])
+    def test_milp_all_backends_agree(self, solver):
+        result = solve(_facility_milp(), solver=solver)
+        assert result.status is SolveStatus.OPTIMAL
+        # Cheapest: open only facility b (10) and serve c1 (4) and c2 (1) from it.
+        assert result.objective == pytest.approx(15.0)
+        assert result["open_b"] == pytest.approx(1.0)
+        assert result["open_a"] == pytest.approx(0.0)
+
+    def test_values_keyed_by_variable_name(self):
+        result = solve(_production_lp())
+        assert set(result.values) == {"tables", "chairs"}
+        assert result.value_or("missing", default=-1.0) == -1.0
+
+    def test_infeasible_has_empty_values(self):
+        prob = Problem("bad")
+        x = Variable("x", low=0, up=1)
+        prob.set_objective(x)
+        prob.add_constraint(x >= 2)
+        result = solve(prob)
+        assert result.status is SolveStatus.INFEASIBLE
+        assert result.values == {}
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(ValueError):
+            solve(_production_lp(), solver="gurobi")
+
+    def test_empty_problem_rejected(self):
+        with pytest.raises(ValueError):
+            solve(Problem("empty"))
+
+    def test_solver_name_recorded(self):
+        result = solve(_production_lp(), solver="native")
+        assert result.solver == "native"
+        result = solve(_production_lp(), solver="scipy")
+        assert result.solver == "scipy"
+
+    def test_maximize_sense_round_trip(self):
+        prob = Problem("max", sense=ObjectiveSense.MAXIMIZE)
+        x = Variable("x", low=0, up=3, var_type=VarType.INTEGER)
+        prob.set_objective(5 * x + 1)
+        for solver in ("scipy", "native"):
+            result = solve(prob, solver=solver)
+            assert result.objective == pytest.approx(16.0)
+            assert result["x"] == pytest.approx(3.0)

@@ -1,0 +1,81 @@
+"""Tests for the region catalog and Region validation."""
+
+import pytest
+
+from repro.regions import (
+    DEFAULT_REGION_KEYS,
+    Region,
+    default_regions,
+    get_region,
+    region_subset,
+)
+
+
+class TestRegionDataclass:
+    def test_valid_region(self):
+        region = Region(
+            key="testville", name="Testville", aws_code="xx-test-1",
+            latitude=10.0, longitude=20.0, climate="temperate", water_scarcity=0.3,
+        )
+        assert region.pue == 1.2
+        assert str(region) == "testville"
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(ValueError):
+            Region(key="", name="X", aws_code="x", latitude=0, longitude=0,
+                   climate="temperate", water_scarcity=0.1)
+
+    @pytest.mark.parametrize("lat,lon", [(95, 0), (-95, 0), (0, 200), (0, -200)])
+    def test_rejects_bad_coordinates(self, lat, lon):
+        with pytest.raises(ValueError):
+            Region(key="x", name="X", aws_code="x", latitude=lat, longitude=lon,
+                   climate="temperate", water_scarcity=0.1)
+
+    def test_rejects_negative_wsf(self):
+        with pytest.raises(ValueError):
+            Region(key="x", name="X", aws_code="x", latitude=0, longitude=0,
+                   climate="temperate", water_scarcity=-0.1)
+
+    def test_rejects_pue_below_one(self):
+        with pytest.raises(ValueError):
+            Region(key="x", name="X", aws_code="x", latitude=0, longitude=0,
+                   climate="temperate", water_scarcity=0.1, pue=0.9)
+
+    def test_regions_are_frozen(self):
+        region = get_region("zurich")
+        with pytest.raises(Exception):
+            region.pue = 1.5  # type: ignore[misc]
+
+
+class TestCatalog:
+    def test_default_regions_are_the_papers_five(self):
+        regions = default_regions()
+        assert [r.key for r in regions] == list(DEFAULT_REGION_KEYS)
+        assert len(regions) == 5
+        assert {r.aws_code for r in regions} == {
+            "eu-central-2", "eu-south-2", "us-west-2", "eu-south-1", "ap-south-1",
+        }
+
+    def test_get_region_case_insensitive(self):
+        assert get_region("Zurich").key == "zurich"
+        assert get_region(" MUMBAI ").key == "mumbai"
+
+    def test_get_region_unknown(self):
+        with pytest.raises(KeyError):
+            get_region("atlantis")
+
+    def test_region_subset_preserves_order(self):
+        subset = region_subset(["mumbai", "zurich"])
+        assert [r.key for r in subset] == ["mumbai", "zurich"]
+
+    def test_region_subset_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            region_subset(["zurich", "Zurich"])
+
+    def test_madrid_is_most_water_stressed(self):
+        regions = {r.key: r for r in default_regions()}
+        assert regions["madrid"].water_scarcity == max(r.water_scarcity for r in regions.values())
+        assert regions["zurich"].water_scarcity == min(r.water_scarcity for r in regions.values())
+
+    def test_all_regions_share_default_pue(self):
+        assert {r.pue for r in default_regions()} == {1.2}

@@ -1,0 +1,76 @@
+"""Tests for the inter-region transfer latency model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regions import TransferLatencyModel, default_regions
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TransferLatencyModel(default_regions())
+
+
+class TestTransferLatency:
+    def test_same_region_is_free(self, model):
+        for region in default_regions():
+            assert model.transfer_time(region.key, region.key, package_gb=5.0) == 0.0
+
+    def test_symmetric(self, model):
+        assert model.transfer_time("zurich", "mumbai") == pytest.approx(
+            model.transfer_time("mumbai", "zurich")
+        )
+
+    def test_positive_for_remote_transfers(self, model):
+        for a in default_regions():
+            for b in default_regions():
+                if a.key != b.key:
+                    assert model.transfer_time(a.key, b.key) > 0.0
+
+    def test_distance_ordering_europe_vs_intercontinental(self, model):
+        # Zurich-Milan are a few hundred km apart; Zurich-Oregon crosses an ocean.
+        assert model.transfer_time("zurich", "milan") < model.transfer_time("zurich", "oregon")
+        assert model.transfer_time("zurich", "milan") < model.transfer_time("zurich", "mumbai")
+
+    def test_larger_packages_take_longer(self, model):
+        small = model.transfer_time("zurich", "oregon", package_gb=0.5)
+        large = model.transfer_time("zurich", "oregon", package_gb=8.0)
+        assert large > small
+
+    def test_unknown_region_raises(self, model):
+        with pytest.raises(KeyError):
+            model.transfer_time("zurich", "atlantis")
+
+    def test_matrix_shape_and_zero_diagonal(self, model):
+        matrix = model.matrix(package_gb=1.0)
+        assert matrix.shape == (5, 5)
+        np.testing.assert_allclose(np.diag(matrix), 0.0)
+        assert np.all(matrix >= 0.0)
+
+    def test_average_from_excludes_self(self, model):
+        avg = model.average_from("oregon")
+        offdiag = [
+            model.transfer_time("oregon", r.key) for r in default_regions() if r.key != "oregon"
+        ]
+        assert avg == pytest.approx(np.mean(offdiag))
+
+    def test_single_region_average_is_zero(self):
+        single = TransferLatencyModel(default_regions()[:1])
+        assert single.average_from("zurich") == 0.0
+
+    def test_rejects_empty_region_list(self):
+        with pytest.raises(ValueError):
+            TransferLatencyModel([])
+
+    def test_rejects_negative_package(self, model):
+        with pytest.raises(ValueError):
+            model.transfer_time("zurich", "milan", package_gb=-1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(package=st.floats(min_value=0.0, max_value=50.0, allow_nan=False))
+    def test_transfer_time_monotone_in_package_size(self, model, package):
+        base = model.transfer_time("madrid", "mumbai", package_gb=package)
+        bigger = model.transfer_time("madrid", "mumbai", package_gb=package + 1.0)
+        assert bigger > base

@@ -1,0 +1,62 @@
+"""Tests for the synthetic wet-bulb temperature model."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.regions import WetBulbModel, default_regions, get_region
+
+
+class TestWetBulbModel:
+    def test_series_length(self):
+        model = WetBulbModel(get_region("zurich"), seed=1)
+        assert len(model.series(240)) == 240
+
+    def test_deterministic_for_same_seed(self):
+        region = get_region("oregon")
+        a = WetBulbModel(region, seed=7).series(500)
+        b = WetBulbModel(region, seed=7).series(500)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        region = get_region("oregon")
+        a = WetBulbModel(region, seed=1).series(500)
+        b = WetBulbModel(region, seed=2).series(500)
+        assert not np.array_equal(a, b)
+
+    def test_tropical_region_is_warmest(self):
+        means = {
+            region.key: WetBulbModel(region, seed=3).mean(8760) for region in default_regions()
+        }
+        assert means["mumbai"] == max(means.values())
+        assert means["zurich"] == min(means.values())
+
+    def test_diurnal_cycle_peaks_in_afternoon(self):
+        model = WetBulbModel(get_region("madrid"), seed=0)
+        series = model.series(24 * 30)
+        by_hour = series.reshape(-1, 24).mean(axis=0)
+        assert 12 <= int(np.argmax(by_hour)) <= 18
+
+    def test_seasonal_cycle_summer_warmer_than_winter(self):
+        model = WetBulbModel(get_region("milan"), seed=0, start_day_of_year=0)
+        series = model.series(8760)
+        january = series[: 31 * 24].mean()
+        july = series[181 * 24 : 212 * 24].mean()
+        assert july > january + 5.0
+
+    def test_unknown_climate_rejected(self):
+        region = dataclasses.replace(get_region("zurich"), climate="lunar")
+        with pytest.raises(ValueError):
+            WetBulbModel(region)
+
+    def test_non_positive_horizon_rejected(self):
+        model = WetBulbModel(get_region("zurich"))
+        with pytest.raises(ValueError):
+            model.series(0)
+
+    def test_values_physically_plausible(self):
+        for region in default_regions():
+            series = WetBulbModel(region, seed=5).series(8760)
+            assert np.all(series > -25.0)
+            assert np.all(series < 40.0)

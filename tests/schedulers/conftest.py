@@ -1,0 +1,76 @@
+"""Shared fixtures for scheduler tests: a ready-made scheduling context."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import FootprintCalculator
+from repro.cluster.interface import SchedulingContext
+from repro.regions import TransferLatencyModel, default_regions
+from repro.sustainability import ElectricityMapsLikeProvider
+from repro.traces import BorgTraceGenerator, Job
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return ElectricityMapsLikeProvider(horizon_hours=96, seed=2)
+
+
+@pytest.fixture(scope="session")
+def regions():
+    return tuple(default_regions())
+
+
+@pytest.fixture(scope="session")
+def latency(regions):
+    return TransferLatencyModel(regions)
+
+
+@pytest.fixture(scope="session")
+def footprints(dataset):
+    return FootprintCalculator(dataset)
+
+
+@pytest.fixture
+def make_context(regions, dataset, latency, footprints):
+    """Factory building a SchedulingContext with sensible defaults."""
+
+    def _make(
+        now=0.0,
+        capacity=None,
+        delay_tolerance=0.5,
+        interval=300.0,
+        wait_times=None,
+    ):
+        if capacity is None:
+            capacity = {region.key: 10 for region in regions}
+        return SchedulingContext(
+            now=now,
+            regions=regions,
+            capacity=capacity,
+            dataset=dataset,
+            latency=latency,
+            footprints=footprints,
+            delay_tolerance=delay_tolerance,
+            scheduling_interval_s=interval,
+            job_wait_times=wait_times or {},
+        )
+
+    return _make
+
+
+def make_job(job_id, region="zurich", exec_time=1800.0, energy=0.3, arrival=0.0, **kwargs):
+    return Job(
+        job_id=job_id,
+        workload=kwargs.pop("workload", "canneal"),
+        arrival_time=arrival,
+        execution_time=exec_time,
+        energy_kwh=energy,
+        home_region=region,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    return BorgTraceGenerator(rate_per_hour=30.0, duration_days=0.25, seed=5).generate()

@@ -1,0 +1,139 @@
+"""Tests for the baseline, round-robin, least-load and Ecovisor-like policies."""
+
+import pytest
+
+from repro.schedulers import (
+    BaselineScheduler,
+    EcovisorLikeScheduler,
+    LeastLoadScheduler,
+    RoundRobinScheduler,
+    available_schedulers,
+    make_scheduler,
+)
+
+from .conftest import make_job
+
+
+class TestBaseline:
+    def test_assigns_home_region(self, make_context):
+        jobs = [make_job(0, region="zurich"), make_job(1, region="mumbai")]
+        decision = BaselineScheduler().schedule(jobs, make_context())
+        assert decision.assignments == {0: "zurich", 1: "mumbai"}
+        assert not decision.deferred
+
+    def test_unknown_home_region_rejected(self, make_context):
+        job = make_job(0, region="atlantis")
+        with pytest.raises(ValueError):
+            BaselineScheduler().schedule([job], make_context())
+
+    def test_empty_batch(self, make_context):
+        decision = BaselineScheduler().schedule([], make_context())
+        assert decision.assignments == {}
+
+
+class TestRoundRobin:
+    def test_cycles_through_regions(self, make_context):
+        context = make_context()
+        jobs = [make_job(i) for i in range(7)]
+        decision = RoundRobinScheduler().schedule(jobs, context)
+        assigned = [decision.assignments[i] for i in range(7)]
+        assert assigned[:5] == context.region_keys
+        assert assigned[5:] == context.region_keys[:2]
+
+    def test_cursor_persists_across_rounds(self, make_context):
+        scheduler = RoundRobinScheduler()
+        context = make_context()
+        scheduler.schedule([make_job(0), make_job(1)], context)
+        decision = scheduler.schedule([make_job(2)], context)
+        assert decision.assignments[2] == context.region_keys[2]
+
+    def test_reset_restarts_cycle(self, make_context):
+        scheduler = RoundRobinScheduler()
+        context = make_context()
+        scheduler.schedule([make_job(0)], context)
+        scheduler.reset()
+        decision = scheduler.schedule([make_job(1)], context)
+        assert decision.assignments[1] == context.region_keys[0]
+
+
+class TestLeastLoad:
+    def test_prefers_emptiest_region(self, make_context):
+        capacity = {"zurich": 1, "madrid": 1, "oregon": 9, "milan": 1, "mumbai": 1}
+        decision = LeastLoadScheduler().schedule([make_job(0)], make_context(capacity=capacity))
+        assert decision.assignments[0] == "oregon"
+
+    def test_spreads_batch(self, make_context):
+        capacity = {"zurich": 3, "madrid": 3, "oregon": 3, "milan": 3, "mumbai": 3}
+        jobs = [make_job(i) for i in range(5)]
+        decision = LeastLoadScheduler().schedule(jobs, make_context(capacity=capacity))
+        # All five jobs should not land in the same region.
+        assert len(set(decision.assignments.values())) >= 3
+
+    def test_accounts_for_multi_server_jobs(self, make_context):
+        capacity = {"zurich": 4, "madrid": 2, "oregon": 0, "milan": 0, "mumbai": 0}
+        jobs = [make_job(0, servers_required=3), make_job(1)]
+        decision = LeastLoadScheduler().schedule(jobs, make_context(capacity=capacity))
+        assert decision.assignments[0] == "zurich"
+        assert decision.assignments[1] == "madrid"
+
+
+class TestEcovisorLike:
+    def test_never_migrates(self, make_context):
+        jobs = [make_job(i, region="mumbai") for i in range(5)]
+        decision = EcovisorLikeScheduler().schedule(jobs, make_context(delay_tolerance=0.0))
+        assert all(region == "mumbai" for region in decision.assignments.values())
+
+    def test_defers_during_high_carbon_with_tolerance(self, dataset, make_context):
+        # Find an hour where Oregon's carbon intensity is well above the same
+        # trailing 24 h average the scheduler itself computes.
+        series = dataset.series_for("oregon")
+        high_hours = [
+            h
+            for h in range(24, 72)
+            if series.carbon_intensity[h]
+            > 1.1 * series.carbon_intensity[max(0, h - 24) : h + 1].mean()
+        ]
+        if not high_hours:
+            pytest.skip("synthetic series has no pronounced carbon peak in the window")
+        now = high_hours[0] * 3600.0
+        context = make_context(now=now, delay_tolerance=2.0, wait_times={0: 0.0})
+        job = make_job(0, region="oregon", exec_time=3600.0, arrival=now)
+        decision = EcovisorLikeScheduler(high_carbon_threshold=1.05).schedule([job], context)
+        assert decision.deferred == [0]
+
+    def test_does_not_defer_beyond_tolerance(self, make_context):
+        context = make_context(delay_tolerance=0.01, wait_times={0: 0.0})
+        job = make_job(0, region="oregon", exec_time=600.0)
+        decision = EcovisorLikeScheduler(high_carbon_threshold=0.0001).schedule([job], context)
+        # Even with an absurdly low threshold, the tiny tolerance forces assignment.
+        assert decision.assignments == {0: "oregon"}
+
+    def test_unknown_home_region_rejected(self, make_context):
+        with pytest.raises(ValueError):
+            EcovisorLikeScheduler().schedule([make_job(0, region="atlantis")], make_context())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            EcovisorLikeScheduler(trailing_window_h=0.0)
+        with pytest.raises(ValueError):
+            EcovisorLikeScheduler(high_carbon_threshold=-1.0)
+
+
+class TestRegistry:
+    def test_known_schedulers_listed(self):
+        names = available_schedulers()
+        for expected in ("baseline", "round-robin", "least-load",
+                         "carbon-greedy-opt", "water-greedy-opt", "ecovisor-like"):
+            assert expected in names
+
+    def test_make_scheduler(self):
+        assert make_scheduler("baseline").name == "baseline"
+        assert make_scheduler("Round-Robin").name == "round-robin"
+
+    def test_make_waterwise_registers_lazily(self):
+        scheduler = make_scheduler("waterwise")
+        assert scheduler.name == "waterwise"
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(KeyError):
+            make_scheduler("slurm")

@@ -1,0 +1,107 @@
+"""Tests for the Carbon-/Water-Greedy-Optimal oracle policies."""
+
+import numpy as np
+import pytest
+
+from repro.schedulers import (
+    CarbonGreedyOptimalScheduler,
+    GreedyOptimalScheduler,
+    WaterGreedyOptimalScheduler,
+)
+
+from .conftest import make_job
+
+
+class TestConstruction:
+    def test_objective_validation(self):
+        with pytest.raises(ValueError):
+            GreedyOptimalScheduler("energy")
+        with pytest.raises(ValueError):
+            GreedyOptimalScheduler("carbon", max_lookahead_rounds=-1)
+
+    def test_names(self):
+        assert CarbonGreedyOptimalScheduler().name == "carbon-greedy-opt"
+        assert WaterGreedyOptimalScheduler().name == "water-greedy-opt"
+
+
+class TestImmediatePlacement:
+    def test_carbon_oracle_picks_lowest_carbon_region(self, make_context, dataset):
+        context = make_context(delay_tolerance=10.0)
+        job = make_job(0, region="mumbai", exec_time=3600.0)
+        decision = CarbonGreedyOptimalScheduler(max_lookahead_rounds=0).schedule([job], context)
+        chosen = decision.assignments.get(0)
+        assert chosen is not None
+        carbon = context.footprints.carbon_matrix([job], context.region_keys, context.now)[0]
+        assert chosen == context.region_keys[int(np.argmin(carbon))]
+
+    def test_water_oracle_picks_lowest_water_region(self, make_context):
+        context = make_context(delay_tolerance=10.0)
+        job = make_job(0, region="zurich", exec_time=3600.0)
+        decision = WaterGreedyOptimalScheduler(max_lookahead_rounds=0).schedule([job], context)
+        chosen = decision.assignments.get(0)
+        water = context.footprints.water_matrix([job], context.region_keys, context.now)[0]
+        assert chosen == context.region_keys[int(np.argmin(water))]
+
+    def test_oracles_differ_in_placement_preference(self, make_context):
+        """The carbon/water tension: the two oracles should not always agree."""
+        context = make_context(delay_tolerance=10.0)
+        jobs = [make_job(i, region="milan", exec_time=3600.0) for i in range(10)]
+        carbon_decision = CarbonGreedyOptimalScheduler(max_lookahead_rounds=0).schedule(jobs, context)
+        water_decision = WaterGreedyOptimalScheduler(max_lookahead_rounds=0).schedule(jobs, context)
+        assert carbon_decision.assignments != water_decision.assignments
+
+
+class TestToleranceHandling:
+    def test_zero_tolerance_keeps_job_at_home(self, make_context):
+        context = make_context(delay_tolerance=0.0)
+        job = make_job(0, region="mumbai", exec_time=600.0)
+        decision = CarbonGreedyOptimalScheduler().schedule([job], context)
+        # Any remote transfer would violate a 0% tolerance, so the job stays home.
+        assert decision.assignments[0] == "mumbai"
+
+    def test_short_job_cannot_travel_far(self, make_context, latency):
+        # A 60-second job with 25% tolerance can only absorb 15 s of transfer.
+        context = make_context(delay_tolerance=0.25)
+        job = make_job(0, region="zurich", exec_time=60.0)
+        decision = CarbonGreedyOptimalScheduler(max_lookahead_rounds=0).schedule([job], context)
+        chosen = decision.assignments[0]
+        transfer = latency.transfer_time("zurich", chosen, job.package_gb)
+        assert transfer <= 0.25 * 60.0 + 1e-6
+
+    def test_deferral_bounded_by_tolerance(self, make_context):
+        # A job that has already waited most of its allowance must be placed now.
+        context = make_context(delay_tolerance=0.5, wait_times={0: 1700.0})
+        job = make_job(0, region="oregon", exec_time=3600.0)
+        decision = CarbonGreedyOptimalScheduler(max_lookahead_rounds=10).schedule([job], context)
+        assert 0 in decision.assignments
+
+    def test_all_jobs_accounted_for(self, make_context):
+        context = make_context(delay_tolerance=1.0)
+        jobs = [make_job(i, region="madrid") for i in range(20)]
+        decision = CarbonGreedyOptimalScheduler().schedule(jobs, context)
+        assert len(decision.assignments) + len(decision.deferred) == 20
+
+
+class TestCapacityHandling:
+    def test_respects_remaining_capacity(self, make_context):
+        # Only Mumbai has slots; with zero tolerance jobs cannot move, but with a
+        # large tolerance they must all land in the one region with capacity.
+        capacity = {"zurich": 0, "madrid": 0, "oregon": 0, "milan": 0, "mumbai": 3}
+        context = make_context(capacity=capacity, delay_tolerance=10.0)
+        jobs = [make_job(i, region="zurich", exec_time=7200.0) for i in range(3)]
+        decision = CarbonGreedyOptimalScheduler(max_lookahead_rounds=0).schedule(jobs, context)
+        assert all(region == "mumbai" for region in decision.assignments.values())
+
+    def test_defers_when_no_capacity_and_tolerance_allows(self, make_context):
+        capacity = {key: 0 for key in ["zurich", "madrid", "oregon", "milan", "mumbai"]}
+        context = make_context(capacity=capacity, delay_tolerance=2.0)
+        job = make_job(0, region="zurich", exec_time=3600.0)
+        decision = CarbonGreedyOptimalScheduler(max_lookahead_rounds=0).schedule([job], context)
+        assert decision.deferred == [0]
+
+    def test_assigns_home_when_no_capacity_and_no_tolerance(self, make_context):
+        capacity = {key: 0 for key in ["zurich", "madrid", "oregon", "milan", "mumbai"]}
+        context = make_context(capacity=capacity, delay_tolerance=0.0)
+        job = make_job(0, region="zurich", exec_time=600.0)
+        decision = CarbonGreedyOptimalScheduler(max_lookahead_rounds=0).schedule([job], context)
+        assert decision.assignments[0] == "zurich"

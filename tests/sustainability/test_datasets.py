@@ -1,0 +1,153 @@
+"""Tests for dataset providers, WUE/WSF models and region series."""
+
+import numpy as np
+import pytest
+
+from repro.regions import default_regions, get_region, region_subset
+from repro.sustainability import (
+    ElectricityMapsLikeProvider,
+    WRILikeProvider,
+    water_scarcity_factor,
+    wue_from_wet_bulb,
+)
+from repro.sustainability.wue import WUE_CEILING_L_PER_KWH, WUE_FLOOR_L_PER_KWH
+
+
+class TestWUE:
+    def test_scalar_and_array(self):
+        scalar = wue_from_wet_bulb(20.0)
+        assert isinstance(scalar, float)
+        arr = wue_from_wet_bulb(np.array([0.0, 10.0, 20.0, 30.0]))
+        assert arr.shape == (4,)
+
+    def test_monotone_in_wet_bulb(self):
+        temps = np.linspace(-5.0, 35.0, 50)
+        wue = wue_from_wet_bulb(temps)
+        assert np.all(np.diff(wue) >= 0.0)
+
+    def test_bounded(self):
+        wue = wue_from_wet_bulb(np.array([-40.0, 60.0]))
+        assert WUE_FLOOR_L_PER_KWH <= wue[0] <= 1.0  # cold weather bottoms out
+        assert wue[1] == WUE_CEILING_L_PER_KWH  # extreme heat saturates
+        assert np.all(wue >= WUE_FLOOR_L_PER_KWH)
+        assert np.all(wue <= WUE_CEILING_L_PER_KWH)
+
+    def test_typical_range_matches_figure(self):
+        # Fig. 2(c) shows regional WUE averages between roughly 1 and 8 L/kWh.
+        assert 1.0 < wue_from_wet_bulb(10.0) < 3.0
+        assert 4.0 < wue_from_wet_bulb(22.0) < 7.0
+
+
+class TestWSF:
+    def test_known_regions(self):
+        assert water_scarcity_factor("madrid") == pytest.approx(0.80)
+        assert water_scarcity_factor("Zurich") == pytest.approx(0.12)
+
+    def test_override(self):
+        assert water_scarcity_factor("madrid", overrides={"madrid": 0.5}) == 0.5
+
+    def test_unknown_region(self):
+        with pytest.raises(KeyError):
+            water_scarcity_factor("atlantis")
+
+    def test_negative_override_rejected(self):
+        with pytest.raises(ValueError):
+            water_scarcity_factor("madrid", overrides={"madrid": -1.0})
+
+
+class TestProviders:
+    @pytest.fixture(scope="class")
+    def provider(self):
+        return ElectricityMapsLikeProvider(horizon_hours=240, seed=3)
+
+    def test_covers_all_default_regions(self, provider):
+        series = provider.all_series()
+        assert set(series) == {r.key for r in default_regions()}
+
+    def test_series_shapes(self, provider):
+        series = provider.series_for("oregon")
+        assert series.horizon_hours == 240
+        assert len(series.ewif) == 240
+        assert len(series.wue) == 240
+
+    def test_series_cached(self, provider):
+        assert provider.series_for("milan") is provider.series_for("milan")
+
+    def test_unknown_region(self, provider):
+        with pytest.raises(KeyError):
+            provider.series_for("atlantis")
+
+    def test_time_lookup_clamps_to_horizon(self, provider):
+        series = provider.series_for("zurich")
+        end_value = series.carbon_intensity_at((240 - 1) * 3600.0)
+        assert series.carbon_intensity_at(10_000_000.0) == end_value
+        with pytest.raises(ValueError):
+            series.carbon_intensity_at(-1.0)
+
+    def test_water_intensity_series_positive(self, provider):
+        for key in provider.region_keys:
+            wi = provider.series_for(key).water_intensity_series()
+            assert np.all(wi > 0.0)
+
+    def test_deterministic_per_seed(self):
+        a = ElectricityMapsLikeProvider(horizon_hours=48, seed=9).series_for("mumbai")
+        b = ElectricityMapsLikeProvider(horizon_hours=48, seed=9).series_for("mumbai")
+        np.testing.assert_array_equal(a.carbon_intensity, b.carbon_intensity)
+        np.testing.assert_array_equal(a.wue, b.wue)
+
+    def test_pue_applied(self):
+        provider = ElectricityMapsLikeProvider(horizon_hours=24, pue=1.5)
+        assert provider.series_for("zurich").pue == 1.5
+        per_region = ElectricityMapsLikeProvider(horizon_hours=24, pue=None)
+        assert per_region.series_for("zurich").pue == get_region("zurich").pue
+
+    def test_wri_provider_differs_in_water_not_carbon(self):
+        em = ElectricityMapsLikeProvider(horizon_hours=100, seed=1)
+        wri = WRILikeProvider(horizon_hours=100, seed=1)
+        for key in em.region_keys:
+            np.testing.assert_allclose(
+                em.series_for(key).carbon_intensity, wri.series_for(key).carbon_intensity
+            )
+            assert not np.allclose(em.series_for(key).ewif, wri.series_for(key).ewif)
+
+    def test_subset_of_regions(self):
+        provider = ElectricityMapsLikeProvider(
+            regions=region_subset(["zurich", "oregon"]), horizon_hours=24
+        )
+        assert provider.region_keys == ["zurich", "oregon"]
+        with pytest.raises(KeyError):
+            provider.series_for("mumbai")
+
+    def test_perturbed_dataset_scales_series(self, provider):
+        perturbed = provider.perturbed(carbon_scale=1.1, water_scale=0.9)
+        base = provider.series_for("milan")
+        scaled = perturbed.series_for("milan")
+        np.testing.assert_allclose(scaled.carbon_intensity, base.carbon_intensity * 1.1)
+        np.testing.assert_allclose(scaled.wue, base.wue * 0.9)
+        np.testing.assert_allclose(scaled.ewif, base.ewif * 0.9)
+
+    def test_scaled_rejects_non_positive(self, provider):
+        with pytest.raises(ValueError):
+            provider.series_for("milan").scaled(carbon_scale=0.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ElectricityMapsLikeProvider(horizon_hours=0)
+        with pytest.raises(ValueError):
+            ElectricityMapsLikeProvider(regions=[])
+        with pytest.raises(ValueError):
+            ElectricityMapsLikeProvider(pue=0.8)
+
+    def test_regional_wue_ordering(self, provider):
+        means = {key: provider.series_for(key).mean_wue() for key in provider.region_keys}
+        assert means["mumbai"] == max(means.values())
+        assert means["zurich"] == min(means.values())
+
+    def test_water_intensity_reflects_scarcity_and_weather(self, provider):
+        means = {
+            key: provider.series_for(key).mean_water_intensity() for key in provider.region_keys
+        }
+        # Zurich: very high EWIF but low scarcity and cool weather; Madrid: scarce.
+        assert means["madrid"] > means["milan"]
+        # All regions have meaningfully positive water intensity.
+        assert all(v > 1.0 for v in means.values())

@@ -1,0 +1,97 @@
+"""Tests for the energy-source catalog (paper Fig. 1)."""
+
+import pytest
+
+from repro.sustainability import ENERGY_SOURCES, get_energy_source
+from repro.sustainability.energy_sources import mix_carbon_intensity, mix_ewif
+
+
+class TestCatalogValues:
+    def test_all_nine_sources_present(self):
+        expected = {
+            "nuclear", "wind", "hydro", "geothermal", "solar", "biomass", "gas", "oil", "coal",
+        }
+        assert set(ENERGY_SOURCES) == expected
+
+    def test_papers_coal_vs_hydro_carbon_anchor(self):
+        # Paper: coal 1050 gCO2/kWh is roughly 62x hydro's 17 gCO2/kWh.
+        coal = get_energy_source("coal")
+        hydro = get_energy_source("hydro")
+        assert coal.carbon_intensity == pytest.approx(1050.0)
+        assert hydro.carbon_intensity == pytest.approx(17.0)
+        assert coal.carbon_intensity / hydro.carbon_intensity == pytest.approx(62.0, rel=0.05)
+
+    def test_papers_hydro_vs_coal_ewif_anchor(self):
+        # Paper: hydro EWIF of 17 L/kWh is roughly 11x coal's.
+        coal = get_energy_source("coal")
+        hydro = get_energy_source("hydro")
+        assert hydro.ewif == pytest.approx(17.0)
+        assert hydro.ewif / coal.ewif == pytest.approx(11.0, rel=0.05)
+
+    def test_fossil_sources_have_highest_carbon(self):
+        fossil = [s for s in ENERGY_SOURCES.values() if not s.renewable]
+        renewable = [s for s in ENERGY_SOURCES.values() if s.renewable]
+        assert min(s.carbon_intensity for s in fossil) > max(
+            s.carbon_intensity for s in renewable if s.key != "biomass"
+        )
+
+    def test_renewables_are_flagged(self):
+        assert get_energy_source("wind").renewable
+        assert get_energy_source("solar").renewable
+        assert not get_energy_source("coal").renewable
+        assert not get_energy_source("gas").renewable
+
+    def test_lookup_case_insensitive(self):
+        assert get_energy_source(" Hydro ").key == "hydro"
+
+    def test_unknown_source(self):
+        with pytest.raises(KeyError):
+            get_energy_source("fusion")
+
+
+class TestMixMath:
+    def test_pure_mix_matches_source(self):
+        assert mix_carbon_intensity({"coal": 1.0}) == pytest.approx(1050.0)
+        assert mix_ewif({"hydro": 1.0}) == pytest.approx(17.0)
+
+    def test_fifty_fifty_mix(self):
+        ci = mix_carbon_intensity({"coal": 0.5, "hydro": 0.5})
+        assert ci == pytest.approx((1050.0 + 17.0) / 2)
+
+    def test_mix_normalizes_shares(self):
+        # Shares that sum to 2 are normalized rather than double counted.
+        ci = mix_carbon_intensity({"coal": 1.0, "hydro": 1.0})
+        assert ci == pytest.approx((1050.0 + 17.0) / 2)
+
+    def test_ewif_override_table(self):
+        default = mix_ewif({"coal": 1.0})
+        overridden = mix_ewif({"coal": 1.0}, ewif_table={"coal": 3.0})
+        assert default != overridden
+        assert overridden == pytest.approx(3.0)
+
+    def test_partial_override_table_falls_back(self):
+        value = mix_ewif({"coal": 0.5, "hydro": 0.5}, ewif_table={"coal": 3.0})
+        assert value == pytest.approx((3.0 + 17.0) / 2)
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            mix_carbon_intensity({})
+
+    def test_negative_share_rejected(self):
+        with pytest.raises(ValueError):
+            mix_carbon_intensity({"coal": -0.5, "hydro": 1.5})
+
+    def test_unknown_source_in_mix_rejected(self):
+        with pytest.raises(KeyError):
+            mix_ewif({"fusion": 1.0})
+
+    def test_zero_total_share_rejected(self):
+        with pytest.raises(ValueError):
+            mix_carbon_intensity({"coal": 0.0})
+
+    def test_carbon_water_tension_exists(self):
+        """The core motivation: some carbon-friendly sources are water-hungry."""
+        hydro = get_energy_source("hydro")
+        coal = get_energy_source("coal")
+        assert hydro.carbon_intensity < coal.carbon_intensity
+        assert hydro.ewif > coal.ewif

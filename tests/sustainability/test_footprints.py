@@ -1,0 +1,184 @@
+"""Tests for carbon/water footprint models and intensity metrics (Eq. 1-6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sustainability import CarbonModel, ServerSpec, WaterModel, water_intensity
+from repro.sustainability.intensity import carbon_intensity_metric
+
+_ENERGY = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+_INTENSITY = st.floats(min_value=0.0, max_value=2000.0, allow_nan=False)
+_TIME = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+@pytest.fixture
+def server():
+    return ServerSpec(
+        embodied_carbon_kg=1000.0,
+        lifetime_years=4.0,
+        manufacturing_carbon_intensity=500.0,
+        manufacturing_ewif=2.0,
+        manufacturing_wsf=0.5,
+    )
+
+
+class TestServerSpec:
+    def test_embodied_water_derivation_eq4(self, server):
+        # E_manufacturing = 1,000,000 g / 500 g/kWh = 2000 kWh
+        assert server.manufacturing_energy_kwh == pytest.approx(2000.0)
+        # H2O_embodied = 2000 kWh * 2 L/kWh * (1 + 0.5) = 6000 L
+        assert server.embodied_water_l == pytest.approx(6000.0)
+
+    def test_amortization_proportional_to_time(self, server):
+        full_life = server.lifetime_seconds
+        assert server.amortized_embodied_carbon(full_life) == pytest.approx(
+            server.embodied_carbon_g
+        )
+        assert server.amortized_embodied_carbon(full_life / 2) == pytest.approx(
+            server.embodied_carbon_g / 2
+        )
+        assert server.amortized_embodied_water(0.0) == 0.0
+
+    def test_power_model(self, server):
+        assert server.power_at_utilization(0.0) == server.idle_power_w
+        assert server.power_at_utilization(1.0) == server.peak_power_w
+        mid = server.power_at_utilization(0.5)
+        assert server.idle_power_w < mid < server.peak_power_w
+        with pytest.raises(ValueError):
+            server.power_at_utilization(1.5)
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            ServerSpec(lifetime_years=0.0)
+        with pytest.raises(ValueError):
+            ServerSpec(peak_power_w=100.0, idle_power_w=200.0)
+        with pytest.raises(ValueError):
+            ServerSpec(cores=0)
+
+
+class TestCarbonModel:
+    def test_operational_eq1(self):
+        model = CarbonModel()
+        # 2 kWh at 300 gCO2/kWh = 600 g
+        assert model.operational(2.0, 300.0) == pytest.approx(600.0)
+
+    def test_total_includes_embodied(self, server):
+        model = CarbonModel(server=server)
+        one_hour = 3600.0
+        total = model.total(1.0, 100.0, one_hour)
+        expected_embodied = server.amortized_embodied_carbon(one_hour)
+        assert total == pytest.approx(100.0 + expected_embodied)
+
+    def test_embodied_can_be_disabled(self, server):
+        model = CarbonModel(server=server, include_embodied=False)
+        assert model.total(1.0, 100.0, 3600.0) == pytest.approx(100.0)
+
+    def test_vectorized_over_regions(self):
+        model = CarbonModel()
+        intensities = np.array([100.0, 200.0, 300.0])
+        result = model.operational(2.0, intensities)
+        np.testing.assert_allclose(result, [200.0, 400.0, 600.0])
+
+    def test_negative_inputs_rejected(self):
+        model = CarbonModel()
+        with pytest.raises(ValueError):
+            model.operational(-1.0, 100.0)
+        with pytest.raises(ValueError):
+            model.operational(1.0, -100.0)
+        with pytest.raises(ValueError):
+            model.embodied(-5.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(energy=_ENERGY, ci=_INTENSITY, time_s=_TIME)
+    def test_total_is_monotone_and_nonnegative(self, energy, ci, time_s):
+        model = CarbonModel()
+        total = model.total(energy, ci, time_s)
+        assert total >= 0.0
+        assert model.total(energy + 1.0, ci, time_s) >= total
+
+
+class TestWaterModel:
+    def test_offsite_eq2(self):
+        model = WaterModel()
+        # PUE 1.2 * 10 kWh * 2 L/kWh * (1 + 0.5) = 36 L
+        assert model.offsite(10.0, 2.0, 0.5, 1.2) == pytest.approx(36.0)
+
+    def test_onsite_eq3(self):
+        model = WaterModel()
+        # 10 kWh * 3 L/kWh * (1 + 0.5) = 45 L
+        assert model.onsite(10.0, 3.0, 0.5) == pytest.approx(45.0)
+
+    def test_total_eq5(self, server):
+        model = WaterModel(server=server)
+        energy, ewif, wue, wsf, pue, time_s = 10.0, 2.0, 3.0, 0.5, 1.2, 7200.0
+        expected = (
+            pue * energy * ewif * (1 + wsf)
+            + energy * wue * (1 + wsf)
+            + server.amortized_embodied_water(time_s)
+        )
+        assert model.total(energy, ewif, wue, wsf, pue, time_s) == pytest.approx(expected)
+
+    def test_embodied_can_be_disabled(self, server):
+        model = WaterModel(server=server, include_embodied=False)
+        operational = model.operational(10.0, 2.0, 3.0, 0.5, 1.2)
+        assert model.total(10.0, 2.0, 3.0, 0.5, 1.2, 1e6) == pytest.approx(operational)
+
+    def test_water_scarcity_scales_footprint(self):
+        model = WaterModel()
+        abundant = model.operational(10.0, 2.0, 3.0, 0.0, 1.2)
+        scarce = model.operational(10.0, 2.0, 3.0, 1.0, 1.2)
+        assert scarce == pytest.approx(2.0 * abundant)
+
+    def test_vectorized_over_regions(self):
+        model = WaterModel()
+        ewif = np.array([1.0, 2.0])
+        wue = np.array([3.0, 4.0])
+        wsf = np.array([0.0, 1.0])
+        result = model.operational(1.0, ewif, wue, wsf, 1.2)
+        np.testing.assert_allclose(result, [1.2 + 3.0, 2.0 * (2.4 + 4.0)])
+
+    def test_pue_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            WaterModel().offsite(1.0, 1.0, 0.1, 0.9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        energy=_ENERGY,
+        ewif=st.floats(min_value=0, max_value=20, allow_nan=False),
+        wue=st.floats(min_value=0, max_value=10, allow_nan=False),
+        wsf=st.floats(min_value=0, max_value=2, allow_nan=False),
+    )
+    def test_operational_water_nonnegative_and_additive(self, energy, ewif, wue, wsf):
+        model = WaterModel()
+        total = model.operational(energy, ewif, wue, wsf, 1.2)
+        assert total >= 0.0
+        assert total == pytest.approx(
+            model.offsite(energy, ewif, wsf, 1.2) + model.onsite(energy, wue, wsf)
+        )
+
+
+class TestIntensityMetrics:
+    def test_water_intensity_eq6(self):
+        # (WUE + PUE*EWIF) * (1 + WSF) = (3 + 1.2*2) * 1.5 = 8.1
+        assert water_intensity(3.0, 2.0, 0.5, 1.2) == pytest.approx(8.1)
+
+    def test_water_intensity_vectorized(self):
+        result = water_intensity(np.array([1.0, 2.0]), 1.0, 0.0, 1.0)
+        np.testing.assert_allclose(result, [2.0, 3.0])
+
+    def test_water_intensity_increases_with_scarcity(self):
+        assert water_intensity(3.0, 2.0, 0.9, 1.2) > water_intensity(3.0, 2.0, 0.1, 1.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            water_intensity(-1.0, 1.0, 0.1, 1.2)
+        with pytest.raises(ValueError):
+            water_intensity(1.0, 1.0, 0.1, 0.5)
+        with pytest.raises(ValueError):
+            carbon_intensity_metric(-5.0)
+
+    def test_carbon_metric_passthrough(self):
+        assert carbon_intensity_metric(123.0) == 123.0
+        np.testing.assert_allclose(carbon_intensity_metric(np.array([1.0, 2.0])), [1.0, 2.0])

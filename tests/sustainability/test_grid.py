@@ -1,0 +1,131 @@
+"""Tests for the grid-mix model (regional CI/EWIF series, Fig. 2a-b/e)."""
+
+import numpy as np
+import pytest
+
+from repro.regions import DEFAULT_REGION_KEYS
+from repro.sustainability import GridMix, GridMixModel, REGION_GRID_MIXES
+
+
+class TestGridMixValidation:
+    def test_all_default_regions_have_mixes(self):
+        assert set(REGION_GRID_MIXES) == set(DEFAULT_REGION_KEYS)
+
+    def test_mix_shares_sum_to_one(self):
+        for mix in REGION_GRID_MIXES.values():
+            assert sum(mix.shares.values()) == pytest.approx(1.0)
+
+    def test_invalid_mixes_rejected(self):
+        with pytest.raises(ValueError):
+            GridMix({})
+        with pytest.raises(KeyError):
+            GridMix({"fusion": 1.0})
+        with pytest.raises(ValueError):
+            GridMix({"coal": 0.4, "gas": 0.4})  # doesn't sum to 1
+        with pytest.raises(ValueError):
+            GridMix({"coal": 1.5, "gas": -0.5})
+
+    def test_share_lookup(self):
+        mix = REGION_GRID_MIXES["mumbai"]
+        # Mumbai's grid is coal-dominated (largest single share).
+        assert mix.share("coal") == max(mix.shares.values())
+        assert mix.share("coal") > 0.4
+        assert mix.share("geothermal") == 0.0
+
+    def test_unknown_region_rejected(self):
+        with pytest.raises(KeyError):
+            GridMixModel("atlantis")
+
+
+class TestShareSeries:
+    def test_rows_sum_to_one(self):
+        model = GridMixModel("oregon", seed=1)
+        shares = model.share_series(240)
+        np.testing.assert_allclose(shares.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(shares >= 0.0)
+
+    def test_deterministic_per_seed(self):
+        a = GridMixModel("milan", seed=3).share_series(100)
+        b = GridMixModel("milan", seed=3).share_series(100)
+        np.testing.assert_array_equal(a, b)
+        c = GridMixModel("milan", seed=4).share_series(100)
+        assert not np.array_equal(a, c)
+
+    def test_solar_is_zero_at_night(self):
+        model = GridMixModel("madrid", seed=0)
+        shares = model.share_series(48)
+        solar_idx = model.source_keys.index("solar")
+        night_hours = [0, 1, 2, 3, 22, 23, 24, 25, 26, 46, 47]
+        assert np.allclose(shares[night_hours, solar_idx], 0.0, atol=1e-9)
+
+    def test_solar_positive_at_midday(self):
+        model = GridMixModel("madrid", seed=0)
+        shares = model.share_series(48)
+        solar_idx = model.source_keys.index("solar")
+        assert shares[12, solar_idx] > 0.05
+        assert shares[36, solar_idx] > 0.05
+
+    def test_zero_variability_gives_static_mix(self):
+        model = GridMixModel("mumbai", seed=0, variability=0.0)
+        shares = model.share_series(72)
+        assert np.allclose(shares, shares[0], atol=1e-9)
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            GridMixModel("zurich").share_series(0)
+
+    def test_negative_variability_rejected(self):
+        with pytest.raises(ValueError):
+            GridMixModel("zurich", variability=-1.0)
+
+
+class TestRegionalOrdering:
+    """The synthetic mixes must reproduce the paper's Fig. 2 orderings."""
+
+    @pytest.fixture(scope="class")
+    def yearly_means(self):
+        means = {}
+        for key in DEFAULT_REGION_KEYS:
+            model = GridMixModel(key, seed=11)
+            means[key] = {
+                "ci": float(np.mean(model.carbon_intensity_series(8760))),
+                "ewif": float(np.mean(model.ewif_series(8760))),
+            }
+        return means
+
+    def test_zurich_has_lowest_carbon_intensity(self, yearly_means):
+        assert yearly_means["zurich"]["ci"] == min(m["ci"] for m in yearly_means.values())
+
+    def test_mumbai_has_highest_carbon_intensity(self, yearly_means):
+        assert yearly_means["mumbai"]["ci"] == max(m["ci"] for m in yearly_means.values())
+
+    def test_carbon_intensity_region_order_matches_paper(self, yearly_means):
+        # Paper Fig. 2 sorts regions by carbon intensity:
+        # Zurich < Madrid < Oregon < Milan < Mumbai.
+        order = sorted(DEFAULT_REGION_KEYS, key=lambda k: yearly_means[k]["ci"])
+        assert order == ["zurich", "madrid", "oregon", "milan", "mumbai"]
+
+    def test_zurich_has_highest_ewif(self, yearly_means):
+        assert yearly_means["zurich"]["ewif"] == max(m["ewif"] for m in yearly_means.values())
+
+    def test_carbon_water_tension_across_regions(self, yearly_means):
+        """Lowest-carbon region must not be the lowest-water region (Obs. 2)."""
+        lowest_carbon = min(DEFAULT_REGION_KEYS, key=lambda k: yearly_means[k]["ci"])
+        lowest_ewif = min(DEFAULT_REGION_KEYS, key=lambda k: yearly_means[k]["ewif"])
+        assert lowest_carbon != lowest_ewif
+
+    def test_temporal_variation_exists(self):
+        model = GridMixModel("oregon", seed=5)
+        ci = model.carbon_intensity_series(24 * 30)
+        assert np.std(ci) > 0.02 * np.mean(ci)
+
+    def test_wri_table_changes_ewif_but_not_carbon(self):
+        from repro.sustainability.datasets import WRI_EWIF_TABLE
+
+        model = GridMixModel("zurich", seed=2)
+        default_ewif = model.ewif_series(100)
+        wri_ewif = model.ewif_series(100, ewif_table=WRI_EWIF_TABLE)
+        assert not np.allclose(default_ewif, wri_ewif)
+        np.testing.assert_array_equal(
+            model.carbon_intensity_series(100), model.carbon_intensity_series(100)
+        )

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.policies == ["baseline", "waterwise"]
+        assert args.trace == "borg"
+        assert args.tolerance == 0.5
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+
+class TestCommands:
+    def test_regions_command(self, capsys):
+        assert main(["regions"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Zurich", "Madrid", "Oregon", "Milan", "Mumbai"):
+            assert name in out
+
+    def test_workloads_command(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "canneal" in out and "graph_analytics" in out
+
+    def test_simulate_small_run(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--policies", "baseline", "round-robin", "waterwise",
+                "--jobs-per-hour", "15",
+                "--hours", "3",
+                "--tolerance", "0.5",
+                "--seed", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Savings vs. baseline" in out
+        assert "waterwise" in out
+        assert "round-robin" in out
+
+    def test_simulate_adds_baseline_when_missing(self, capsys):
+        code = main(
+            ["simulate", "--policies", "waterwise", "--jobs-per-hour", "10", "--hours", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+
+    def test_simulate_wri_data_source(self, capsys):
+        code = main(
+            [
+                "simulate", "--policies", "waterwise", "--jobs-per-hour", "10",
+                "--hours", "2", "--data-source", "wri",
+            ]
+        )
+        assert code == 0
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(KeyError):
+            main(["simulate", "--policies", "slurm", "--jobs-per-hour", "5", "--hours", "1"])

@@ -1,0 +1,100 @@
+"""Tests for the arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.traces import BurstyArrivalProcess, DiurnalPoissonProcess, PoissonArrivalProcess
+
+_DAY = 86_400.0
+
+
+class TestPoisson:
+    def test_expected_count(self):
+        process = PoissonArrivalProcess(rate_per_hour=60.0)
+        assert process.expected_count(3600.0) == pytest.approx(60.0)
+
+    def test_generate_count_close_to_expectation(self):
+        process = PoissonArrivalProcess(rate_per_hour=120.0)
+        rng = np.random.default_rng(0)
+        arrivals = process.generate(10 * 3600.0, rng)
+        assert 1000 < len(arrivals) < 1400  # expectation 1200
+        assert np.all(np.diff(arrivals) >= 0.0)
+        assert np.all((arrivals >= 0.0) & (arrivals < 10 * 3600.0))
+
+    def test_zero_horizon(self):
+        process = PoissonArrivalProcess(rate_per_hour=10.0)
+        assert len(process.generate(0.0, np.random.default_rng(0))) == 0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivalProcess(rate_per_hour=0.0)
+
+
+class TestDiurnal:
+    def test_rate_peaks_at_peak_hour(self):
+        process = DiurnalPoissonProcess(100.0, amplitude=0.5, peak_hour=15.0)
+        peak = process.rate_at(15.0 * 3600.0)
+        trough = process.rate_at(3.0 * 3600.0)
+        assert peak == pytest.approx(150.0)
+        assert trough == pytest.approx(50.0)
+
+    def test_zero_amplitude_is_flat(self):
+        process = DiurnalPoissonProcess(80.0, amplitude=0.0)
+        hours = np.arange(24) * 3600.0
+        np.testing.assert_allclose(process.rate_at(hours), 80.0)
+
+    def test_expected_count_close_to_base_rate(self):
+        process = DiurnalPoissonProcess(100.0, amplitude=0.5)
+        # Over a full day the sinusoidal modulation integrates out.
+        assert process.expected_count(_DAY) == pytest.approx(2400.0, rel=0.02)
+
+    def test_generated_arrivals_follow_diurnal_shape(self):
+        process = DiurnalPoissonProcess(200.0, amplitude=0.8, peak_hour=15.0)
+        rng = np.random.default_rng(1)
+        arrivals = process.generate(5 * _DAY, rng)
+        hours = (arrivals / 3600.0) % 24
+        day_count = np.sum((hours >= 12) & (hours < 18))
+        night_count = np.sum((hours >= 0) & (hours < 6))
+        assert day_count > 1.5 * night_count
+
+    def test_amplitude_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalPoissonProcess(10.0, amplitude=1.5)
+
+    def test_deterministic_given_rng(self):
+        process = DiurnalPoissonProcess(50.0)
+        a = process.generate(_DAY, np.random.default_rng(3))
+        b = process.generate(_DAY, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestBursty:
+    def test_rate_exceeds_diurnal_baseline(self):
+        base = DiurnalPoissonProcess(100.0, amplitude=0.3)
+        bursty = BurstyArrivalProcess(100.0, amplitude=0.3, bursts_per_day=12, burst_multiplier=6.0)
+        rng_a, rng_b = np.random.default_rng(0), np.random.default_rng(0)
+        n_base = len(base.generate(2 * _DAY, rng_a))
+        n_bursty = len(bursty.generate(2 * _DAY, rng_b))
+        assert n_bursty > n_base
+
+    def test_interarrival_variability_higher_than_poisson(self):
+        smooth = DiurnalPoissonProcess(400.0, amplitude=0.0)
+        bursty = BurstyArrivalProcess(
+            400.0, amplitude=0.0, bursts_per_day=24, burst_duration_s=900.0, burst_multiplier=8.0
+        )
+        smooth_arr = smooth.generate(_DAY, np.random.default_rng(5))
+        bursty_arr = bursty.generate(_DAY, np.random.default_rng(5))
+        cv_smooth = np.std(np.diff(smooth_arr)) / np.mean(np.diff(smooth_arr))
+        cv_bursty = np.std(np.diff(bursty_arr)) / np.mean(np.diff(bursty_arr))
+        assert cv_bursty > cv_smooth
+
+    def test_sorted_output(self):
+        bursty = BurstyArrivalProcess(200.0)
+        arrivals = bursty.generate(_DAY, np.random.default_rng(7))
+        assert np.all(np.diff(arrivals) >= 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyArrivalProcess(100.0, burst_multiplier=0.5)
+        with pytest.raises(ValueError):
+            BurstyArrivalProcess(100.0, bursts_per_day=0.0)

@@ -1,0 +1,177 @@
+"""Tests for the Trace container and the Borg/Alibaba generators."""
+
+import numpy as np
+import pytest
+
+from repro.regions import DEFAULT_REGION_KEYS
+from repro.traces import (
+    AlibabaTraceGenerator,
+    BorgTraceGenerator,
+    Job,
+    Trace,
+    WORKLOAD_PROFILES,
+)
+
+
+def make_job(job_id, arrival, region="zurich", exec_time=600.0):
+    return Job(
+        job_id=job_id,
+        workload="dedup",
+        arrival_time=arrival,
+        execution_time=exec_time,
+        energy_kwh=0.1,
+        home_region=region,
+    )
+
+
+class TestTraceContainer:
+    def test_sorted_by_arrival(self):
+        trace = Trace([make_job(0, 50.0), make_job(1, 10.0), make_job(2, 30.0)])
+        assert [j.arrival_time for j in trace] == [10.0, 30.0, 50.0]
+        assert len(trace) == 3
+        assert trace[0].job_id == 1
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Trace([make_job(0, 1.0), make_job(0, 2.0)])
+
+    def test_horizon_and_rates(self):
+        trace = Trace([make_job(i, i * 600.0) for i in range(7)])
+        assert trace.horizon_s == pytest.approx(3600.0)
+        assert trace.mean_interarrival_s() == pytest.approx(600.0)
+        assert trace.arrival_rate_per_hour() == pytest.approx(7.0)
+
+    def test_empty_trace(self):
+        trace = Trace([])
+        assert len(trace) == 0
+        assert trace.horizon_s == 0.0
+        assert np.isnan(trace.mean_interarrival_s())
+
+    def test_window(self):
+        trace = Trace([make_job(i, i * 100.0) for i in range(10)])
+        window = trace.window(200.0, 500.0)
+        assert [j.job_id for j in window] == [2, 3, 4]
+        with pytest.raises(ValueError):
+            trace.window(500.0, 200.0)
+
+    def test_filter_and_head(self):
+        trace = Trace([make_job(i, i * 10.0, region="zurich" if i % 2 else "milan") for i in range(10)])
+        zurich = trace.filter(lambda j: j.home_region == "zurich")
+        assert all(j.home_region == "zurich" for j in zurich)
+        assert len(trace.head(3)) == 3
+        with pytest.raises(ValueError):
+            trace.head(-1)
+
+    def test_scale_rate(self):
+        trace = Trace([make_job(i, i * 100.0) for i in range(5)])
+        faster = trace.scale_rate(2.0)
+        assert faster.horizon_s == pytest.approx(trace.horizon_s / 2.0)
+        assert len(faster) == len(trace)
+        with pytest.raises(ValueError):
+            trace.scale_rate(0.0)
+
+    def test_jobs_per_region_and_workload(self):
+        trace = Trace([make_job(i, i, region=DEFAULT_REGION_KEYS[i % 5]) for i in range(10)])
+        per_region = trace.jobs_per_region()
+        assert sum(per_region.values()) == 10
+        assert set(per_region) <= set(DEFAULT_REGION_KEYS)
+        assert trace.jobs_per_workload() == {"dedup": 10}
+
+    def test_restricted_to_regions_reassigns(self):
+        trace = Trace([make_job(i, i, region=DEFAULT_REGION_KEYS[i % 5]) for i in range(20)])
+        restricted = trace.restricted_to_regions(["zurich", "oregon"])
+        assert len(restricted) == 20
+        assert set(restricted.jobs_per_region()) == {"zurich", "oregon"}
+
+    def test_restricted_to_regions_drop(self):
+        trace = Trace([make_job(i, i, region=DEFAULT_REGION_KEYS[i % 5]) for i in range(20)])
+        dropped = trace.restricted_to_regions(["zurich"], reassign=False)
+        assert set(dropped.jobs_per_region()) == {"zurich"}
+        assert len(dropped) == 4
+
+    def test_jsonl_round_trip(self, tmp_path):
+        trace = Trace([make_job(i, i * 7.0) for i in range(6)], name="round-trip")
+        path = tmp_path / "trace.jsonl"
+        trace.to_jsonl(path)
+        loaded = Trace.from_jsonl(path)
+        assert len(loaded) == len(trace)
+        assert loaded[3].arrival_time == trace[3].arrival_time
+        assert loaded[0].workload == "dedup"
+
+
+class TestBorgGenerator:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return BorgTraceGenerator(rate_per_hour=100.0, duration_days=0.5, seed=42).generate()
+
+    def test_reproducible(self):
+        a = BorgTraceGenerator(rate_per_hour=50.0, duration_days=0.2, seed=7).generate()
+        b = BorgTraceGenerator(rate_per_hour=50.0, duration_days=0.2, seed=7).generate()
+        assert len(a) == len(b)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_job_count_scales_with_rate(self, trace):
+        from repro.traces.arrival import DiurnalPoissonProcess
+
+        # The expected count follows the diurnal process' integrated rate.
+        expected = DiurnalPoissonProcess(100.0, amplitude=0.5).expected_count(0.5 * 86_400.0)
+        assert 0.85 * expected < len(trace) < 1.15 * expected
+
+    def test_all_regions_used(self, trace):
+        assert set(trace.jobs_per_region()) == set(DEFAULT_REGION_KEYS)
+
+    def test_all_workloads_used(self, trace):
+        assert set(trace.jobs_per_workload()) == set(WORKLOAD_PROFILES)
+
+    def test_estimates_differ_from_realized(self, trace):
+        diffs = [abs(j.realized_execution_time - j.execution_time) for j in trace]
+        assert max(diffs) > 0.0
+        # but bounded by the configured 10% estimate error
+        rel = [abs(j.realized_execution_time / j.execution_time - 1.0) for j in trace]
+        assert max(rel) <= 0.10 + 1e-9
+
+    def test_zero_estimate_error(self):
+        trace = BorgTraceGenerator(rate_per_hour=30.0, duration_days=0.1, seed=1, estimate_error=0.0).generate()
+        assert all(j.realized_execution_time == j.execution_time for j in trace)
+
+    def test_custom_regions_and_weights(self):
+        gen = BorgTraceGenerator(
+            rate_per_hour=60.0, duration_days=0.2, seed=3,
+            region_keys=["zurich", "mumbai"], region_weights=[0.9, 0.1],
+        )
+        trace = gen.generate()
+        counts = trace.jobs_per_region()
+        assert set(counts) <= {"zurich", "mumbai"}
+        assert counts.get("zurich", 0) > counts.get("mumbai", 0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BorgTraceGenerator(rate_per_hour=0.0)
+        with pytest.raises(ValueError):
+            BorgTraceGenerator(region_keys=[])
+        with pytest.raises(ValueError):
+            BorgTraceGenerator(region_keys=["zurich"], region_weights=[0.5, 0.5])
+        with pytest.raises(ValueError):
+            BorgTraceGenerator(estimate_error=1.5)
+
+
+class TestAlibabaGenerator:
+    def test_rate_ratio_default(self):
+        borg = BorgTraceGenerator(duration_days=0.25, seed=0)
+        alibaba = AlibabaTraceGenerator(duration_days=0.25, seed=0)
+        assert alibaba.rate_per_hour == pytest.approx(8.5 * borg.rate_per_hour)
+
+    def test_generates_more_jobs_than_borg(self):
+        borg = BorgTraceGenerator(rate_per_hour=60.0, duration_days=0.25, seed=5).generate()
+        alibaba = AlibabaTraceGenerator(rate_per_hour=None, duration_days=0.25, seed=5).generate()
+        assert len(alibaba) > 4 * len(borg)
+
+    def test_trace_name(self):
+        trace = AlibabaTraceGenerator(rate_per_hour=50.0, duration_days=0.1, seed=2).generate()
+        assert trace.name.startswith("alibaba-like")
+
+    def test_reproducible(self):
+        a = AlibabaTraceGenerator(rate_per_hour=80.0, duration_days=0.1, seed=9).generate()
+        b = AlibabaTraceGenerator(rate_per_hour=80.0, duration_days=0.1, seed=9).generate()
+        assert len(a) == len(b)
+        assert all(x == y for x, y in zip(a, b))

@@ -1,0 +1,81 @@
+"""Tests for the Table 1 workload profiles."""
+
+import numpy as np
+import pytest
+
+from repro.sustainability import ServerSpec
+from repro.traces import WORKLOAD_PROFILES, get_workload
+from repro.traces.workloads import WorkloadProfile, sample_workload
+
+
+class TestCatalog:
+    def test_ten_benchmarks_from_table1(self):
+        assert len(WORKLOAD_PROFILES) == 10
+        parsec = [w for w in WORKLOAD_PROFILES.values() if w.suite == "parsec"]
+        cloudsuite = [w for w in WORKLOAD_PROFILES.values() if w.suite == "cloudsuite"]
+        assert len(parsec) == 5
+        assert len(cloudsuite) == 5
+
+    def test_expected_parsec_benchmarks(self):
+        names = {w.name for w in WORKLOAD_PROFILES.values() if w.suite == "parsec"}
+        assert names == {"dedup", "netdedup", "canneal", "blackscholes", "swaptions"}
+
+    def test_expected_cloudsuite_benchmarks(self):
+        names = {w.name for w in WORKLOAD_PROFILES.values() if w.suite == "cloudsuite"}
+        assert names == {
+            "data_caching", "graph_analytics", "web_serving", "memory_analytics", "media_streaming",
+        }
+
+    def test_lookup(self):
+        assert get_workload(" Canneal ").name == "canneal"
+        with pytest.raises(KeyError):
+            get_workload("hpl")
+
+    def test_invalid_profiles_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile("x", "spec2017", "other", 100.0, 0.1, 0.5, 1.0)
+        with pytest.raises(ValueError):
+            WorkloadProfile("x", "parsec", "other", -1.0, 0.1, 0.5, 1.0)
+        with pytest.raises(ValueError):
+            WorkloadProfile("x", "parsec", "other", 100.0, 0.1, 1.5, 1.0)
+
+
+class TestSampling:
+    def test_execution_time_mean_roughly_matches(self):
+        profile = get_workload("canneal")
+        rng = np.random.default_rng(0)
+        samples = [profile.sample_execution_time(rng) for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(profile.mean_execution_time_s, rel=0.05)
+
+    def test_execution_times_positive(self):
+        rng = np.random.default_rng(1)
+        for profile in WORKLOAD_PROFILES.values():
+            assert all(profile.sample_execution_time(rng) > 0 for _ in range(50))
+
+    def test_zero_cv_is_deterministic(self):
+        profile = WorkloadProfile("fixed", "parsec", "test", 500.0, 0.0, 0.5, 1.0)
+        rng = np.random.default_rng(2)
+        assert profile.sample_execution_time(rng) == 500.0
+
+    def test_energy_model_uses_server_power(self):
+        profile = get_workload("blackscholes")
+        server = ServerSpec(idle_power_w=100.0, peak_power_w=500.0)
+        power = server.power_at_utilization(profile.mean_utilization)
+        one_hour = profile.energy_kwh(3600.0, server)
+        assert one_hour == pytest.approx(power / 1000.0)
+
+    def test_energy_scales_with_time(self):
+        profile = get_workload("dedup")
+        assert profile.energy_kwh(7200.0) == pytest.approx(2 * profile.energy_kwh(3600.0))
+        with pytest.raises(ValueError):
+            profile.energy_kwh(0.0)
+
+    def test_sample_workload_deterministic_per_seed(self):
+        a = sample_workload(np.random.default_rng(5)).name
+        b = sample_workload(np.random.default_rng(5)).name
+        assert a == b
+
+    def test_sample_workload_covers_catalog(self):
+        rng = np.random.default_rng(3)
+        names = {sample_workload(rng).name for _ in range(300)}
+        assert names == set(WORKLOAD_PROFILES)

@@ -6,10 +6,20 @@
   harness and the examples.
 * :mod:`repro.analysis.sweep` — helpers to run a set of policies over a trace
   and to sweep parameters (delay tolerance, utilization, weights).
+* :mod:`repro.analysis.parallel` — parameter-grid expansion with
+  deterministic content-based seeding, sharded across
+  ``concurrent.futures`` workers.
 * :mod:`repro.analysis.experiments` — one function per paper table/figure;
   the benchmark harness and EXPERIMENTS.md are generated from these.
 """
 
+from repro.analysis.parallel import (
+    SweepOutcome,
+    SweepPoint,
+    derive_seed,
+    expand_grid,
+    run_sweep,
+)
 from repro.analysis.report import format_table
 from repro.analysis.savings import PolicySavings, savings_table
 from repro.analysis.sweep import (
@@ -22,9 +32,14 @@ from repro.analysis.sweep import (
 __all__ = [
     "ExperimentScale",
     "PolicySavings",
+    "SweepOutcome",
+    "SweepPoint",
     "delay_tolerance_sweep",
+    "derive_seed",
+    "expand_grid",
     "format_table",
     "run_policies",
+    "run_sweep",
     "savings_table",
     "simulate",
 ]

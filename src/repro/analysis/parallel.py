@@ -1,0 +1,236 @@
+"""Parallel parameter-grid sweeps over the batch simulation engine.
+
+The evaluation studies (delay-tolerance sweeps, utilization sweeps, weight
+sensitivity, trace robustness, …) are embarrassingly parallel: every grid
+point is an independent simulation.  This module expands a parameter grid
+into self-describing :class:`SweepPoint`\\ s, derives a *content-based*
+deterministic seed for each point, and shards the points across
+``concurrent.futures`` workers.
+
+Determinism guarantees (enforced by ``tests/analysis/test_parallel.py``):
+
+* a point's seed depends only on its *workload-shaping* parameters
+  (:data:`WORKLOAD_PARAMS`) and the sweep's base seed — not on grid order,
+  worker count, executor kind, or policy-side knobs, so every policy in a
+  sweep is evaluated against the identical workload;
+* :func:`run_sweep` returns outcomes in the order of its input points for
+  every executor, so ``run_sweep(points, workers=1)`` and
+  ``run_sweep(points, workers=8)`` are element-wise identical.
+
+Worker processes rebuild traces and datasets from the point's parameters
+(cheap relative to simulation), so only small parameter/summary payloads
+cross process boundaries.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import itertools
+import zlib
+from collections.abc import Iterable, Mapping, Sequence
+
+__all__ = ["SweepPoint", "SweepOutcome", "derive_seed", "expand_grid", "run_sweep"]
+
+_TRACE_KINDS = ("borg", "alibaba")
+_ENGINES = ("batch", "scalar")
+_EXECUTORS = ("serial", "thread", "process")
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One fully specified simulation in a sweep (hashable and picklable).
+
+    ``scheduler_kwargs`` is a tuple of ``(name, value)`` pairs so the point
+    stays hashable; :func:`expand_grid` converts mappings automatically.
+    ``seed`` seeds both the trace generator and the sustainability dataset.
+    """
+
+    scheduler: str = "baseline"
+    scheduler_kwargs: tuple[tuple[str, object], ...] = ()
+    trace_kind: str = "borg"
+    rate_per_hour: float = 40.0
+    duration_days: float = 0.25
+    delay_tolerance: float = 0.25
+    servers_per_region: int = 20
+    scheduling_interval_s: float = 300.0
+    include_embodied: bool = True
+    engine: str = "batch"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.trace_kind not in _TRACE_KINDS:
+            raise ValueError(f"trace_kind must be one of {_TRACE_KINDS}, got {self.trace_kind!r}")
+        if self.engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}, got {self.engine!r}")
+
+    def label(self) -> str:
+        """Short human-readable identifier for reports."""
+        return (
+            f"{self.scheduler}@{self.trace_kind}"
+            f"/tol={self.delay_tolerance:g}/rate={self.rate_per_hour:g}"
+            f"/seed={self.seed}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepOutcome:
+    """Small, picklable result of one sweep point."""
+
+    point: SweepPoint
+    summary: dict[str, float | str | int]
+    total_carbon_g: float
+    total_water_l: float
+    mean_service_ratio: float
+    violation_fraction: float
+    num_jobs: int
+
+
+#: Parameters that shape the generated workload (trace + dataset).  Seeds are
+#: derived from these alone: two points differing only in policy-side knobs
+#: (scheduler, tolerance, engine, …) share a seed and therefore replay the
+#: *same* jobs against the *same* intensities — the "identical conditions"
+#: methodology every savings comparison in the paper rests on.
+WORKLOAD_PARAMS = ("trace_kind", "rate_per_hour", "duration_days")
+
+
+def derive_seed(base_seed: int, **params: object) -> int:
+    """Deterministic, content-based seed for one grid point.
+
+    Hashes the canonical ``repr`` of the sorted workload-shaping parameter
+    items (:data:`WORKLOAD_PARAMS`; other keyword arguments are ignored)
+    with CRC32 — stable across processes and Python invocations, unlike
+    ``hash`` — and folds in ``base_seed``.  Two sweeps with the same base
+    seed therefore simulate identical workloads regardless of grid order,
+    worker count, or which policy-side parameters accompany the point.
+    """
+    workload = {name: params[name] for name in WORKLOAD_PARAMS if name in params}
+    canonical = repr(sorted(workload.items())).encode("utf-8")
+    return (zlib.crc32(canonical) ^ (int(base_seed) & 0xFFFFFFFF)) & 0x7FFFFFFF
+
+
+def expand_grid(
+    base_seed: int = 0,
+    engine: str = "batch",
+    **param_lists: Sequence[object] | object,
+) -> list[SweepPoint]:
+    """Expand keyword parameter lists into the cross-product of sweep points.
+
+    Every keyword accepts either a single value or a sequence of values
+    (strings count as single values); the cross-product is taken over the
+    sequence-valued parameters.  ``scheduler_kwargs`` values may be mappings.
+
+    Examples
+    --------
+    >>> points = expand_grid(
+    ...     scheduler=["baseline", "round-robin"],
+    ...     delay_tolerance=[0.0, 0.25, 0.5],
+    ...     rate_per_hour=40.0,
+    ... )
+    >>> len(points)
+    6
+    """
+    field_names = {field.name for field in dataclasses.fields(SweepPoint)}
+    unknown = set(param_lists) - (field_names - {"seed", "engine"})
+    if unknown:
+        raise TypeError(f"unknown sweep parameters: {sorted(unknown)}")
+
+    def as_choices(value: object) -> list[object]:
+        if isinstance(value, (str, bytes, Mapping)):
+            return [value]
+        if isinstance(value, Iterable):
+            return list(value)
+        return [value]
+
+    defaults = {
+        field.name: field.default for field in dataclasses.fields(SweepPoint)
+    }
+    names = list(param_lists)
+    choice_lists = [as_choices(param_lists[name]) for name in names]
+    points = []
+    for combo in itertools.product(*choice_lists):
+        params = dict(zip(names, combo))
+        kwargs = params.get("scheduler_kwargs", ())
+        if isinstance(kwargs, Mapping):
+            params["scheduler_kwargs"] = tuple(sorted(kwargs.items()))
+        # Missing workload parameters fall back to the SweepPoint defaults so
+        # the derived seed does not depend on whether they were spelled out.
+        workload = {name: params.get(name, defaults[name]) for name in WORKLOAD_PARAMS}
+        seed = derive_seed(base_seed, **workload)
+        points.append(SweepPoint(engine=engine, seed=seed, **params))
+    return points
+
+
+def _run_point(point: SweepPoint) -> SweepOutcome:
+    """Simulate one sweep point (module-level so process pools can pickle it)."""
+    import math
+
+    from repro.cluster.simulator import BatchSimulator, Simulator
+    from repro.schedulers.registry import make_scheduler
+    from repro.sustainability.datasets import ElectricityMapsLikeProvider
+    from repro.traces.alibaba import AlibabaTraceGenerator
+    from repro.traces.borg import BorgTraceGenerator
+
+    generator_cls = BorgTraceGenerator if point.trace_kind == "borg" else AlibabaTraceGenerator
+    trace = generator_cls(
+        rate_per_hour=point.rate_per_hour,
+        duration_days=point.duration_days,
+        seed=point.seed,
+    ).generate()
+    horizon_hours = max(int(math.ceil(point.duration_days * 24)) + 48, 72)
+    dataset = ElectricityMapsLikeProvider(horizon_hours=horizon_hours, seed=point.seed)
+    scheduler = make_scheduler(point.scheduler, **dict(point.scheduler_kwargs))
+    engine_cls = BatchSimulator if point.engine == "batch" else Simulator
+    result = engine_cls(
+        trace=trace,
+        scheduler=scheduler,
+        dataset=dataset,
+        servers_per_region=point.servers_per_region,
+        scheduling_interval_s=point.scheduling_interval_s,
+        delay_tolerance=point.delay_tolerance,
+        include_embodied=point.include_embodied,
+    ).run()
+    return SweepOutcome(
+        point=point,
+        summary=result.summary(),
+        total_carbon_g=result.total_carbon_g,
+        total_water_l=result.total_water_l,
+        mean_service_ratio=result.mean_service_ratio,
+        violation_fraction=result.violation_fraction,
+        num_jobs=result.num_jobs,
+    )
+
+
+def run_sweep(
+    points: Sequence[SweepPoint],
+    workers: int | None = None,
+    executor: str = "process",
+) -> list[SweepOutcome]:
+    """Simulate every point, sharding across workers; outcomes in input order.
+
+    Parameters
+    ----------
+    points:
+        Sweep points (typically from :func:`expand_grid`).
+    workers:
+        Worker count; ``None`` lets ``concurrent.futures`` pick, ``1`` is
+        equivalent to ``executor="serial"``.
+    executor:
+        ``"process"`` (default — real parallelism for the CPU-bound
+        simulations), ``"thread"`` (no spawn cost; useful for small sweeps
+        and tests) or ``"serial"``.
+    """
+    if executor not in _EXECUTORS:
+        raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be >= 1")
+    points = list(points)
+    if executor == "serial" or workers == 1 or len(points) <= 1:
+        return [_run_point(point) for point in points]
+    pool_cls = (
+        concurrent.futures.ProcessPoolExecutor
+        if executor == "process"
+        else concurrent.futures.ThreadPoolExecutor
+    )
+    with pool_cls(max_workers=workers) as pool:
+        return list(pool.map(_run_point, points))

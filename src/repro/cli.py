@@ -59,6 +59,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--interval", type=float, default=300.0, help="scheduling interval (s)")
     simulate.add_argument("--data-source", choices=["electricity-maps", "wri"], default="electricity-maps")
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--engine", choices=["scalar", "batch"], default="scalar",
+        help="simulation engine (batch = vectorized, ~13-16x faster, identical results)",
+    )
 
     sub.add_parser("regions", help="print the region catalog and its sustainability factors")
     sub.add_parser("workloads", help="print the PARSEC/CloudSuite workload profiles")
@@ -94,6 +98,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         servers_per_region=servers,
         delay_tolerance=args.tolerance,
         scheduling_interval_s=args.interval,
+        engine=args.engine,
     )
     totals = [
         [

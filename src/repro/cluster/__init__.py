@@ -10,22 +10,33 @@ logic through trace simulation.  This subpackage is that simulation substrate:
 * :mod:`repro.cluster.footprint` — vectorized carbon/water footprint
   matrices for a batch of jobs across regions (what the policies optimize),
 * :mod:`repro.cluster.datacenter` — the per-region capacity/queue model,
-* :mod:`repro.cluster.simulator` — the discrete-event trace-driven simulator,
+* :mod:`repro.cluster.simulator` — the discrete-event trace-driven simulators
+  (the scalar reference :class:`Simulator` and the vectorized
+  :class:`BatchSimulator`),
+* :mod:`repro.cluster.batch` — columnar job/result containers for the batch
+  engine (:class:`JobArrays`, :class:`BatchSchedulingContext`,
+  :class:`BatchResult`),
 * :mod:`repro.cluster.metrics` — per-job outcomes and aggregate results,
 * :mod:`repro.cluster.capacity` — helpers to size clusters for a target
   utilization (the paper's 5% / 15% / 25% settings).
 """
 
+from repro.cluster.batch import DEFER, BatchResult, BatchSchedulingContext, JobArrays
 from repro.cluster.capacity import servers_for_target_utilization
 from repro.cluster.datacenter import Datacenter
 from repro.cluster.footprint import FootprintCalculator
 from repro.cluster.interface import Scheduler, SchedulerDecision, SchedulingContext
 from repro.cluster.metrics import JobOutcome, SimulationResult
-from repro.cluster.simulator import Simulator
+from repro.cluster.simulator import BatchSimulator, Simulator
 
 __all__ = [
+    "DEFER",
+    "BatchResult",
+    "BatchSchedulingContext",
+    "BatchSimulator",
     "Datacenter",
     "FootprintCalculator",
+    "JobArrays",
     "JobOutcome",
     "Scheduler",
     "SchedulerDecision",

@@ -31,6 +31,47 @@ __all__ = ["FootprintCalculator"]
 _SECONDS_PER_HOUR = 3600.0
 
 
+class _RegionPrefixIntegrals:
+    """Prefix-sum integrators over one region's hourly intensity series.
+
+    For a piecewise-constant hourly series ``v[h]`` (clamped to the final
+    hour beyond the horizon, like ``RegionSustainabilitySeries`` lookups),
+    ``integral(t)`` is the exact running integral ``∫₀ᵗ v`` in value·seconds.
+    Differences of two such integrals reproduce, hour segment by hour
+    segment, what :meth:`FootprintCalculator.integrate_job` accumulates with
+    a Python loop — but for whole job batches in a few NumPy operations.
+    """
+
+    def __init__(self, series) -> None:
+        self.wsf = float(series.wsf)
+        self.pue = float(series.pue)
+        self._values = (
+            np.asarray(series.carbon_intensity, dtype=float),
+            np.asarray(series.ewif, dtype=float),
+            np.asarray(series.wue, dtype=float),
+        )
+        self._cums = tuple(
+            np.concatenate(([0.0], np.cumsum(v) * _SECONDS_PER_HOUR)) for v in self._values
+        )
+
+    def _integral(self, which: int, t: np.ndarray) -> np.ndarray:
+        values = self._values[which]
+        cum = self._cums[which]
+        horizon = len(values)
+        hour = np.minimum((t // _SECONDS_PER_HOUR).astype(np.int64), horizon)
+        offset = t - _SECONDS_PER_HOUR * hour
+        return cum[hour] + values[np.minimum(hour, horizon - 1)] * offset
+
+    def carbon_integral(self, t0: np.ndarray, t1: np.ndarray) -> np.ndarray:
+        return self._integral(0, t1) - self._integral(0, t0)
+
+    def ewif_integral(self, t0: np.ndarray, t1: np.ndarray) -> np.ndarray:
+        return self._integral(1, t1) - self._integral(1, t0)
+
+    def wue_integral(self, t0: np.ndarray, t1: np.ndarray) -> np.ndarray:
+        return self._integral(2, t1) - self._integral(2, t0)
+
+
 class FootprintCalculator:
     """Carbon/water footprints of jobs across regions.
 
@@ -56,6 +97,7 @@ class FootprintCalculator:
         self.include_embodied = bool(include_embodied)
         self.carbon_model = CarbonModel(server=server, include_embodied=include_embodied)
         self.water_model = WaterModel(server=server, include_embodied=include_embodied)
+        self._prefix_cache: dict[str, _RegionPrefixIntegrals] = {}
 
     # -- decision-time estimates ---------------------------------------------------
     def _region_factors(self, region_keys: Sequence[str], time_s: float):
@@ -153,6 +195,66 @@ class FootprintCalculator:
         if self.include_embodied:
             carbon += self.carbon_model.embodied(duration)
             water += self.water_model.embodied(duration)
+        return carbon, water
+
+    def _prefix_integrals(self, region_key: str) -> _RegionPrefixIntegrals:
+        cached = self._prefix_cache.get(region_key)
+        if cached is None:
+            cached = _RegionPrefixIntegrals(self.dataset.series_for(region_key))
+            self._prefix_cache[region_key] = cached
+        return cached
+
+    def integrate_batch(
+        self,
+        region_keys: Sequence[str],
+        region_idx: np.ndarray,
+        start_time_s: np.ndarray,
+        duration_s: np.ndarray,
+        energy_kwh: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Realized (carbon_g, water_l) arrays for a whole batch of executions.
+
+        The array counterpart of :meth:`integrate_job`: job ``i`` ran in
+        region ``region_keys[region_idx[i]]`` from ``start_time_s[i]`` for
+        ``duration_s[i]`` seconds consuming ``energy_kwh[i]`` kWh, its energy
+        spread uniformly over the execution window and integrated against the
+        region's hourly intensity series.  Uses cached per-region prefix sums,
+        so the cost is a handful of NumPy gathers per region instead of a
+        Python loop per job; results agree with :meth:`integrate_job` to
+        floating-point rounding (≪ 1e-9 relative).
+        """
+        region_idx = np.asarray(region_idx)
+        start = np.asarray(start_time_s, dtype=float)
+        duration = np.asarray(duration_s, dtype=float)
+        energy = np.asarray(energy_kwh, dtype=float)
+        n = len(region_idx)
+        carbon = np.zeros(n)
+        water = np.zeros(n)
+        if n == 0:
+            return carbon, water
+
+        end = start + duration
+        for code, key in enumerate(region_keys):
+            mask = region_idx == code
+            if not np.any(mask):
+                continue
+            integrals = self._prefix_integrals(key)
+            t0 = start[mask]
+            t1 = end[mask]
+            d = duration[mask]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                mean_energy_rate = np.where(d > 0.0, energy[mask] / d, 0.0)
+            carbon[mask] = mean_energy_rate * integrals.carbon_integral(t0, t1)
+            scarcity = 1.0 + integrals.wsf
+            water[mask] = mean_energy_rate * (
+                integrals.pue * scarcity * integrals.ewif_integral(t0, t1)
+                + scarcity * integrals.wue_integral(t0, t1)
+            )
+
+        if self.include_embodied:
+            positive = duration > 0.0
+            carbon[positive] += self.carbon_model.embodied(duration[positive])
+            water[positive] += self.water_model.embodied(duration[positive])
         return carbon, water
 
     # -- per-region normalization helpers ------------------------------------------------

@@ -26,9 +26,13 @@ import heapq
 import itertools
 import math
 import time as _time
+from collections import deque
 from collections.abc import Mapping, Sequence
 
+import numpy as np
+
 from repro._validation import ensure_non_negative, ensure_positive
+from repro.cluster.batch import BatchResult, BatchSchedulingContext, JobArrays
 from repro.cluster.datacenter import Datacenter
 from repro.cluster.footprint import FootprintCalculator
 from repro.cluster.interface import Scheduler, SchedulingContext
@@ -40,7 +44,7 @@ from repro.sustainability.embodied import DEFAULT_SERVER, ServerSpec
 from repro.traces.job import Job
 from repro.traces.trace import Trace
 
-__all__ = ["Simulator"]
+__all__ = ["Simulator", "BatchSimulator"]
 
 _EVENT_FINISH = 0
 _EVENT_READY = 1
@@ -65,8 +69,8 @@ class _Execution:
     start_time: float | None = None
 
 
-class Simulator:
-    """Simulate one scheduling policy over one trace.
+class _SimulatorBase:
+    """Shared configuration/validation of the scalar and batch engines.
 
     Parameters
     ----------
@@ -146,6 +150,34 @@ class Simulator:
             if count < 1:
                 raise ValueError(f"region {key!r} must have at least one server")
 
+    def _next_round_time(self, round_time: float, next_arrival: float | None) -> float:
+        """Time of the next scheduling round (shared by both engines).
+
+        Normally one interval later; when nothing is pending
+        (``next_arrival`` is the first future arrival) the clock skips ahead
+        to the first interval-aligned tick at or after that arrival instead
+        of idling through empty rounds.
+        """
+        interval = self.scheduling_interval_s
+        next_round = round_time + interval
+        if next_arrival is not None and next_arrival > next_round:
+            next_round = math.ceil(next_arrival / interval) * interval
+            if next_round < next_arrival:
+                next_round += interval
+        return next_round
+
+
+class Simulator(_SimulatorBase):
+    """Scalar reference engine: replay the trace one ``Job`` object at a time.
+
+    This is the readable, obviously-correct implementation the paper's
+    evaluation semantics are defined by.  :class:`BatchSimulator` is the
+    vectorized engine that must produce identical scheduling decisions and
+    footprints (its equivalence is enforced by the test suite); prefer it for
+    large traces.  Construction parameters are documented on
+    :class:`_SimulatorBase`.
+    """
+
     # -- main entry point ----------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Run the simulation to completion and return the aggregated result."""
@@ -162,7 +194,6 @@ class Simulator:
 
         jobs = list(self.trace)
         trace_idx = 0
-        interval = self.scheduling_interval_s
 
         def push_event(when: float, kind: int, payload: object) -> None:
             heapq.heappush(events, (when, kind, next(sequence), payload))
@@ -218,14 +249,12 @@ class Simulator:
                 decision_times.append(decision_seconds)
 
             # Choose the next round time.
-            next_round = round_time + interval
-            if not pending and trace_idx < len(jobs):
-                next_arrival = jobs[trace_idx].arrival_time
-                if next_arrival > next_round:
-                    next_round = math.ceil(next_arrival / interval) * interval
-                    if next_round < next_arrival:
-                        next_round += interval
-            round_time = next_round
+            next_arrival = (
+                jobs[trace_idx].arrival_time
+                if not pending and trace_idx < len(jobs)
+                else None
+            )
+            round_time = self._next_round_time(round_time, next_arrival)
 
         # Drain every remaining event (jobs still running or queued).
         process_events_until(math.inf)
@@ -319,3 +348,309 @@ class Simulator:
             deferrals=execution.deferrals,
             delay_tolerance=self.delay_tolerance,
         )
+
+
+class BatchSimulator(_SimulatorBase):
+    """Vectorized batch engine: same semantics as :class:`Simulator`, on arrays.
+
+    The simulation state lives in NumPy arrays indexed by trace position
+    (see :class:`~repro.cluster.batch.JobArrays`); the event heap carries
+    primitive tuples instead of dataclasses; scheduling decisions dispatch to
+    a registered vectorized fast path
+    (:mod:`repro.schedulers.vectorized`) when the policy has one, falling
+    back to the policy's scalar ``schedule`` method otherwise; and realized
+    carbon/water footprints are integrated for *all* jobs in one
+    prefix-sum pass after the event loop drains
+    (:meth:`~repro.cluster.footprint.FootprintCalculator.integrate_batch`).
+
+    The engine is decision-equivalent to the scalar simulator: identical
+    executed regions, start/finish times and deferral counts, and footprints
+    equal to floating-point rounding (≪ 1e-9 relative).  Event tie-breaking
+    replicates the scalar heap exactly — finishes before readies at equal
+    times, globally sequenced pushes — so even saturated FIFO queues drain in
+    the same order.
+
+    Construction parameters are identical to :class:`Simulator`
+    (documented on :class:`_SimulatorBase`).
+    """
+
+    # -- main entry point ----------------------------------------------------------------
+    def run(self) -> BatchResult:
+        """Run the simulation to completion and return the columnar result."""
+        from repro.schedulers.vectorized import fast_path_for  # lazy: avoids import cycle
+
+        self.scheduler.reset()
+        arrays = JobArrays.from_trace(self.trace, self.region_keys)
+        fast_path = fast_path_for(self.scheduler)
+        n = arrays.n
+        n_regions = len(self.region_keys)
+
+        # Per-job state (trace order).
+        considered = np.zeros(n)
+        assigned_t = np.zeros(n)
+        ready_t = np.zeros(n)
+        start_t = np.full(n, -1.0)
+        finish_t = np.full(n, -1.0)
+        region_of = np.full(n, -1, dtype=np.int64)
+        transfer_s = np.zeros(n)
+        deferrals = np.zeros(n, dtype=np.int64)
+
+        # Per-region state.
+        servers = np.array([self._servers[key] for key in self.region_keys], dtype=np.int64)
+        free = servers.copy()
+        committed = np.zeros(n_regions, dtype=np.int64)
+        busy_server_seconds = np.zeros(n_regions)
+        queues: list[deque[int]] = [deque() for _ in range(n_regions)]
+
+        # Transfer latency split into a per-pair propagation term and a
+        # per-job serialization term (their sum equals
+        # ``TransferLatencyModel.transfer_time`` exactly).  The matrix is
+        # keyed by the *simulator's* region order — the latency model may
+        # order its regions differently or cover a superset.  Subclasses may
+        # override ``transfer_time`` with a non-additive formula, so they
+        # get a per-job call instead of the decomposition.
+        transfer_decomposes = type(self.latency) is TransferLatencyModel
+        if transfer_decomposes:
+            propagation = np.array(
+                [
+                    [self.latency.transfer_time(a, b, 0.0) for b in self.region_keys]
+                    for a in self.region_keys
+                ]
+            )
+            serialization = arrays.package_gb * 8.0 / self.latency.bandwidth_gbps
+        else:
+            # Anything duck-typed only needs transfer_time(); see
+            # commit_assignment's per-job fallback.
+            propagation = serialization = None
+
+        job_servers = arrays.servers
+        exec_real = arrays.exec_real
+        arrival = arrays.arrival
+
+        events: list[tuple[float, int, int, int]] = []
+        sequence = itertools.count()
+        makespan = 0.0
+
+        def start_job(job: int, region: int, when: float) -> None:
+            free[region] -= job_servers[job]
+            start_t[job] = when
+            heapq.heappush(
+                events, (when + exec_real[job], _EVENT_FINISH, next(sequence), job)
+            )
+
+        def process_events_until(limit: float) -> None:
+            nonlocal makespan
+            while events and events[0][0] <= limit:
+                when, kind, _seq, job = heapq.heappop(events)
+                region = region_of[job]
+                if kind == _EVENT_READY:
+                    committed[region] += job_servers[job]
+                    if free[region] >= job_servers[job] and not queues[region]:
+                        start_job(job, region, when)
+                    else:
+                        queues[region].append(job)
+                else:  # _EVENT_FINISH
+                    free[region] += job_servers[job]
+                    committed[region] -= job_servers[job]
+                    busy_server_seconds[region] += job_servers[job] * (when - start_t[job])
+                    finish_t[job] = when
+                    if when > makespan:
+                        makespan = when
+                    queue = queues[region]
+                    while queue and free[region] >= job_servers[queue[0]]:
+                        start_job(queue.popleft(), region, when)
+
+        def commit_assignment(job: int, region: int, now: float) -> None:
+            home = arrays.home_idx[job]
+            if region == home:
+                transfer = 0.0
+            elif transfer_decomposes:
+                transfer = propagation[home, region] + serialization[job]
+            else:
+                transfer = self.latency.transfer_time(
+                    self.region_keys[home], self.region_keys[region], arrays.package_gb[job]
+                )
+            region_of[job] = region
+            assigned_t[job] = now
+            transfer_s[job] = transfer
+            ready_t[job] = now + transfer
+            heapq.heappush(events, (now + transfer, _EVENT_READY, next(sequence), job))
+
+        pending: dict[int, None] = {}  # insertion-ordered set of trace indices
+        decision_times: list[float] = []
+        round_times: list[float] = []
+        trace_idx = 0
+        round_time = 0.0
+        rounds = 0
+
+        while trace_idx < n or pending:
+            if rounds > self.max_rounds:
+                raise RuntimeError(
+                    f"scheduling did not converge after {self.max_rounds} rounds "
+                    f"({len(pending)} jobs still pending)"
+                )
+            process_events_until(round_time)
+
+            while trace_idx < n and arrival[trace_idx] <= round_time:
+                pending[trace_idx] = None
+                considered[trace_idx] = round_time
+                trace_idx += 1
+
+            if pending:
+                rounds += 1
+                round_times.append(round_time)
+                batch = np.fromiter(pending.keys(), dtype=np.int64, count=len(pending))
+                capacity = np.maximum(0, servers - committed)
+                if fast_path is not None:
+                    decision_seconds = self._run_fast_round(
+                        fast_path, round_time, batch, capacity, arrays,
+                        considered, pending, deferrals, commit_assignment,
+                    )
+                else:
+                    decision_seconds = self._run_fallback_round(
+                        round_time, batch, capacity, considered,
+                        pending, deferrals, commit_assignment,
+                    )
+                decision_times.append(decision_seconds)
+
+            next_arrival = (
+                float(arrival[trace_idx]) if not pending and trace_idx < n else None
+            )
+            round_time = self._next_round_time(round_time, next_arrival)
+
+        process_events_until(math.inf)
+
+        # One vectorized pass replaces the scalar engine's per-job
+        # ``integrate_job`` calls — the dominant cost of large simulations.
+        carbon, water = self.footprints.integrate_batch(
+            self.region_keys, region_of, start_t, exec_real, arrays.energy_real
+        )
+
+        region_utilization = {
+            key: (
+                float(busy_server_seconds[idx] / (servers[idx] * makespan))
+                if makespan > 0.0
+                else 0.0
+            )
+            for idx, key in enumerate(self.region_keys)
+        }
+        order = np.argsort(arrays.job_id, kind="stable")
+        return BatchResult(
+            scheduler_name=self.scheduler.name,
+            trace_name=self.trace.name,
+            region_keys=self.region_keys,
+            job_id=arrays.job_id[order],
+            workloads=[arrays.workloads[i] for i in order],
+            home_idx=arrays.home_idx[order],
+            region_idx=region_of[order],
+            arrival=arrival[order],
+            considered=considered[order],
+            assigned=assigned_t[order],
+            ready=ready_t[order],
+            start=start_t[order],
+            finish=finish_t[order],
+            execution_time=exec_real[order],
+            transfer_latency=transfer_s[order],
+            carbon_g=carbon[order],
+            water_l=water[order],
+            deferrals=deferrals[order],
+            region_servers=dict(self._servers),
+            region_utilization=region_utilization,
+            makespan_s=makespan,
+            decision_times_s=decision_times,
+            round_times_s=round_times,
+            delay_tolerance=self.delay_tolerance,
+        )
+
+    # -- internals ----------------------------------------------------------------------------
+    def _run_fast_round(
+        self,
+        fast_path,
+        now: float,
+        batch: np.ndarray,
+        capacity: np.ndarray,
+        arrays: JobArrays,
+        considered: np.ndarray,
+        pending: dict[int, None],
+        deferrals: np.ndarray,
+        commit_assignment,
+    ) -> float:
+        context = BatchSchedulingContext(
+            now=now,
+            region_keys=arrays.region_keys,
+            capacity=capacity,
+            jobs=arrays,
+            batch=batch,
+            wait_times=now - considered[batch],
+            delay_tolerance=self.delay_tolerance,
+            scheduling_interval_s=self.scheduling_interval_s,
+            dataset=self.dataset,
+            latency=self.latency,
+            footprints=self.footprints,
+            regions=self.regions,
+        )
+        started = _time.perf_counter()
+        choice = fast_path(self.scheduler, context)
+        decision_seconds = _time.perf_counter() - started
+
+        choice = np.asarray(choice, dtype=np.int64)
+        if choice.shape != batch.shape:
+            raise ValueError(
+                f"fast path returned {choice.shape} region codes for a batch of "
+                f"{batch.shape}"
+            )
+        if np.any(choice < -1) or np.any(choice >= len(arrays.region_keys)):
+            raise ValueError("fast path returned region codes outside the cluster")
+
+        for position, job in enumerate(batch.tolist()):
+            region = choice[position]
+            if region < 0:
+                deferrals[job] += 1
+            else:
+                del pending[job]
+                commit_assignment(job, int(region), now)
+        return decision_seconds
+
+    def _run_fallback_round(
+        self,
+        now: float,
+        batch: np.ndarray,
+        capacity: np.ndarray,
+        considered: np.ndarray,
+        pending: dict[int, None],
+        deferrals: np.ndarray,
+        commit_assignment,
+    ) -> float:
+        """Scalar-policy fallback: materialize Jobs and the classic context."""
+        jobs = [self.trace[int(i)] for i in batch]
+        wait_times = {
+            job.job_id: now - considered[int(i)] for i, job in zip(batch, jobs)
+        }
+        context = SchedulingContext(
+            now=now,
+            regions=self.regions,
+            capacity={
+                key: int(capacity[idx]) for idx, key in enumerate(self.region_keys)
+            },
+            dataset=self.dataset,
+            latency=self.latency,
+            footprints=self.footprints,
+            delay_tolerance=self.delay_tolerance,
+            scheduling_interval_s=self.scheduling_interval_s,
+            job_wait_times=wait_times,
+        )
+        started = _time.perf_counter()
+        decision = self.scheduler.schedule(jobs, context)
+        decision_seconds = _time.perf_counter() - started
+        decision.validate_for(jobs, self.region_keys)
+
+        index_of = {job.job_id: int(i) for i, job in zip(batch, jobs)}
+        region_index = {key: idx for idx, key in enumerate(self.region_keys)}
+        for job_id, region_key in decision.assignments.items():
+            job = index_of[job_id]
+            del pending[job]
+            commit_assignment(job, region_index[region_key], now)
+        for job_id in decision.deferred:
+            deferrals[index_of[job_id]] += 1
+        return decision_seconds
+

@@ -18,6 +18,7 @@ ordering in the paper's Fig. 2(c).
 from __future__ import annotations
 
 import dataclasses
+import zlib
 
 import numpy as np
 
@@ -96,7 +97,9 @@ class WetBulbModel:
 
         # Correlated day-to-day noise: one draw per day, smoothed across days,
         # so a hot spell lasts a few days rather than flickering hour to hour.
-        rng = np.random.default_rng((hash(self.region.key) & 0xFFFF) + self.seed)
+        rng = np.random.default_rng(
+            (zlib.crc32(self.region.key.encode("utf-8")) & 0xFFFF) + self.seed
+        )
         n_days = int(np.ceil((horizon_hours + self.start_day_of_year * _HOURS_PER_DAY) / _HOURS_PER_DAY)) + 2
         daily_noise = rng.normal(0.0, profile.noise_std, size=n_days)
         kernel = np.array([0.25, 0.5, 0.25])

@@ -24,6 +24,12 @@ from repro.schedulers.greedy_optimal import (
 from repro.schedulers.least_load import LeastLoadScheduler
 from repro.schedulers.registry import available_schedulers, make_scheduler
 from repro.schedulers.round_robin import RoundRobinScheduler
+from repro.schedulers.vectorized import (
+    fast_path_for,
+    has_fast_path,
+    register_fast_path,
+    unregister_fast_path,
+)
 
 __all__ = [
     "BaselineScheduler",
@@ -34,5 +40,9 @@ __all__ = [
     "RoundRobinScheduler",
     "WaterGreedyOptimalScheduler",
     "available_schedulers",
+    "fast_path_for",
+    "has_fast_path",
     "make_scheduler",
+    "register_fast_path",
+    "unregister_fast_path",
 ]

@@ -1,0 +1,137 @@
+"""Registry-dispatched vectorized fast paths for scheduling policies.
+
+The batch engine (:class:`~repro.cluster.simulator.BatchSimulator`) asks this
+registry for an array-world implementation of the policy under test.  A fast
+path receives a :class:`~repro.cluster.batch.BatchSchedulingContext` and
+returns one region code per batch job (``DEFER`` postpones the job to the
+next round) — no per-job ``Job`` objects, no assignment dictionaries.
+
+Policies without a registered fast path automatically fall back to their
+scalar :meth:`~repro.cluster.interface.Scheduler.schedule` method: the batch
+engine materializes the round's ``Job`` objects, builds the classic
+:class:`~repro.cluster.interface.SchedulingContext` and validates the decision
+exactly like the scalar simulator, so *any* custom policy runs unchanged
+(just without the fast-path speedup for its decision step).
+
+Every registered fast path must be decision-equivalent to the scalar
+``schedule`` implementation of its policy — the equivalence test suite
+(``tests/cluster/test_batch_engine.py``) enforces this for the built-ins.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.cluster.batch import BatchSchedulingContext
+from repro.cluster.interface import Scheduler
+from repro.schedulers.baseline import BaselineScheduler
+from repro.schedulers.least_load import LeastLoadScheduler
+from repro.schedulers.round_robin import RoundRobinScheduler
+
+__all__ = [
+    "FastPath",
+    "register_fast_path",
+    "unregister_fast_path",
+    "fast_path_for",
+    "has_fast_path",
+]
+
+#: A vectorized policy implementation: ``(scheduler, context) -> region codes``
+#: (one ``int64`` per batch job, ``DEFER`` = postpone to the next round).
+FastPath = Callable[[Scheduler, BatchSchedulingContext], np.ndarray]
+
+_FAST_PATHS: dict[type, FastPath] = {}
+
+
+def register_fast_path(scheduler_type: type, fast_path: FastPath) -> None:
+    """Register ``fast_path`` as the vectorized implementation of a policy class.
+
+    Dispatch follows the method-resolution order, so registering for a base
+    class covers subclasses unless they register their own implementation.
+    """
+    if not isinstance(scheduler_type, type) or not issubclass(scheduler_type, Scheduler):
+        raise TypeError("scheduler_type must be a Scheduler subclass")
+    _FAST_PATHS[scheduler_type] = fast_path
+
+
+def unregister_fast_path(scheduler_type: type) -> None:
+    """Remove a previously registered fast path (no-op if absent)."""
+    _FAST_PATHS.pop(scheduler_type, None)
+
+
+def fast_path_for(scheduler: Scheduler) -> FastPath | None:
+    """The vectorized implementation for ``scheduler``, or ``None`` (→ fallback).
+
+    An inherited registration only applies while the subclass keeps the
+    ancestor's ``schedule`` method: a subclass that overrides ``schedule``
+    without registering its own fast path has changed the decision logic the
+    ancestor's fast path mirrors, so it must fall back to the scalar path —
+    silently reusing the parent's vectorized decisions would break the
+    scalar/batch equivalence guarantee.
+    """
+    scheduler_type = type(scheduler)
+    for cls in scheduler_type.__mro__:
+        fast_path = _FAST_PATHS.get(cls)
+        if fast_path is None:
+            continue
+        if cls is scheduler_type or scheduler_type.schedule is cls.schedule:
+            return fast_path
+        return None
+    return None
+
+
+def has_fast_path(scheduler: Scheduler) -> bool:
+    """Whether ``scheduler`` dispatches to a vectorized fast path."""
+    return fast_path_for(scheduler) is not None
+
+
+# -- built-in fast paths -------------------------------------------------------------
+
+
+def _baseline_fast_path(
+    scheduler: BaselineScheduler, context: BatchSchedulingContext
+) -> np.ndarray:
+    """Home region for every job (home codes are pre-validated by JobArrays)."""
+    return context.jobs.home_idx[context.batch]
+
+
+def _round_robin_fast_path(
+    scheduler: RoundRobinScheduler, context: BatchSchedulingContext
+) -> np.ndarray:
+    """Circular assignment; advances the scheduler's persistent cursor."""
+    n_regions = len(context.region_keys)
+    if n_regions == 0:
+        raise ValueError("round-robin needs at least one region")
+    count = context.batch_size
+    choice = (scheduler._cursor + np.arange(count, dtype=np.int64)) % n_regions
+    scheduler._cursor += count
+    return choice
+
+
+def _least_load_fast_path(
+    scheduler: LeastLoadScheduler, context: BatchSchedulingContext
+) -> np.ndarray:
+    """Each job to the emptiest region, updating the view as the batch lands.
+
+    The argmax loop is sequential by definition (job *i+1* sees job *i*'s
+    placement), but it runs over a dense float vector; ``np.argmax`` breaks
+    ties on the first maximum, matching the scalar implementation's
+    smallest-region-index tie-break.
+    """
+    if not context.region_keys:
+        raise ValueError("least-load needs at least one region")
+    remaining = context.capacity.astype(float).copy()
+    servers = context.jobs.servers[context.batch]
+    choice = np.empty(context.batch_size, dtype=np.int64)
+    for i in range(context.batch_size):
+        target = int(np.argmax(remaining))
+        choice[i] = target
+        remaining[target] -= servers[i]
+    return choice
+
+
+register_fast_path(BaselineScheduler, _baseline_fast_path)
+register_fast_path(RoundRobinScheduler, _round_robin_fast_path)
+register_fast_path(LeastLoadScheduler, _least_load_fast_path)

@@ -22,6 +22,7 @@ series are computed as share-weighted sums over the energy-source catalog.
 from __future__ import annotations
 
 import dataclasses
+import zlib
 from collections.abc import Mapping
 
 import numpy as np
@@ -177,7 +178,9 @@ class GridMixModel:
             base[self._source_index[source]] = share
         shares = np.tile(base, (horizon_hours, 1))
 
-        rng = np.random.default_rng((hash(self.region_key) & 0xFFFF) + self.seed)
+        rng = np.random.default_rng(
+            (zlib.crc32(self.region_key.encode("utf-8")) & 0xFFFF) + self.seed
+        )
 
         # Solar availability: zero at night, bell-shaped during the day.  The
         # base share represents the *daily mean*, so the daytime peak is scaled

@@ -54,6 +54,50 @@ class Trace:
         """Time of the last arrival (0 for an empty trace)."""
         return self._jobs[-1].arrival_time if self._jobs else 0.0
 
+    # -- columnar view -----------------------------------------------------------------
+    def to_columns(self) -> dict[str, np.ndarray | tuple]:
+        """Columnar (structure-of-arrays) view of the trace, cached.
+
+        One NumPy array (or tuple, for string fields) per job attribute,
+        aligned with the trace's sorted job order.  The batch simulation
+        engine builds its :class:`~repro.cluster.batch.JobArrays` from this,
+        and the cache means sweeping many policies over one trace extracts
+        the columns only once.  Callers must treat the arrays as read-only
+        (the trace itself is immutable).
+        """
+        columns = getattr(self, "_columns", None)
+        if columns is None:
+            jobs = self._jobs
+            n = len(jobs)
+            columns = {
+                "job_id": np.fromiter((j.job_id for j in jobs), dtype=np.int64, count=n),
+                "arrival_time": np.fromiter(
+                    (j.arrival_time for j in jobs), dtype=float, count=n
+                ),
+                "execution_time": np.fromiter(
+                    (j.execution_time for j in jobs), dtype=float, count=n
+                ),
+                "realized_execution_time": np.fromiter(
+                    (j.realized_execution_time for j in jobs), dtype=float, count=n
+                ),
+                "energy_kwh": np.fromiter(
+                    (j.energy_kwh for j in jobs), dtype=float, count=n
+                ),
+                "realized_energy_kwh": np.fromiter(
+                    (j.realized_energy_kwh for j in jobs), dtype=float, count=n
+                ),
+                "package_gb": np.fromiter(
+                    (j.package_gb for j in jobs), dtype=float, count=n
+                ),
+                "servers_required": np.fromiter(
+                    (j.servers_required for j in jobs), dtype=np.int64, count=n
+                ),
+                "home_region": tuple(j.home_region for j in jobs),
+                "workload": tuple(j.workload for j in jobs),
+            }
+            self._columns = columns
+        return columns
+
     # -- statistics --------------------------------------------------------------------
     def arrival_times(self) -> np.ndarray:
         return np.array([job.arrival_time for job in self._jobs])

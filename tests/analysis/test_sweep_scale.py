@@ -68,3 +68,18 @@ class TestFactoriesAndSimulate:
         assert result.num_jobs == len(trace)
         assert result.delay_tolerance == 0.25
         assert result.trace_name == trace.name
+
+    def test_simulate_engine_selection(self):
+        scale = ExperimentScale(rate_per_hour=10.0, duration_days=0.1, seed=4)
+        trace = scale.borg_trace()
+        dataset = scale.dataset()
+        common = dict(servers_per_region=4, delay_tolerance=0.25)
+        scalar = simulate(trace, BaselineScheduler(), dataset, **common)
+        batch = simulate(trace, BaselineScheduler(), dataset, engine="batch", **common)
+        # Both engines return SimulationResult and agree on the physics.
+        assert type(batch) is type(scalar)
+        assert batch.num_jobs == scalar.num_jobs
+        assert batch.total_carbon_g == pytest.approx(scalar.total_carbon_g, rel=1e-9)
+        assert batch.total_water_l == pytest.approx(scalar.total_water_l, rel=1e-9)
+        with pytest.raises(ValueError, match="engine"):
+            simulate(trace, BaselineScheduler(), dataset, engine="quantum", **common)

@@ -72,3 +72,15 @@ class TestCommands:
     def test_unknown_policy_raises(self):
         with pytest.raises(KeyError):
             main(["simulate", "--policies", "slurm", "--jobs-per-hour", "5", "--hours", "1"])
+
+    def test_simulate_batch_engine_matches_scalar(self, capsys):
+        common = [
+            "simulate", "--policies", "baseline", "round-robin",
+            "--jobs-per-hour", "15", "--hours", "3", "--seed", "4",
+        ]
+        assert main(common + ["--engine", "scalar"]) == 0
+        scalar_out = capsys.readouterr().out
+        assert main(common + ["--engine", "batch"]) == 0
+        batch_out = capsys.readouterr().out
+        # Identical tables: totals and savings agree digit for digit.
+        assert batch_out == scalar_out

@@ -30,11 +30,18 @@ import itertools
 import zlib
 from collections.abc import Iterable, Mapping, Sequence
 
+from repro.traces.scenarios import available_scenarios
+
 __all__ = ["SweepPoint", "SweepOutcome", "derive_seed", "expand_grid", "run_sweep"]
 
 _TRACE_KINDS = ("borg", "alibaba")
 _ENGINES = ("batch", "scalar")
 _EXECUTORS = ("serial", "thread", "process")
+
+
+def _known_trace_kinds() -> tuple[str, ...]:
+    """Valid ``SweepPoint.trace_kind`` values: classic generators + scenarios."""
+    return _TRACE_KINDS + available_scenarios()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -49,8 +56,10 @@ class SweepPoint:
     scheduler: str = "baseline"
     scheduler_kwargs: tuple[tuple[str, object], ...] = ()
     trace_kind: str = "borg"
-    rate_per_hour: float = 40.0
-    duration_days: float = 0.25
+    #: ``None`` keeps the scenario family's natural rate/length (scenario
+    #: trace kinds only — the classic generators have no family defaults).
+    rate_per_hour: float | None = 40.0
+    duration_days: float | None = 0.25
     delay_tolerance: float = 0.25
     servers_per_region: int = 20
     scheduling_interval_s: float = 300.0
@@ -59,16 +68,25 @@ class SweepPoint:
     seed: int = 0
 
     def __post_init__(self) -> None:
-        if self.trace_kind not in _TRACE_KINDS:
-            raise ValueError(f"trace_kind must be one of {_TRACE_KINDS}, got {self.trace_kind!r}")
+        known = _known_trace_kinds()
+        if self.trace_kind not in known:
+            raise ValueError(f"trace_kind must be one of {known}, got {self.trace_kind!r}")
         if self.engine not in _ENGINES:
             raise ValueError(f"engine must be one of {_ENGINES}, got {self.engine!r}")
+        if self.trace_kind in _TRACE_KINDS and (
+            self.rate_per_hour is None or self.duration_days is None
+        ):
+            raise ValueError(
+                "rate_per_hour/duration_days of None (scenario family default) "
+                f"are only valid for scenario trace kinds, not {self.trace_kind!r}"
+            )
 
     def label(self) -> str:
         """Short human-readable identifier for reports."""
+        rate = "auto" if self.rate_per_hour is None else f"{self.rate_per_hour:g}"
         return (
             f"{self.scheduler}@{self.trace_kind}"
-            f"/tol={self.delay_tolerance:g}/rate={self.rate_per_hour:g}"
+            f"/tol={self.delay_tolerance:g}/rate={rate}"
             f"/seed={self.seed}"
         )
 
@@ -170,14 +188,30 @@ def _run_point(point: SweepPoint) -> SweepOutcome:
     from repro.sustainability.datasets import ElectricityMapsLikeProvider
     from repro.traces.alibaba import AlibabaTraceGenerator
     from repro.traces.borg import BorgTraceGenerator
+    from repro.traces.scenarios import scenario_trace
 
-    generator_cls = BorgTraceGenerator if point.trace_kind == "borg" else AlibabaTraceGenerator
-    trace = generator_cls(
-        rate_per_hour=point.rate_per_hour,
-        duration_days=point.duration_days,
-        seed=point.seed,
-    ).generate()
-    horizon_hours = max(int(math.ceil(point.duration_days * 24)) + 48, 72)
+    if point.trace_kind in _TRACE_KINDS:
+        generator_cls = (
+            BorgTraceGenerator if point.trace_kind == "borg" else AlibabaTraceGenerator
+        )
+        trace = generator_cls(
+            rate_per_hour=point.rate_per_hour,
+            duration_days=point.duration_days,
+            seed=point.seed,
+        ).generate()
+    else:
+        trace = scenario_trace(
+            point.trace_kind,
+            seed=point.seed,
+            rate_per_hour=point.rate_per_hour,
+            duration_days=point.duration_days,
+        )
+    duration_days = (
+        point.duration_days
+        if point.duration_days is not None
+        else trace.horizon_s / 86_400.0
+    )
+    horizon_hours = max(int(math.ceil(duration_days * 24)) + 48, 72)
     dataset = ElectricityMapsLikeProvider(horizon_hours=horizon_hours, seed=point.seed)
     scheduler = make_scheduler(point.scheduler, **dict(point.scheduler_kwargs))
     engine_cls = BatchSimulator if point.engine == "batch" else Simulator

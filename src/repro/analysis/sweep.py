@@ -26,6 +26,7 @@ from repro.schedulers import (
 from repro.sustainability.datasets import ElectricityMapsLikeProvider, SustainabilityDataset
 from repro.traces.alibaba import AlibabaTraceGenerator
 from repro.traces.borg import BorgTraceGenerator
+from repro.traces.scenarios import available_scenarios, get_scenario
 from repro.traces.trace import Trace
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
     "simulate",
     "run_policies",
     "delay_tolerance_sweep",
+    "scenario_suite",
     "default_policy_set",
 ]
 
@@ -84,6 +86,21 @@ class ExperimentScale:
             duration_days=self.duration_days,
             seed=self.seed,
         ).generate()
+
+    def scenario_trace(
+        self, name: str, rate_per_hour: float | None = None
+    ) -> Trace:
+        """Generate a named scenario trace over this scale's horizon and seed.
+
+        The scenario family's natural submission rate is kept unless
+        ``rate_per_hour`` overrides it (families differ deliberately — e.g.
+        ``ml-training`` submits few long jobs).
+        """
+        return get_scenario(name).trace(
+            seed=self.seed,
+            rate_per_hour=rate_per_hour,
+            duration_days=self.duration_days,
+        )
 
     def dataset(
         self, provider: type[SustainabilityDataset] = ElectricityMapsLikeProvider, **kwargs
@@ -200,6 +217,45 @@ def delay_tolerance_sweep(
             scheduling_interval_s=scheduling_interval_s,
         )
     return sweep
+
+
+def scenario_suite(
+    policies: Mapping[str, SchedulerFactory],
+    scenario_names: Sequence[str] | None = None,
+    scale: ExperimentScale | None = None,
+    delay_tolerance: float = 0.25,
+    servers_per_region: int | Mapping[str, int] | None = None,
+    engine: str = "batch",
+) -> dict[str, dict[str, SimulationResult]]:
+    """Run ``policies`` over every scenario family under identical conditions.
+
+    The scenario-diversity counterpart of :func:`delay_tolerance_sweep`: one
+    result group per scenario, one result per policy.  Server counts are
+    sized per scenario for the scale's target utilization unless given.
+    """
+    scale = scale if scale is not None else ExperimentScale()
+    names = tuple(scenario_names) if scenario_names is not None else available_scenarios()
+    if not names:
+        raise ValueError("scenario_names must not be empty")
+    dataset = scale.dataset()
+    suite: dict[str, dict[str, SimulationResult]] = {}
+    for name in names:
+        trace = scale.scenario_trace(name)
+        servers = (
+            servers_per_region
+            if servers_per_region is not None
+            else scale.servers_for(trace, dataset.region_keys)
+        )
+        suite[name] = run_policies(
+            trace,
+            dataset,
+            policies,
+            servers_per_region=servers,
+            delay_tolerance=delay_tolerance,
+            scheduling_interval_s=scale.scheduling_interval_s,
+            engine=engine,
+        )
+    return suite
 
 
 def waterwise_factory(config: WaterWiseConfig) -> SchedulerFactory:

@@ -10,7 +10,8 @@ user can compare scheduling policies without writing Python::
 Sub-commands
 ------------
 ``simulate``
-    Generate a Borg-like (or Alibaba-like) trace, run the requested policies
+    Generate a Borg-like (or Alibaba-like) trace — or a named scenario from
+    the workload library via ``--scenario`` — run the requested policies
     under identical conditions and print totals and savings versus the
     baseline.
 ``regions``
@@ -18,6 +19,8 @@ Sub-commands
     EWIF, WUE, water-scarcity factor and water intensity.
 ``workloads``
     Print the PARSEC/CloudSuite workload profiles (paper Table 1).
+``scenarios``
+    Print the workload-scenario library (name, description, default scale).
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ from repro.cluster import servers_for_target_utilization
 from repro.schedulers import available_schedulers, make_scheduler
 from repro.sustainability import ElectricityMapsLikeProvider, WRILikeProvider
 from repro.traces import AlibabaTraceGenerator, BorgTraceGenerator, WORKLOAD_PROFILES
+from repro.traces.scenarios import SCENARIOS, available_scenarios, get_scenario
 
 __all__ = ["build_parser", "main"]
 
@@ -49,10 +53,18 @@ def build_parser() -> argparse.ArgumentParser:
     simulate = sub.add_parser("simulate", help="run one or more policies over a synthetic trace")
     simulate.add_argument(
         "--policies", nargs="+", default=["baseline", "waterwise"],
-        help=f"policies to compare (available: {', '.join(available_schedulers())}, waterwise)",
+        help=f"policies to compare (available: {', '.join(available_schedulers())})",
     )
     simulate.add_argument("--trace", choices=["borg", "alibaba"], default="borg")
-    simulate.add_argument("--jobs-per-hour", type=float, default=60.0)
+    simulate.add_argument(
+        "--scenario", choices=available_scenarios(), default=None,
+        help="use a named workload scenario instead of --trace (see `repro scenarios`)",
+    )
+    simulate.add_argument(
+        "--jobs-per-hour", type=float, default=None,
+        help="submission rate (default: 60 for --trace, the family's own "
+             "default for --scenario)",
+    )
     simulate.add_argument("--hours", type=float, default=12.0)
     simulate.add_argument("--tolerance", type=float, default=0.5, help="delay tolerance (0.5 = 50%%)")
     simulate.add_argument("--utilization", type=float, default=0.15, help="target average utilization")
@@ -66,14 +78,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("regions", help="print the region catalog and its sustainability factors")
     sub.add_parser("workloads", help="print the PARSEC/CloudSuite workload profiles")
+    sub.add_parser("scenarios", help="print the workload-scenario library")
     return parser
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    generator_cls = BorgTraceGenerator if args.trace == "borg" else AlibabaTraceGenerator
-    trace = generator_cls(
-        rate_per_hour=args.jobs_per_hour, duration_days=args.hours / 24.0, seed=args.seed
-    ).generate()
+    if args.scenario is not None:
+        # None lets the scenario family's natural rate apply.
+        trace = get_scenario(args.scenario).trace(
+            seed=args.seed,
+            rate_per_hour=args.jobs_per_hour,
+            duration_days=args.hours / 24.0,
+        )
+    else:
+        generator_cls = BorgTraceGenerator if args.trace == "borg" else AlibabaTraceGenerator
+        trace = generator_cls(
+            rate_per_hour=60.0 if args.jobs_per_hour is None else args.jobs_per_hour,
+            duration_days=args.hours / 24.0,
+            seed=args.seed,
+        ).generate()
     provider = ElectricityMapsLikeProvider if args.data_source == "electricity-maps" else WRILikeProvider
     dataset = provider(horizon_hours=int(args.hours) + 48, seed=args.seed)
     servers = servers_for_target_utilization(
@@ -165,6 +188,19 @@ def _cmd_workloads() -> int:
     return 0
 
 
+def _cmd_scenarios() -> int:
+    rows = [
+        [s.name, s.description, s.default_rate_per_hour, s.default_duration_days]
+        for s in SCENARIOS.values()
+    ]
+    print(format_table(
+        ["scenario", "description", "default_rate_per_h", "default_days"],
+        rows,
+        title="Workload scenario library",
+    ))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -174,4 +210,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_regions()
     if args.command == "workloads":
         return _cmd_workloads()
+    if args.command == "scenarios":
+        return _cmd_scenarios()
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -112,6 +112,60 @@ class FootprintCalculator:
             pue.append(series.pue)
         return (np.array(ci), np.array(ewif), np.array(wue), np.array(wsf), np.array(pue))
 
+    def carbon_matrix_arrays(
+        self,
+        energy_kwh: np.ndarray,
+        execution_time_s: np.ndarray,
+        region_keys: Sequence[str],
+        time_s: float,
+    ) -> np.ndarray:
+        """Array-world :meth:`carbon_matrix`: per-job estimate columns in, M×N out.
+
+        ``energy_kwh`` / ``execution_time_s`` are 1-D arrays of the
+        scheduler-visible estimates (one entry per job).  All operations are
+        elementwise, so the result is bit-identical to the ``Job``-based
+        matrix — the vectorized scheduler fast paths rely on that.
+        """
+        energy = np.asarray(energy_kwh, dtype=float)
+        exec_time = np.asarray(execution_time_s, dtype=float)
+        if energy.size == 0 or not region_keys:
+            return np.zeros((energy.size, len(region_keys)))
+        ci = self._region_factors(region_keys, time_s)[0][None, :]
+        return np.asarray(self.carbon_model.total(energy[:, None], ci, exec_time[:, None]))
+
+    def water_matrix_arrays(
+        self,
+        energy_kwh: np.ndarray,
+        execution_time_s: np.ndarray,
+        region_keys: Sequence[str],
+        time_s: float,
+    ) -> np.ndarray:
+        """Array-world :meth:`water_matrix` (see :meth:`carbon_matrix_arrays`)."""
+        energy = np.asarray(energy_kwh, dtype=float)
+        exec_time = np.asarray(execution_time_s, dtype=float)
+        if energy.size == 0 or not region_keys:
+            return np.zeros((energy.size, len(region_keys)))
+        _, ewif, wue, wsf, pue = self._region_factors(region_keys, time_s)
+        return np.asarray(
+            self.water_model.total(
+                energy[:, None], ewif[None, :], wue[None, :], wsf[None, :], pue[None, :],
+                exec_time[:, None],
+            )
+        )
+
+    def footprint_matrices_arrays(
+        self,
+        energy_kwh: np.ndarray,
+        execution_time_s: np.ndarray,
+        region_keys: Sequence[str],
+        time_s: float,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Both array-world matrices in one call."""
+        return (
+            self.carbon_matrix_arrays(energy_kwh, execution_time_s, region_keys, time_s),
+            self.water_matrix_arrays(energy_kwh, execution_time_s, region_keys, time_s),
+        )
+
     def carbon_matrix(
         self, jobs: Sequence[Job], region_keys: Sequence[str], time_s: float
     ) -> np.ndarray:
@@ -122,10 +176,9 @@ class FootprintCalculator:
         """
         if not jobs or not region_keys:
             return np.zeros((len(jobs), len(region_keys)))
-        energy = np.array([job.energy_kwh for job in jobs])[:, None]
-        exec_time = np.array([job.execution_time for job in jobs])[:, None]
-        ci = self._region_factors(region_keys, time_s)[0][None, :]
-        return np.asarray(self.carbon_model.total(energy, ci, exec_time))
+        energy = np.array([job.energy_kwh for job in jobs])
+        exec_time = np.array([job.execution_time for job in jobs])
+        return self.carbon_matrix_arrays(energy, exec_time, region_keys, time_s)
 
     def water_matrix(
         self, jobs: Sequence[Job], region_keys: Sequence[str], time_s: float
@@ -133,14 +186,9 @@ class FootprintCalculator:
         """Estimated water footprint (L) of each job in each region at ``time_s``."""
         if not jobs or not region_keys:
             return np.zeros((len(jobs), len(region_keys)))
-        energy = np.array([job.energy_kwh for job in jobs])[:, None]
-        exec_time = np.array([job.execution_time for job in jobs])[:, None]
-        _, ewif, wue, wsf, pue = self._region_factors(region_keys, time_s)
-        return np.asarray(
-            self.water_model.total(
-                energy, ewif[None, :], wue[None, :], wsf[None, :], pue[None, :], exec_time
-            )
-        )
+        energy = np.array([job.energy_kwh for job in jobs])
+        exec_time = np.array([job.execution_time for job in jobs])
+        return self.water_matrix_arrays(energy, exec_time, region_keys, time_s)
 
     def footprint_matrices(
         self, jobs: Sequence[Job], region_keys: Sequence[str], time_s: float

@@ -411,12 +411,7 @@ class BatchSimulator(_SimulatorBase):
         # get a per-job call instead of the decomposition.
         transfer_decomposes = type(self.latency) is TransferLatencyModel
         if transfer_decomposes:
-            propagation = np.array(
-                [
-                    [self.latency.transfer_time(a, b, 0.0) for b in self.region_keys]
-                    for a in self.region_keys
-                ]
-            )
+            propagation = self.latency.propagation_seconds(self.region_keys)
             serialization = arrays.package_gb * 8.0 / self.latency.bandwidth_gbps
         else:
             # Anything duck-typed only needs transfer_time(); see
@@ -590,9 +585,13 @@ class BatchSimulator(_SimulatorBase):
             regions=self.regions,
         )
         started = _time.perf_counter()
-        choice = fast_path(self.scheduler, context)
+        result = fast_path(self.scheduler, context)
         decision_seconds = _time.perf_counter() - started
 
+        if isinstance(result, tuple):
+            choice, commit_order = result
+        else:
+            choice, commit_order = result, None
         choice = np.asarray(choice, dtype=np.int64)
         if choice.shape != batch.shape:
             raise ValueError(
@@ -602,13 +601,26 @@ class BatchSimulator(_SimulatorBase):
         if np.any(choice < -1) or np.any(choice >= len(arrays.region_keys)):
             raise ValueError("fast path returned region codes outside the cluster")
 
-        for position, job in enumerate(batch.tolist()):
-            region = choice[position]
-            if region < 0:
-                deferrals[job] += 1
-            else:
-                del pending[job]
-                commit_assignment(job, int(region), now)
+        assigned = np.flatnonzero(choice >= 0)
+        if commit_order is None:
+            commit_positions = assigned
+        else:
+            # A custom commit order must cover exactly the assigned positions:
+            # commit order decides FIFO tie-breaking, so a silently dropped or
+            # duplicated position would corrupt the equivalence guarantee.
+            commit_positions = np.asarray(commit_order, dtype=np.int64)
+            if not np.array_equal(np.sort(commit_positions), assigned):
+                raise ValueError(
+                    "fast path commit order must be a permutation of the "
+                    "assigned batch positions"
+                )
+        batch_list = batch.tolist()
+        for position in np.flatnonzero(choice < 0).tolist():
+            deferrals[batch_list[position]] += 1
+        for position in commit_positions.tolist():
+            job = batch_list[position]
+            del pending[job]
+            commit_assignment(job, int(choice[position]), now)
         return decision_seconds
 
     def _run_fallback_round(

@@ -24,8 +24,9 @@ import numpy as np
 from repro.cluster.interface import SchedulingContext
 from repro.core.config import WaterWiseConfig
 from repro.core.history import HistoryLearner
-from repro.core.objective import PlacementModel, build_placement_problem
+from repro.core.objective import PlacementModel, build_placement_form, build_placement_problem
 from repro.milp import SolveResult, solve
+from repro.milp.solver import solve_standard_form
 from repro.traces.job import Job
 
 __all__ = ["ControllerResult", "DecisionController"]
@@ -157,3 +158,97 @@ class DecisionController:
             solve_result=None,
             model=model,
         )
+
+    # -- array-world entry point (batch engine fast path) -------------------------------
+    def decide_arrays(
+        self,
+        cost: np.ndarray,
+        latency_ratio: np.ndarray,
+        tolerance: np.ndarray,
+        servers_required: np.ndarray,
+        capacity: np.ndarray,
+        home_idx: np.ndarray,
+        force_soft: bool = False,
+    ) -> tuple[np.ndarray, bool, bool]:
+        """Array counterpart of :meth:`decide` for the vectorized fast path.
+
+        Takes the already-computed placement matrices (cost, latency ratio,
+        remaining tolerance — see :func:`repro.core.objective.placement_cost`)
+        instead of ``Job`` objects, builds the identical MILP directly in
+        standard form and runs it through the same solver dispatch, so the
+        hard → soft → greedy-fallback ladder and the round counters behave
+        exactly like the object path.  Returns ``(region codes in job order,
+        used_soft_constraints, used_fallback)``.
+        """
+        m_jobs, n_regions = cost.shape
+        attempts: list[bool] = []
+        if not force_soft:
+            attempts.append(False)
+        if self.config.use_soft_constraints or not attempts:
+            attempts.append(True)
+
+        for soft in attempts:
+            if soft and not self.config.use_soft_constraints and not force_soft:
+                continue
+            form = build_placement_form(
+                cost, latency_ratio, tolerance, servers_required, capacity,
+                self.config, soft=soft,
+            )
+            status, x, _objective, _iterations, _nodes, _solver, _seconds = (
+                solve_standard_form(
+                    form,
+                    solver=self.config.solver,
+                    time_limit=self.config.solver_time_limit_s,
+                )
+            )
+            if status.is_success:
+                self.rounds_solved += 1
+                if soft:
+                    self.rounds_softened += 1
+                return self._assignments_from_x(x, m_jobs, n_regions), soft, False
+
+        self.rounds_fallback += 1
+        return (
+            self._greedy_assignment_arrays(cost, servers_required, capacity, home_idx),
+            True,
+            True,
+        )
+
+    @staticmethod
+    def _assignments_from_x(x: np.ndarray, m_jobs: int, n_regions: int) -> np.ndarray:
+        """Region code per job from a solved variable vector.
+
+        Mirrors ``PlacementModel.assignment_from_values``: the first region
+        whose (snapped) placement binary exceeds 0.5 wins.
+        """
+        placements = x[: m_jobs * n_regions].reshape(m_jobs, n_regions)
+        chosen = np.argmax(placements, axis=1)
+        if np.any(placements[np.arange(m_jobs), chosen] <= 0.5):
+            raise ValueError("no region selected for a job in the MILP solution")
+        return chosen.astype(np.int64)
+
+    @staticmethod
+    def _greedy_assignment_arrays(
+        cost: np.ndarray,
+        servers_required: np.ndarray,
+        capacity: np.ndarray,
+        home_idx: np.ndarray,
+    ) -> np.ndarray:
+        """Array counterpart of :meth:`_greedy_assignment` (same tie-breaking)."""
+        m_jobs = cost.shape[0]
+        remaining = [int(v) for v in capacity]
+        assignments = np.empty(m_jobs, dtype=np.int64)
+        for m in range(m_jobs):
+            servers = int(servers_required[m])
+            order = np.argsort(cost[m])
+            chosen = -1
+            for idx in order:
+                idx = int(idx)
+                if remaining[idx] >= servers:
+                    chosen = idx
+                    break
+            if chosen < 0:
+                chosen = int(home_idx[m])
+            assignments[m] = chosen
+            remaining[chosen] -= servers
+        return assignments

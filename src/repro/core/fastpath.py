@@ -1,0 +1,155 @@
+"""Vectorized fast path for the WaterWise core policy (paper Algorithm 1).
+
+The scalar :class:`~repro.core.waterwise.WaterWiseScheduler` spends its round
+budget in three places: materializing per-job footprint/transfer data,
+constructing the placement MILP out of Python ``Variable``/``Constraint``
+objects, and solving it.  This fast path keeps the *same* algorithm —
+history learner, slack manager, hard → soft → greedy decision ladder — but
+computes every matrix with whole-batch NumPy operations and hands the solver
+the MILP directly in standard (array) form, skipping the object model
+entirely:
+
+* the cost matrix comes from
+  :meth:`~repro.cluster.footprint.FootprintCalculator.footprint_matrices_arrays`
+  and :func:`~repro.core.objective.placement_cost` — the same formula the
+  object path uses, on the same floats;
+* transfer latencies come from
+  :func:`~repro.schedulers.vectorized.batch_transfer_matrix`, which
+  reproduces ``context.transfer_time`` bit-for-bit;
+* the MILP is assembled by :func:`~repro.core.objective.build_placement_form`
+  (provably the same standard form ``build_placement_problem`` +
+  ``to_standard_form`` would emit) and solved through the same
+  :func:`~repro.milp.solver.solve_standard_form` dispatch via
+  :meth:`~repro.core.decision.DecisionController.decide_arrays`.
+
+Because the slack manager hands jobs to the controller in urgency order, the
+fast path returns ``(choice, commit_order)`` so the batch engine commits
+placements in exactly the order the scalar engine would — commit order
+decides FIFO tie-breaking in saturated data centers.
+
+The registration is ``exact=True``: WaterWise subclasses customize decisions
+through hooks other than ``schedule`` (e.g.
+:class:`~repro.core.cost.CostAwareWaterWiseScheduler` overrides
+``_extra_cost``), which the registry's overridden-``schedule`` guard cannot
+see, so they must always fall back to the scalar path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.batch import DEFER, BatchSchedulingContext
+from repro.core.objective import placement_cost
+from repro.core.waterwise import WaterWiseScheduler, record_round_intensities
+from repro.schedulers.vectorized import batch_transfer_matrix, register_fast_path
+
+__all__ = ["waterwise_fast_path"]
+
+
+def _slack_selection(
+    scheduler: WaterWiseScheduler,
+    context: BatchSchedulingContext,
+    batch: np.ndarray,
+    capacity_slots: int,
+) -> np.ndarray:
+    """Batch positions the slack manager keeps, in urgency (Eq. 14) order.
+
+    Mirrors :meth:`repro.core.slack.SlackManager.select`: jobs ranked by
+    ascending ``TOL% · t_m − L_avg_m − waited_m`` (job id breaking ties), then
+    greedily admitted while their server demand fits.
+    """
+    jobs = context.jobs
+    keys = context.region_keys
+    home = jobs.home_idx[batch]
+    package = jobs.package_gb[batch]
+    job_ids = jobs.job_id[batch]
+    allowance = context.delay_tolerance * jobs.exec_est[batch]
+    latency = context.latency
+
+    average_cache: dict[tuple[int, float], float] = {}
+    scores = np.empty(len(batch))
+    for i in range(len(batch)):
+        cache_key = (int(home[i]), float(package[i]))
+        average = average_cache.get(cache_key)
+        if average is None:
+            average = latency.average_from(keys[home[i]], float(package[i]))
+            average_cache[cache_key] = average
+        scores[i] = allowance[i] - average - context.wait_times[i]
+
+    ranked = sorted(range(len(batch)), key=lambda i: (scores[i], job_ids[i]))
+    servers = jobs.servers[batch]
+    remaining = int(capacity_slots)
+    selected: list[int] = []
+    for i in ranked:
+        if int(servers[i]) <= remaining:
+            selected.append(i)
+            remaining -= int(servers[i])
+    return np.array(selected, dtype=np.int64)
+
+
+def waterwise_fast_path(
+    scheduler: WaterWiseScheduler, context: BatchSchedulingContext
+) -> tuple[np.ndarray, np.ndarray]:
+    """One WaterWise scheduling round over arrays; see the module docstring."""
+    config = scheduler.config
+    keys = context.region_keys
+    if config.use_history:
+        record_round_intensities(scheduler.history, keys, context.dataset, context.now)
+
+    batch = context.batch
+    m = len(batch)
+    choice = np.full(m, DEFER, dtype=np.int64)
+    no_commits = np.empty(0, dtype=np.int64)
+    if m == 0:
+        return choice, no_commits
+
+    jobs = context.jobs
+    servers_required = jobs.servers[batch]
+    total_capacity = int(context.capacity.sum())
+    if total_capacity <= 0:
+        # Nothing can start this round anywhere; wait for capacity.
+        return choice, no_commits
+
+    selected = np.arange(m, dtype=np.int64)
+    force_soft = False
+    if int(servers_required.sum()) > total_capacity and config.use_slack_manager:
+        selected = _slack_selection(scheduler, context, batch, total_capacity)
+        force_soft = config.use_soft_constraints
+        scheduler.overload_rounds += 1
+        if selected.size == 0:
+            return choice, no_commits
+
+    selected_jobs = batch[selected]
+    energy = jobs.energy_est[selected_jobs]
+    exec_est = jobs.exec_est[selected_jobs]
+    carbon, water = context.footprints.footprint_matrices_arrays(
+        energy, exec_est, keys, context.now
+    )
+    if config.use_history:
+        co2_ref, h2o_ref = scheduler.history.reference(keys)
+    else:
+        co2_ref = h2o_ref = None
+    cost = placement_cost(carbon, water, config, co2_ref=co2_ref, h2o_ref=h2o_ref)
+
+    transfer = batch_transfer_matrix(context, selected_jobs)
+    latency_ratio = transfer / exec_est[:, None]
+    waited_ratio = context.wait_times[selected] / exec_est
+    tolerance = np.maximum(0.0, context.delay_tolerance - waited_ratio)
+
+    regions, used_soft, _used_fallback = scheduler.controller.decide_arrays(
+        cost,
+        latency_ratio,
+        tolerance,
+        servers_required[selected],
+        context.capacity,
+        jobs.home_idx[selected_jobs],
+        force_soft=force_soft,
+    )
+    if used_soft:
+        scheduler.soft_rounds += 1
+    choice[selected] = regions
+    # Commit in controller (urgency-ranked) order, like the scalar engine.
+    return choice, selected
+
+
+register_fast_path(WaterWiseScheduler, waterwise_fast_path, exact=True)

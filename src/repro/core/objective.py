@@ -26,9 +26,15 @@ import numpy as np
 from repro.cluster.interface import SchedulingContext
 from repro.core.config import WaterWiseConfig
 from repro.milp import Problem, VarType, Variable, lin_sum
+from repro.milp.problem import StandardForm
 from repro.traces.job import Job
 
-__all__ = ["PlacementModel", "build_placement_problem"]
+__all__ = [
+    "PlacementModel",
+    "build_placement_problem",
+    "placement_cost",
+    "build_placement_form",
+]
 
 #: Footprint maxima below this are treated as "no signal" to avoid divide-by-zero.
 _EPSILON = 1e-12
@@ -68,6 +74,124 @@ def _normalized(matrix: np.ndarray) -> np.ndarray:
     maxima = matrix.max(axis=1, keepdims=True)
     maxima = np.where(maxima > _EPSILON, maxima, 1.0)
     return matrix / maxima
+
+
+def placement_cost(
+    carbon: np.ndarray,
+    water: np.ndarray,
+    config: WaterWiseConfig,
+    co2_ref: np.ndarray | None = None,
+    h2o_ref: np.ndarray | None = None,
+    extra_cost: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-placement objective coefficients (Eq. 7–8) from the M×N matrices.
+
+    The single implementation of the cost formula, shared by the object-world
+    :func:`build_placement_problem` and the batch engine's vectorized
+    WaterWise fast path (:mod:`repro.core.fastpath`) so both produce
+    bit-identical MILP objectives.
+    """
+    n_regions = carbon.shape[1]
+    carbon_norm = _normalized(carbon)
+    water_norm = _normalized(water)
+
+    if co2_ref is None:
+        co2_ref = np.zeros(n_regions)
+    if h2o_ref is None:
+        h2o_ref = np.zeros(n_regions)
+    co2_ref = np.asarray(co2_ref, dtype=float)
+    h2o_ref = np.asarray(h2o_ref, dtype=float)
+    if co2_ref.shape != (n_regions,) or h2o_ref.shape != (n_regions,):
+        raise ValueError("reference terms must have one entry per region")
+
+    reference = config.lambda_ref * (
+        config.lambda_co2 * co2_ref + config.lambda_h2o * h2o_ref
+    )
+    cost = (
+        config.lambda_co2 * carbon_norm
+        + config.lambda_h2o * water_norm
+        + reference[None, :]
+    )
+    if extra_cost is not None:
+        extra_cost = np.asarray(extra_cost, dtype=float)
+        if extra_cost.shape != cost.shape:
+            raise ValueError(
+                f"extra_cost must have shape {cost.shape}, got {extra_cost.shape}"
+            )
+        cost = cost + extra_cost
+    return cost
+
+
+def build_placement_form(
+    cost: np.ndarray,
+    latency_ratio: np.ndarray,
+    tolerance: np.ndarray,
+    servers_required: np.ndarray,
+    capacity: np.ndarray,
+    config: WaterWiseConfig,
+    soft: bool = False,
+) -> StandardForm:
+    """Array-world :func:`build_placement_problem`: the MILP as a ``StandardForm``.
+
+    Produces exactly the arrays ``build_placement_problem(...).problem
+    .to_standard_form()`` would — same variable order (``x`` placement
+    binaries m-major/n-minor, then the soft penalty variables), same
+    constraint order (assignment equalities, then capacity, then delay
+    inequalities) and bit-identical coefficients — without constructing any
+    ``Variable``/``Constraint`` objects.  Feeding both through
+    :func:`repro.milp.solver.solve_standard_form` therefore yields the same
+    solver behaviour; the differential harness locks this down.
+    """
+    m_jobs, n_regions = cost.shape
+    n_x = m_jobs * n_regions
+    n_vars = 2 * n_x if soft else n_x
+
+    c = np.zeros(n_vars)
+    c[:n_x] = cost.ravel()
+    if soft:
+        c[n_x:] = config.penalty_weight
+
+    # Eq. 9: each job is placed in exactly one region.
+    a_eq = np.zeros((m_jobs, n_vars))
+    rows = np.repeat(np.arange(m_jobs), n_regions)
+    cols = np.arange(n_x)
+    a_eq[rows, cols] = 1.0
+    b_eq = np.ones(m_jobs)
+
+    # Eq. 10 (capacity) then Eq. 11/13 (delay) rows, matching the object
+    # model's constraint insertion order.
+    a_ub = np.zeros((n_regions + m_jobs, n_vars))
+    servers = np.asarray(servers_required, dtype=float)
+    capacity_rows = np.tile(np.arange(n_regions), m_jobs)
+    a_ub[capacity_rows, cols] = np.repeat(servers, n_regions)
+    delay_rows = n_regions + rows
+    a_ub[delay_rows, cols] = latency_ratio.ravel()
+    if soft:
+        a_ub[delay_rows, n_x + cols] = -1.0
+    b_ub = np.concatenate(
+        [np.asarray(capacity, dtype=float), np.asarray(tolerance, dtype=float)]
+    )
+
+    lower = np.zeros(n_vars)
+    upper = np.ones(n_vars)
+    integrality = np.zeros(n_vars, dtype=bool)
+    integrality[:n_x] = True
+    if soft:
+        upper[n_x:] = np.inf
+
+    return StandardForm(
+        variables=(),
+        c=c,
+        c0=0.0,
+        a_ub=a_ub,
+        b_ub=b_ub,
+        a_eq=a_eq,
+        b_eq=b_eq,
+        lower=lower,
+        upper=upper,
+        integrality=integrality,
+        maximize=False,
+    )
 
 
 def build_placement_problem(
@@ -110,33 +234,9 @@ def build_placement_problem(
     m_jobs = len(jobs)
 
     carbon, water = context.footprints.footprint_matrices(jobs, region_keys, context.now)
-    carbon_norm = _normalized(carbon)
-    water_norm = _normalized(water)
-
-    if co2_ref is None:
-        co2_ref = np.zeros(n_regions)
-    if h2o_ref is None:
-        h2o_ref = np.zeros(n_regions)
-    co2_ref = np.asarray(co2_ref, dtype=float)
-    h2o_ref = np.asarray(h2o_ref, dtype=float)
-    if co2_ref.shape != (n_regions,) or h2o_ref.shape != (n_regions,):
-        raise ValueError("reference terms must have one entry per region")
-
-    reference = config.lambda_ref * (
-        config.lambda_co2 * co2_ref + config.lambda_h2o * h2o_ref
+    cost = placement_cost(
+        carbon, water, config, co2_ref=co2_ref, h2o_ref=h2o_ref, extra_cost=extra_cost
     )
-    cost = (
-        config.lambda_co2 * carbon_norm
-        + config.lambda_h2o * water_norm
-        + reference[None, :]
-    )
-    if extra_cost is not None:
-        extra_cost = np.asarray(extra_cost, dtype=float)
-        if extra_cost.shape != cost.shape:
-            raise ValueError(
-                f"extra_cost must have shape {cost.shape}, got {extra_cost.shape}"
-            )
-        cost = cost + extra_cost
 
     # Transfer-latency ratio L_mn / t_mn and the per-job remaining tolerance.
     transfer = np.array(

@@ -28,7 +28,23 @@ from repro.core.history import HistoryLearner
 from repro.core.slack import SlackManager
 from repro.traces.job import Job
 
-__all__ = ["WaterWiseScheduler"]
+__all__ = ["WaterWiseScheduler", "record_round_intensities"]
+
+
+def record_round_intensities(history, region_keys, dataset, now_s: float) -> None:
+    """Record one round's per-region carbon/water intensities with ``history``.
+
+    Shared by the scalar :meth:`WaterWiseScheduler.schedule` and the
+    vectorized fast path (:mod:`repro.core.fastpath`) so both feed the
+    history learner identical observations.
+    """
+    carbon = np.array(
+        [dataset.series_for(key).carbon_intensity_at(now_s) for key in region_keys]
+    )
+    water = np.array(
+        [dataset.series_for(key).water_intensity_at(now_s) for key in region_keys]
+    )
+    history.observe(region_keys, carbon, water)
 
 
 class WaterWiseScheduler(Scheduler):
@@ -98,11 +114,12 @@ class WaterWiseScheduler(Scheduler):
     def _record_history(self, context: SchedulingContext) -> None:
         if not self.config.use_history:
             return
-        keys = context.region_keys
-        carbon = np.array(
-            [context.dataset.series_for(key).carbon_intensity_at(context.now) for key in keys]
+        record_round_intensities(
+            self.history, context.region_keys, context.dataset, context.now
         )
-        water = np.array(
-            [context.dataset.series_for(key).water_intensity_at(context.now) for key in keys]
-        )
-        self.history.observe(keys, carbon, water)
+
+
+# Registering the vectorized fast path lives in a separate module so the
+# class definition stays import-light; importing it here makes the fast path
+# available whenever the scheduler itself is.
+import repro.core.fastpath  # noqa: E402,F401  (side-effect import)

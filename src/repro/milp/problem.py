@@ -49,7 +49,10 @@ class StandardForm:
 
     @property
     def num_variables(self) -> int:
-        return len(self.variables)
+        # Derived from the coefficient vector, not ``variables``: forms built
+        # directly from arrays (the WaterWise fast path) carry no Variable
+        # objects but must still solve through the same backends.
+        return len(self.c)
 
     @property
     def num_constraints(self) -> int:

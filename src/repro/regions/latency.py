@@ -107,6 +107,19 @@ class TransferLatencyModel:
         propagation = self.base_latency_s + self.per_1000km_s * distance / 1000.0
         return serialization + propagation
 
+    def propagation_seconds(self, region_keys: Sequence[str]) -> np.ndarray:
+        """(K × K) zero-package transfer times over ``region_keys``, in that order.
+
+        This is the propagation component of :meth:`transfer_time` (the
+        serialization component is zero for an empty package), keyed by the
+        *caller's* region order — the batch engine and the vectorized
+        scheduler fast paths add ``package_gb × 8 / bandwidth_gbps`` per job
+        to reconstruct :meth:`transfer_time` exactly.
+        """
+        return np.array(
+            [[self.transfer_time(a, b, 0.0) for b in region_keys] for a in region_keys]
+        )
+
     def matrix(self, package_gb: float = 1.0) -> np.ndarray:
         """Full (n_regions × n_regions) transfer-time matrix in seconds."""
         n = len(self.regions)

@@ -25,7 +25,23 @@ from repro._validation import ensure_positive
 from repro.cluster.interface import Scheduler, SchedulerDecision, SchedulingContext
 from repro.traces.job import Job
 
-__all__ = ["EcovisorLikeScheduler"]
+__all__ = ["EcovisorLikeScheduler", "trailing_carbon_average"]
+
+
+def trailing_carbon_average(series, now_s: float, window_h: float) -> float:
+    """Trailing mean carbon intensity over the last ``window_h`` hours.
+
+    The "target" signal of the Ecovisor-style carbon scaler.  Shared by the
+    scalar policy and its vectorized fast path
+    (:mod:`repro.schedulers.vectorized`), so both derive the identical
+    defer/release threshold.
+    """
+    now_hour = int(now_s // 3600.0)
+    start_hour = max(0, now_hour - int(window_h))
+    window = series.carbon_intensity[start_hour : now_hour + 1]
+    if len(window):
+        return float(np.mean(window))
+    return float(series.carbon_intensity_at(now_s))
 
 
 class EcovisorLikeScheduler(Scheduler):
@@ -51,10 +67,7 @@ class EcovisorLikeScheduler(Scheduler):
     # -- internals --------------------------------------------------------------------
     def _trailing_average(self, context: SchedulingContext, region_key: str) -> float:
         series = context.dataset.series_for(region_key)
-        now_hour = int(context.now // 3600.0)
-        start_hour = max(0, now_hour - int(self.trailing_window_h))
-        window = series.carbon_intensity[start_hour : now_hour + 1]
-        return float(np.mean(window)) if len(window) else float(series.carbon_intensity_at(context.now))
+        return trailing_carbon_average(series, context.now, self.trailing_window_h)
 
     def schedule(self, jobs: Sequence[Job], context: SchedulingContext) -> SchedulerDecision:
         assignments: dict[int, str] = {}

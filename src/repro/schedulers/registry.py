@@ -39,17 +39,28 @@ def register_scheduler(name: str, factory: Callable[..., Scheduler]) -> None:
     _FACTORIES[key] = factory
 
 
+def _ensure_core_registered() -> None:
+    """Import :mod:`repro.core` so the WaterWise factories are registered.
+
+    The core package registers its schedulers on import (avoiding an import
+    cycle between this module and :mod:`repro.core`); callers enumerating or
+    constructing policies must see the full registry regardless of what they
+    imported first.
+    """
+    import repro.core  # noqa: F401  (side-effect import)
+
+
 def available_schedulers() -> tuple[str, ...]:
     """Names accepted by :func:`make_scheduler`."""
+    _ensure_core_registered()
     return tuple(sorted(_FACTORIES))
 
 
 def make_scheduler(name: str, **kwargs) -> Scheduler:
     """Instantiate a scheduler by name (kwargs forwarded to its constructor)."""
     key = name.strip().lower()
-    if key == "waterwise" and key not in _FACTORIES:
-        # Importing the core package registers the WaterWise factory.
-        import repro.core  # noqa: F401  (side-effect import)
+    if key not in _FACTORIES:
+        _ensure_core_registered()
     try:
         factory = _FACTORIES[key]
     except KeyError:

@@ -16,7 +16,10 @@ pieces:
   reproducing the two production traces' marginal statistics at a
   configurable scale,
 * :mod:`repro.traces.trace` — the :class:`Trace` container with filtering,
-  scaling and (de)serialization helpers.
+  scaling and (de)serialization helpers,
+* :mod:`repro.traces.scenarios` — the named workload-scenario library
+  (diurnal, bursty, heavy-tail, ml-training, region-skew) plugged into the
+  sweep runner and the CLI.
 """
 
 from repro.traces.alibaba import AlibabaTraceGenerator
@@ -27,6 +30,13 @@ from repro.traces.arrival import (
 )
 from repro.traces.borg import BorgTraceGenerator
 from repro.traces.job import Job
+from repro.traces.scenarios import (
+    SCENARIOS,
+    Scenario,
+    available_scenarios,
+    get_scenario,
+    scenario_trace,
+)
 from repro.traces.trace import Trace
 from repro.traces.workloads import (
     WORKLOAD_PROFILES,
@@ -41,8 +51,13 @@ __all__ = [
     "DiurnalPoissonProcess",
     "Job",
     "PoissonArrivalProcess",
+    "SCENARIOS",
+    "Scenario",
     "Trace",
     "WORKLOAD_PROFILES",
     "WorkloadProfile",
+    "available_scenarios",
+    "get_scenario",
     "get_workload",
+    "scenario_trace",
 ]

@@ -1,0 +1,248 @@
+"""Named workload-scenario library for sweeps, benchmarks and the CLI.
+
+PR 1's batch engine made single-trace sweeps fast; this library makes them
+*diverse*.  Each scenario is a named, seeded recipe producing a
+:class:`~repro.traces.trace.Trace` with a distinct shape, so experiments can
+exercise the schedulers well beyond the default Borg/Alibaba pair:
+
+``diurnal``
+    Borg-like arrivals with a pronounced day/night cycle (0.9 amplitude) —
+    the canonical "follow the sun" workload.
+``bursty``
+    Alibaba-like arrivals with frequent, strong bursts on a flat-ish base —
+    stresses scheduling rounds with large batches.
+``heavy-tail``
+    Borg-like arrivals whose execution times carry a Pareto-distributed
+    elephant tail: a few percent of jobs run one to two orders of magnitude
+    longer than the median, as in production Borg traces.  Stresses capacity
+    accounting and queueing.
+``ml-training``
+    Sparse arrivals of long (multi-hour) multi-server training jobs with
+    large package sizes — migration is expensive in transfer time but very
+    profitable per job.
+``region-skew``
+    Diurnal arrivals submitted overwhelmingly from two of the five regions —
+    stresses migration policies, since the home regions saturate first.
+
+Every scenario is deterministic in ``(seed, rate_per_hour, duration_days)``
+across processes and platforms (NumPy ``default_rng`` only — no ``hash()``;
+see the PR 1 crc32 lesson), which the Hypothesis suite in
+``tests/traces/test_scenarios.py`` enforces.
+
+Scenarios plug in everywhere traces do: :func:`scenario_trace` feeds the
+simulators directly, ``SweepPoint(trace_kind=<scenario>)`` runs them through
+:mod:`repro.analysis.parallel`, and ``python -m repro simulate --scenario
+<name>`` drives them from the command line.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+import numpy as np
+
+from repro._validation import ensure_positive
+from repro.regions.catalog import DEFAULT_REGION_KEYS
+from repro.sustainability.embodied import DEFAULT_SERVER
+from repro.traces.alibaba import AlibabaTraceGenerator
+from repro.traces.borg import BorgTraceGenerator
+from repro.traces.job import Job
+from repro.traces.trace import Trace
+
+__all__ = [
+    "Scenario",
+    "SCENARIOS",
+    "available_scenarios",
+    "get_scenario",
+    "scenario_trace",
+]
+
+#: Fraction of heavy-tail jobs promoted to elephants, and the Pareto shape of
+#: their duration multiplier (shape 1.6 → infinite variance, finite mean).
+_ELEPHANT_FRACTION = 0.05
+_ELEPHANT_PARETO_SHAPE = 1.6
+_ELEPHANT_MAX_FACTOR = 200.0
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """A named, seeded workload family.
+
+    ``builder`` maps ``(seed, rate_per_hour, duration_days)`` to a
+    :class:`Trace`; ``default_rate_per_hour`` / ``default_duration_days``
+    are the family's natural scale (used when the caller passes ``None``).
+    """
+
+    name: str
+    description: str
+    builder: Callable[[int, float, float], Trace]
+    default_rate_per_hour: float = 60.0
+    default_duration_days: float = 0.5
+
+    def trace(
+        self,
+        seed: int = 0,
+        rate_per_hour: float | None = None,
+        duration_days: float | None = None,
+    ) -> Trace:
+        """Build this scenario's trace (family defaults where unspecified)."""
+        rate = self.default_rate_per_hour if rate_per_hour is None else rate_per_hour
+        days = self.default_duration_days if duration_days is None else duration_days
+        ensure_positive(rate, "rate_per_hour")
+        ensure_positive(days, "duration_days")
+        trace = self.builder(int(seed), float(rate), float(days))
+        return Trace(trace.jobs, name=f"{self.name}-{int(seed)}")
+
+
+def _diurnal(seed: int, rate: float, days: float) -> Trace:
+    return BorgTraceGenerator(
+        rate_per_hour=rate, duration_days=days, seed=seed, diurnal_amplitude=0.9
+    ).generate()
+
+
+def _bursty(seed: int, rate: float, days: float) -> Trace:
+    return AlibabaTraceGenerator(
+        rate_per_hour=rate,
+        duration_days=days,
+        seed=seed,
+        diurnal_amplitude=0.2,
+        bursts_per_day=16.0,
+        burst_duration_s=900.0,
+        burst_multiplier=6.0,
+    ).generate()
+
+
+def _heavy_tail(seed: int, rate: float, days: float) -> Trace:
+    base = BorgTraceGenerator(
+        rate_per_hour=rate, duration_days=days, seed=seed, diurnal_amplitude=0.5
+    ).generate()
+    # A dedicated stream (offset from the generator's) promotes a small
+    # fraction of jobs to Pareto-tailed elephants; estimates and realized
+    # values are stretched by the same factor so the estimate error model is
+    # preserved.
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 0x7E47A11]))
+    jobs = []
+    for job in base:
+        if rng.random() < _ELEPHANT_FRACTION:
+            factor = min(1.0 + rng.pareto(_ELEPHANT_PARETO_SHAPE), _ELEPHANT_MAX_FACTOR)
+            job = dataclasses.replace(
+                job,
+                execution_time=job.execution_time * factor,
+                energy_kwh=job.energy_kwh * factor,
+                true_execution_time=job.realized_execution_time * factor,
+                true_energy_kwh=job.realized_energy_kwh * factor,
+            )
+        jobs.append(job)
+    return Trace(jobs, name=base.name)
+
+
+def _ml_training(seed: int, rate: float, days: float) -> Trace:
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 0x317A1]))
+    horizon_s = days * 86_400.0
+    count = rng.poisson(rate / 3600.0 * horizon_s)
+    arrivals = np.sort(rng.uniform(0.0, horizon_s, size=count))
+    regions = list(DEFAULT_REGION_KEYS)
+    jobs = []
+    for job_id, arrival in enumerate(arrivals):
+        # Multi-hour, multi-server training runs with heavyweight packages.
+        execution = float(rng.lognormal(mean=np.log(3.0 * 3600.0), sigma=0.6))
+        servers = int(rng.integers(2, 9))
+        utilization = float(rng.uniform(0.75, 0.95))
+        power_w = DEFAULT_SERVER.power_at_utilization(utilization) * servers
+        energy = power_w * execution / 3600.0 / 1000.0
+        error = 1.0 + rng.uniform(-0.15, 0.15)
+        jobs.append(
+            Job(
+                job_id=job_id,
+                workload="ml-training",
+                arrival_time=float(arrival),
+                execution_time=execution,
+                energy_kwh=energy,
+                home_region=regions[int(rng.integers(len(regions)))],
+                package_gb=float(rng.uniform(8.0, 24.0)),
+                servers_required=servers,
+                true_execution_time=execution * error,
+                true_energy_kwh=energy * error,
+                metadata={"generator": "ml-training"},
+            )
+        )
+    return Trace(jobs, name="ml-training")
+
+
+def _region_skew(seed: int, rate: float, days: float) -> Trace:
+    keys = list(DEFAULT_REGION_KEYS)
+    # Two dominant submission regions, a long tail over the rest.
+    weights = np.full(len(keys), 0.05)
+    weights[0] = 0.55
+    weights[1] = 0.25
+    weights = weights / weights.sum()
+    return BorgTraceGenerator(
+        rate_per_hour=rate,
+        duration_days=days,
+        seed=seed,
+        diurnal_amplitude=0.5,
+        region_weights=weights,
+    ).generate()
+
+
+SCENARIOS: dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            "diurnal",
+            "Borg-like arrivals with a strong day/night cycle",
+            _diurnal,
+        ),
+        Scenario(
+            "bursty",
+            "Alibaba-like arrivals with frequent high-rate bursts",
+            _bursty,
+            default_rate_per_hour=120.0,
+        ),
+        Scenario(
+            "heavy-tail",
+            "Borg-like arrivals with a Pareto elephant tail of long jobs",
+            _heavy_tail,
+        ),
+        Scenario(
+            "ml-training",
+            "Sparse multi-hour multi-server training jobs with large packages",
+            _ml_training,
+            default_rate_per_hour=8.0,
+        ),
+        Scenario(
+            "region-skew",
+            "Diurnal arrivals submitted mostly from two dominant regions",
+            _region_skew,
+        ),
+    )
+}
+
+
+def available_scenarios() -> tuple[str, ...]:
+    """Scenario names accepted by :func:`get_scenario` / :func:`scenario_trace`."""
+    return tuple(sorted(SCENARIOS))
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name (case-insensitive)."""
+    key = name.strip().lower()
+    try:
+        return SCENARIOS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {list(available_scenarios())}"
+        ) from None
+
+
+def scenario_trace(
+    name: str,
+    seed: int = 0,
+    rate_per_hour: float | None = None,
+    duration_days: float | None = None,
+) -> Trace:
+    """Build the named scenario's trace (family defaults where unspecified)."""
+    return get_scenario(name).trace(
+        seed=seed, rate_per_hour=rate_per_hour, duration_days=duration_days
+    )

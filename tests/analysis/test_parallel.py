@@ -61,6 +61,19 @@ class TestGridExpansion:
         with pytest.raises(ValueError, match="engine"):
             SweepPoint(engine="gpu")
 
+    def test_scenario_trace_kinds_are_valid(self):
+        point = SweepPoint(trace_kind="heavy-tail")
+        assert point.trace_kind == "heavy-tail"
+        assert "heavy-tail" in point.label()
+
+    def test_family_default_rate_only_for_scenarios(self):
+        # None = "keep the scenario family's natural rate/length"; the
+        # classic generators have no family defaults to fall back to.
+        point = SweepPoint(trace_kind="ml-training", rate_per_hour=None, duration_days=None)
+        assert "rate=auto" in point.label()
+        with pytest.raises(ValueError, match="family default"):
+            SweepPoint(trace_kind="borg", rate_per_hour=None)
+
 
 class TestDeterministicSeeding:
     def test_seed_is_content_based_not_order_based(self):

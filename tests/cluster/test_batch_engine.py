@@ -20,9 +20,8 @@ from repro.schedulers import (
 )
 from repro.traces import Trace
 
+from ..equivalence import EQ_RTOL, assert_equivalent, run_both
 from .conftest import DeferOnceTestScheduler, FixedRegionTestScheduler, HomeRegionTestScheduler, make_job
-
-EQ_RTOL = 1e-9
 
 POLICY_FACTORIES = {
     "baseline": BaselineScheduler,
@@ -32,40 +31,6 @@ POLICY_FACTORIES = {
     "carbon-greedy-opt": CarbonGreedyOptimalScheduler,
     "defer-once": DeferOnceTestScheduler,
 }
-
-
-def run_both(trace, make_scheduler, dataset, **kwargs):
-    scalar = Simulator(trace, make_scheduler(), dataset=dataset, **kwargs).run()
-    batch = BatchSimulator(trace, make_scheduler(), dataset=dataset, **kwargs).run()
-    return scalar, batch
-
-
-def assert_equivalent(scalar, batch):
-    """Scheduling decisions identical; footprints equal within 1e-9."""
-    outcomes = scalar.outcomes
-    assert batch.num_jobs == len(outcomes)
-    assert [o.job_id for o in outcomes] == list(batch.job_id)
-    assert [o.executed_region for o in outcomes] == batch.executed_regions
-    np.testing.assert_array_equal([o.start_time for o in outcomes], batch.start)
-    np.testing.assert_array_equal([o.finish_time for o in outcomes], batch.finish)
-    np.testing.assert_array_equal([o.ready_time for o in outcomes], batch.ready)
-    np.testing.assert_array_equal([o.transfer_latency for o in outcomes], batch.transfer_latency)
-    np.testing.assert_array_equal([o.deferrals for o in outcomes], batch.deferrals)
-    np.testing.assert_allclose(
-        [o.carbon_g for o in outcomes], batch.carbon_g, rtol=EQ_RTOL, atol=0.0
-    )
-    np.testing.assert_allclose(
-        [o.water_l for o in outcomes], batch.water_l, rtol=EQ_RTOL, atol=0.0
-    )
-    # Aggregates follow from the per-job arrays but guard the derived metrics.
-    assert batch.makespan_s == scalar.makespan_s
-    assert batch.total_carbon_g == pytest.approx(scalar.total_carbon_g, rel=EQ_RTOL)
-    assert batch.total_water_l == pytest.approx(scalar.total_water_l, rel=EQ_RTOL)
-    assert batch.mean_service_ratio == pytest.approx(scalar.mean_service_ratio, rel=1e-12)
-    assert batch.violation_fraction == scalar.violation_fraction
-    assert batch.migration_fraction == scalar.migration_fraction
-    assert batch.jobs_per_region() == scalar.jobs_per_region()
-    assert batch.region_utilization == pytest.approx(scalar.region_utilization)
 
 
 class TestScalarBatchEquivalence:
@@ -105,10 +70,12 @@ class TestScalarBatchEquivalence:
 
     def test_fallback_is_used_for_custom_policies(self):
         assert not has_fast_path(HomeRegionTestScheduler())
-        assert not has_fast_path(EcovisorLikeScheduler())
+        assert not has_fast_path(DeferOnceTestScheduler())
         assert has_fast_path(BaselineScheduler())
         assert has_fast_path(RoundRobinScheduler())
         assert has_fast_path(LeastLoadScheduler())
+        assert has_fast_path(EcovisorLikeScheduler())
+        assert has_fast_path(CarbonGreedyOptimalScheduler())
 
     def test_deferrals_survive_the_fast_and_fallback_paths(self, small_dataset):
         trace = Trace([make_job(0, 0.0, region="oregon", exec_time=2000.0)])

@@ -7,8 +7,11 @@ from repro.cluster import BatchSchedulingContext, FootprintCalculator, JobArrays
 from repro.regions import TransferLatencyModel, default_regions
 from repro.schedulers import (
     BaselineScheduler,
+    CarbonGreedyOptimalScheduler,
+    EcovisorLikeScheduler,
     LeastLoadScheduler,
     RoundRobinScheduler,
+    WaterGreedyOptimalScheduler,
     fast_path_for,
     has_fast_path,
     register_fast_path,
@@ -125,6 +128,58 @@ class TestRegistry:
         with pytest.raises(TypeError):
             register_fast_path(int, lambda s, c: None)
 
+    def test_exact_registration_never_inherits(self):
+        # The documented hazard: a policy whose decisions flow through hooks
+        # other than schedule() (template methods) must register exact=True —
+        # then even a subclass that does NOT override schedule falls back.
+        class TemplatePolicy(BaselineScheduler.__mro__[1]):  # plain Scheduler
+            name = "template"
+
+            def schedule(self, jobs, context):
+                raise NotImplementedError
+
+        class TunedTemplate(TemplatePolicy):
+            name = "tuned-template"
+
+        def template_path(scheduler, context):  # pragma: no cover - dispatch only
+            return np.zeros(context.batch_size, dtype=np.int64)
+
+        register_fast_path(TemplatePolicy, template_path, exact=True)
+        try:
+            assert fast_path_for(TemplatePolicy()) is template_path
+            assert fast_path_for(TunedTemplate()) is None
+            assert not has_fast_path(TunedTemplate())
+        finally:
+            unregister_fast_path(TemplatePolicy)
+
+    def test_waterwise_is_exact_and_cost_aware_subclass_falls_back(self):
+        # CostAwareWaterWiseScheduler overrides only `_extra_cost` — the MRO
+        # guard cannot see that, so the WaterWise registration is exact and
+        # the subclass must use the scalar fallback.
+        from repro.core import CostAwareWaterWiseScheduler, WaterWiseScheduler
+
+        assert has_fast_path(WaterWiseScheduler())
+        assert fast_path_for(CostAwareWaterWiseScheduler()) is None
+
+        class RetunedWaterWise(WaterWiseScheduler):
+            name = "retuned-waterwise"
+
+        assert fast_path_for(RetunedWaterWise()) is None
+
+    def test_greedy_oracles_share_base_registration(self):
+        base_path = fast_path_for(CarbonGreedyOptimalScheduler())
+        assert base_path is not None
+        assert fast_path_for(WaterGreedyOptimalScheduler()) is base_path
+
+        class InvertedOracle(CarbonGreedyOptimalScheduler):
+            name = "inverted-oracle"
+
+            def schedule(self, jobs, context):  # pragma: no cover - dispatch only
+                raise NotImplementedError
+
+        # Overriding schedule severs the inherited registration explicitly.
+        assert fast_path_for(InvertedOracle()) is None
+
 
 class TestFastPathDecisions:
     """Each built-in fast path must reproduce its scalar schedule() exactly."""
@@ -172,3 +227,68 @@ class TestFastPathDecisions:
         choice = fast_path_for(LeastLoadScheduler())(LeastLoadScheduler(), context)
         counts = np.bincount(choice, minlength=5)
         assert counts.max() - counts.min() <= 1  # even spread, not a pile-up
+
+    def test_ecovisor_matches_scalar(self, batch_context, make_context):
+        jobs = [make_job(i, region=["zurich", "mumbai", "milan"][i % 3]) for i in range(9)]
+        arrays, context = batch_context(jobs, now=7200.0)
+        scheduler = EcovisorLikeScheduler()
+        choice = fast_path_for(scheduler)(scheduler, context)
+        # The batch fixture reports zero wait; mirror that (an empty mapping
+        # would fall back to now - arrival in the scalar context).
+        scalar_context = make_context(
+            now=7200.0, wait_times={j.job_id: 0.0 for j in jobs}
+        )
+        decision = EcovisorLikeScheduler().schedule(jobs, scalar_context)
+        key_index = {key: i for i, key in enumerate(arrays.region_keys)}
+        expected = [
+            key_index[decision.assignments[j.job_id]]
+            if j.job_id in decision.assignments
+            else -1
+            for j in jobs
+        ]
+        assert list(choice) == expected
+
+    @pytest.mark.parametrize(
+        "factory", [CarbonGreedyOptimalScheduler, WaterGreedyOptimalScheduler]
+    )
+    def test_greedy_oracle_matches_scalar(self, factory, batch_context, make_context):
+        jobs = [
+            make_job(i, region=["zurich", "mumbai", "milan", "oregon"][i % 4],
+                     exec_time=600.0 + 400.0 * i)
+            for i in range(8)
+        ]
+        arrays, context = batch_context(jobs, now=3600.0)
+        scheduler = factory()
+        choice = fast_path_for(scheduler)(scheduler, context)
+        decision = factory().schedule(
+            jobs, make_context(now=3600.0, wait_times={j.job_id: 0.0 for j in jobs})
+        )
+        key_index = {key: i for i, key in enumerate(arrays.region_keys)}
+        expected = [
+            key_index[decision.assignments[j.job_id]]
+            if j.job_id in decision.assignments
+            else -1
+            for j in jobs
+        ]
+        assert list(choice) == expected
+
+    def test_greedy_oracle_respects_capacity_spillover(self, batch_context, make_context):
+        # With capacity 1 in every region the sequential capacity accounting
+        # must spill jobs across regions in the same order as the scalar loop.
+        jobs = [make_job(i, region="milan", exec_time=1200.0) for i in range(5)]
+        arrays, context = batch_context(jobs, capacity=[1, 1, 1, 1, 1])
+        scheduler = CarbonGreedyOptimalScheduler()
+        choice = fast_path_for(scheduler)(scheduler, context)
+        capacity = dict(zip(arrays.region_keys, [1, 1, 1, 1, 1]))
+        decision = CarbonGreedyOptimalScheduler().schedule(
+            jobs,
+            make_context(capacity=capacity, wait_times={j.job_id: 0.0 for j in jobs}),
+        )
+        key_index = {key: i for i, key in enumerate(arrays.region_keys)}
+        expected = [
+            key_index[decision.assignments[j.job_id]]
+            if j.job_id in decision.assignments
+            else -1
+            for j in jobs
+        ]
+        assert list(choice) == expected

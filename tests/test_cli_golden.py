@@ -1,0 +1,68 @@
+"""Golden-file regression tests for the CLI.
+
+``python -m repro simulate --engine batch --scenario <name>`` must emit
+byte-identical output for a fixed seed: the trace generators, the
+sustainability dataset, the batch engine and the report formatting are all
+deterministic, so any diff against the goldens means observable behaviour
+changed.  Regenerate a golden deliberately with::
+
+    PYTHONPATH=src python -m repro simulate ... > tests/golden/<file>.txt
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+GOLDEN_COMMANDS = {
+    "simulate_diurnal.txt": [
+        "simulate", "--engine", "batch", "--scenario", "diurnal",
+        "--policies", "baseline", "ecovisor-like",
+        "--jobs-per-hour", "30", "--hours", "6", "--seed", "11",
+    ],
+    "simulate_heavy_tail.txt": [
+        "simulate", "--engine", "batch", "--scenario", "heavy-tail",
+        "--policies", "baseline", "waterwise",
+        "--jobs-per-hour", "20", "--hours", "6", "--seed", "11",
+    ],
+    "simulate_ml_training.txt": [
+        "simulate", "--engine", "batch", "--scenario", "ml-training",
+        "--policies", "baseline", "least-load", "carbon-greedy-opt",
+        "--jobs-per-hour", "8", "--hours", "6", "--seed", "11",
+    ],
+    "scenarios.txt": ["scenarios"],
+}
+
+
+@pytest.mark.parametrize("golden_name", sorted(GOLDEN_COMMANDS))
+def test_cli_output_is_byte_stable(golden_name, capsys):
+    assert main(GOLDEN_COMMANDS[golden_name]) == 0
+    output = capsys.readouterr().out
+    expected = (GOLDEN_DIR / golden_name).read_text(encoding="utf-8")
+    assert output == expected
+
+
+def test_golden_runs_are_repeatable(capsys):
+    """Two in-process runs of the same command emit identical bytes."""
+    argv = GOLDEN_COMMANDS["simulate_diurnal.txt"]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_scenario_engines_agree_on_reported_totals(capsys):
+    """The batch and scalar engines print identical summaries."""
+    base = [
+        "simulate", "--scenario", "region-skew", "--policies", "baseline",
+        "--jobs-per-hour", "20", "--hours", "4", "--seed", "5",
+    ]
+    assert main([*base, "--engine", "batch"]) == 0
+    batch_output = capsys.readouterr().out
+    assert main([*base, "--engine", "scalar"]) == 0
+    scalar_output = capsys.readouterr().out
+    assert batch_output == scalar_output

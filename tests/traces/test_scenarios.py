@@ -1,0 +1,165 @@
+"""Property and determinism tests for the workload-scenario library.
+
+The Hypothesis properties guard the invariants every consumer of a trace
+relies on (monotone arrivals, strictly positive demands); the determinism
+tests guard the PR 1 crc32 lesson — a scenario must replay identically for a
+fixed seed in *any* process, so sweeps sharded over worker processes compare
+policies against the same jobs.
+"""
+
+import json
+import subprocess
+import sys
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.traces.scenarios import SCENARIOS, available_scenarios, get_scenario, scenario_trace
+
+SCENARIO_NAMES = available_scenarios()
+
+#: Small scales per family so each generation stays in the milliseconds.
+_TEST_RATES = {
+    "diurnal": 40.0,
+    "bursty": 40.0,
+    "heavy-tail": 40.0,
+    "ml-training": 10.0,
+    "region-skew": 40.0,
+}
+
+
+def _columns_digest(trace) -> int:
+    """Stable CRC32 digest of a trace's full columnar content."""
+    columns = trace.to_columns()
+    crc = 0
+    for name in sorted(columns):
+        column = columns[name]
+        if isinstance(column, tuple):
+            payload = "\x1f".join(column).encode("utf-8")
+        else:
+            payload = np.ascontiguousarray(column).tobytes()
+        crc = zlib.crc32(name.encode("utf-8") + b"=" + payload, crc)
+    return crc
+
+
+class TestScenarioProperties:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        name=st.sampled_from(SCENARIO_NAMES),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_invariants(self, name, seed):
+        trace = scenario_trace(
+            name, seed=seed, rate_per_hour=_TEST_RATES[name], duration_days=0.1
+        )
+        arrivals = trace.arrival_times()
+        assert np.all(np.diff(arrivals) >= 0.0), "arrivals must be sorted"
+        assert np.all(arrivals >= 0.0)
+        assert np.all(arrivals < 0.1 * 86_400.0 + 1e-9), "arrivals within the horizon"
+        for job in trace:
+            assert job.execution_time > 0.0
+            assert job.realized_execution_time > 0.0
+            assert job.energy_kwh > 0.0
+            assert job.realized_energy_kwh > 0.0
+            assert job.servers_required >= 1
+            assert job.package_gb >= 0.0
+        job_ids = [job.job_id for job in trace]
+        assert len(set(job_ids)) == len(job_ids)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        name=st.sampled_from(SCENARIO_NAMES),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_same_seed_same_trace(self, name, seed):
+        first = scenario_trace(name, seed=seed, rate_per_hour=_TEST_RATES[name], duration_days=0.1)
+        second = scenario_trace(name, seed=seed, rate_per_hour=_TEST_RATES[name], duration_days=0.1)
+        assert _columns_digest(first) == _columns_digest(second)
+        assert first.name == second.name
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_different_seeds_differ(self, seed):
+        a = scenario_trace("diurnal", seed=seed, rate_per_hour=60.0, duration_days=0.2)
+        b = scenario_trace("diurnal", seed=seed + 1, rate_per_hour=60.0, duration_days=0.2)
+        assert _columns_digest(a) != _columns_digest(b)
+
+
+class TestScenarioShapes:
+    """Each family must actually have its advertised shape."""
+
+    def test_heavy_tail_has_elephants(self):
+        base = scenario_trace("diurnal", seed=7, rate_per_hour=120.0, duration_days=0.5)
+        tail = scenario_trace("heavy-tail", seed=7, rate_per_hour=120.0, duration_days=0.5)
+        ratio = lambda t: t.execution_times().max() / np.median(t.execution_times())
+        assert ratio(tail) > 3.0 * ratio(base)
+
+    def test_ml_training_jobs_are_long_and_wide(self):
+        trace = scenario_trace("ml-training", seed=7, duration_days=0.5)
+        assert len(trace) > 0
+        assert np.median(trace.execution_times()) > 3600.0
+        assert all(job.servers_required >= 2 for job in trace)
+        assert all(job.package_gb >= 8.0 for job in trace)
+
+    def test_region_skew_is_skewed(self):
+        trace = scenario_trace("region-skew", seed=7, rate_per_hour=200.0, duration_days=0.5)
+        counts = trace.jobs_per_region()
+        dominant = max(counts.values()) / len(trace)
+        assert dominant > 0.4
+
+    def test_bursty_outpaces_diurnal_peak_rate(self):
+        bursty = scenario_trace("bursty", seed=7, rate_per_hour=60.0, duration_days=0.5)
+        arrivals = bursty.arrival_times()
+        # At least one 15-minute window should far exceed the base rate.
+        bins = np.bincount((arrivals // 900.0).astype(int))
+        assert bins.max() > 3 * (60.0 / 4.0)
+
+    def test_all_scenarios_have_descriptions(self):
+        for scenario in SCENARIOS.values():
+            assert scenario.description
+            assert scenario.default_rate_per_hour > 0
+            assert scenario.default_duration_days > 0
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("atlantis-workload")
+
+
+class TestCrossProcessDeterminism:
+    """The crc32 lesson: digests must be identical in a fresh interpreter."""
+
+    def test_digests_stable_across_processes(self):
+        local = {
+            name: _columns_digest(
+                scenario_trace(name, seed=23, rate_per_hour=_TEST_RATES[name], duration_days=0.1)
+            )
+            for name in SCENARIO_NAMES
+        }
+        script = (
+            "import json, sys, numpy as np, zlib\n"
+            "from repro.traces.scenarios import scenario_trace\n"
+            "rates = json.loads(sys.argv[1])\n"
+            "def digest(trace):\n"
+            "    columns = trace.to_columns()\n"
+            "    crc = 0\n"
+            "    for name in sorted(columns):\n"
+            "        column = columns[name]\n"
+            "        if isinstance(column, tuple):\n"
+            "            payload = '\\x1f'.join(column).encode('utf-8')\n"
+            "        else:\n"
+            "            payload = np.ascontiguousarray(column).tobytes()\n"
+            "        crc = zlib.crc32(name.encode('utf-8') + b'=' + payload, crc)\n"
+            "    return crc\n"
+            "print(json.dumps({n: digest(scenario_trace(n, seed=23, rate_per_hour=r,"
+            " duration_days=0.1)) for n, r in rates.items()}))\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script, json.dumps(_TEST_RATES)],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        remote = json.loads(result.stdout)
+        assert {name: digest for name, digest in remote.items()} == local

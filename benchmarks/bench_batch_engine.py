@@ -30,10 +30,11 @@ from repro.traces.alibaba import AlibabaTraceGenerator
 
 EQUIVALENCE_RTOL = 1e-9
 SPEEDUP_TARGET = 5.0
-#: Policies whose decision step is dominated by work both engines share keep a
-#: lower floor: WaterWise's rounds are mostly MILP solve time, which the fast
-#: path reproduces exactly (same solver, same standard form) by design.
-SPEEDUP_TARGETS = {"waterwise": 2.0}
+#: WaterWise used to keep a lower floor (its rounds were solve-bound, and
+#: the fast path shared the solver with the scalar engine); the sparse,
+#: warm-started, structure-aware solver core removed that bottleneck, so the
+#: policy is held to the standard 5x target (measured ≥9x on the 10k trace).
+SPEEDUP_TARGETS: dict[str, float] = {}
 
 
 def build_workload(jobs: int, seed: int):
@@ -120,9 +121,9 @@ def main(argv: list[str] | None = None) -> int:
         "--policies",
         default=(
             "baseline,round-robin,least-load,"
-            "ecovisor-like,carbon-greedy-opt,water-greedy-opt"
+            "ecovisor-like,carbon-greedy-opt,water-greedy-opt,waterwise"
         ),
-        help="comma-separated scheduler names (waterwise also supported)",
+        help="comma-separated scheduler names",
     )
     parser.add_argument(
         "--no-target",

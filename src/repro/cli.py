@@ -75,6 +75,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=["scalar", "batch"], default="scalar",
         help="simulation engine (batch = vectorized, ~13-16x faster, identical results)",
     )
+    simulate.add_argument(
+        "--solver", choices=["auto", "scipy", "native", "structured"], default="auto",
+        help="MILP backend for the WaterWise-family policies (all are exact; "
+             "auto prefers the structured placement path, see README "
+             "'Solver architecture')",
+    )
 
     sub.add_parser("regions", help="print the region catalog and its sustainability factors")
     sub.add_parser("workloads", help="print the PARSEC/CloudSuite workload profiles")
@@ -108,7 +114,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         policy_names = ["baseline", *args.policies]
     else:
         policy_names = list(args.policies)
-    policies = {name: (lambda n=name: make_scheduler(n)) for name in policy_names}
+    def _factory(name: str):
+        if name.startswith("waterwise"):
+            # The WaterWise family routes every round through the MILP layer;
+            # --solver picks its backend (other policies never solve MILPs).
+            from repro.core.config import WaterWiseConfig
+
+            return lambda: make_scheduler(name, config=WaterWiseConfig(solver=args.solver))
+        return lambda: make_scheduler(name)
+
+    policies = {name: _factory(name) for name in policy_names}
 
     print(f"trace     : {trace}")
     print(f"servers   : {servers} per region ({args.utilization:.0%} target utilization)")

@@ -169,6 +169,9 @@ class BatchResult:
     savings computations accept either result type interchangeably.
     """
 
+    #: See :attr:`repro.cluster.metrics.SimulationResult.solver_stats`.
+    solver_stats: dict | None = None
+
     def __init__(
         self,
         scheduler_name: str,

@@ -85,6 +85,13 @@ class SimulationResult:
     utilization, and the scheduler decision-making overhead.
     """
 
+    #: Aggregate MILP-solver counters for the run (presolve ratios, warm-start
+    #: iteration savings, structured-path hit rates) when the policy routed
+    #: rounds through a :class:`~repro.milp.session.SolverSession`; ``None``
+    #: for policies that never solve MILPs.  Set by the engines after
+    #: construction.
+    solver_stats: dict | None = None
+
     def __init__(
         self,
         scheduler_name: str,

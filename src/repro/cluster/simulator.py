@@ -166,6 +166,21 @@ class _SimulatorBase:
                 next_round += interval
         return next_round
 
+    def _attach_solver_stats(self, result) -> None:
+        """Expose the scheduler's solver-session counters on the result.
+
+        MILP-backed policies (the WaterWise family) own a
+        :class:`~repro.milp.session.SolverSession` through their decision
+        controller; its aggregate statistics (presolve ratios, warm-start
+        savings, structured-path hits) are part of a run's performance story,
+        so both engines publish them.  Policies without a controller leave
+        ``solver_stats`` as ``None``.
+        """
+        controller = getattr(self.scheduler, "controller", None)
+        session = getattr(controller, "session", None)
+        if session is not None:
+            result.solver_stats = session.stats.as_dict()
+
 
 class Simulator(_SimulatorBase):
     """Scalar reference engine: replay the trace one ``Job`` object at a time.
@@ -263,7 +278,7 @@ class Simulator(_SimulatorBase):
             key: dc.utilization(makespan) for key, dc in datacenters.items()
         }
         outcomes.sort(key=lambda outcome: outcome.job_id)
-        return SimulationResult(
+        result = SimulationResult(
             scheduler_name=self.scheduler.name,
             outcomes=outcomes,
             region_servers=dict(self._servers),
@@ -274,6 +289,8 @@ class Simulator(_SimulatorBase):
             delay_tolerance=self.delay_tolerance,
             trace_name=self.trace.name,
         )
+        self._attach_solver_stats(result)
+        return result
 
     # -- internals ----------------------------------------------------------------------------
     def _run_round(
@@ -530,7 +547,7 @@ class BatchSimulator(_SimulatorBase):
             for idx, key in enumerate(self.region_keys)
         }
         order = np.argsort(arrays.job_id, kind="stable")
-        return BatchResult(
+        result = BatchResult(
             scheduler_name=self.scheduler.name,
             trace_name=self.trace.name,
             region_keys=self.region_keys,
@@ -556,6 +573,8 @@ class BatchSimulator(_SimulatorBase):
             round_times_s=round_times,
             delay_tolerance=self.delay_tolerance,
         )
+        self._attach_solver_stats(result)
+        return result
 
     # -- internals ----------------------------------------------------------------------------
     def _run_fast_round(

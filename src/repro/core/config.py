@@ -33,8 +33,9 @@ class WaterWiseConfig:
     penalty_weight:
         The σ multiplier of the soft-constraint penalty terms (Eq. 12).
     solver:
-        MILP backend: ``"auto"``, ``"scipy"`` or ``"native"``
-        (see :mod:`repro.milp.solver`).
+        MILP backend: ``"auto"``, ``"scipy"``, ``"native"`` or
+        ``"structured"`` (see :mod:`repro.milp.solver` for the dispatch
+        matrix; ``"auto"`` already prefers the structured placement path).
     solver_time_limit_s:
         Optional per-round wall-clock limit handed to the solver.
     use_history:
@@ -65,7 +66,7 @@ class WaterWiseConfig:
         if self.history_window < 1:
             raise ValueError("history_window must be >= 1")
         ensure_non_negative(self.penalty_weight, "penalty_weight")
-        ensure_one_of(self.solver, ("auto", "scipy", "native"), "solver")
+        ensure_one_of(self.solver, ("auto", "scipy", "native", "structured"), "solver")
         if self.solver_time_limit_s is not None:
             ensure_positive(self.solver_time_limit_s, "solver_time_limit_s")
 

@@ -25,7 +25,7 @@ from repro.cluster.interface import SchedulingContext
 from repro.core.config import WaterWiseConfig
 from repro.core.history import HistoryLearner
 from repro.core.objective import PlacementModel, build_placement_form, build_placement_problem
-from repro.milp import SolveResult, solve
+from repro.milp import SolveResult, SolverSession, solve
 from repro.milp.solver import solve_standard_form
 from repro.traces.job import Job
 
@@ -56,11 +56,17 @@ class DecisionController:
         self.rounds_solved = 0
         self.rounds_softened = 0
         self.rounds_fallback = 0
+        #: Warm-start bases and solver statistics, threaded through every
+        #: solve this controller issues — the scalar (:meth:`decide`) and
+        #: batch (:meth:`decide_arrays`) paths share it, so consecutive
+        #: scheduling rounds reuse each other's bases regardless of engine.
+        self.session = SolverSession()
 
     def reset(self) -> None:
         self.rounds_solved = 0
         self.rounds_softened = 0
         self.rounds_fallback = 0
+        self.session.reset()
 
     # -- fallback ---------------------------------------------------------------------
     @staticmethod
@@ -132,6 +138,7 @@ class DecisionController:
                 model.problem,
                 solver=self.config.solver,
                 time_limit=self.config.solver_time_limit_s,
+                session=self.session,
             )
             if result.status.is_success:
                 assignments = model.assignment_from_values(dict(result.values))
@@ -199,6 +206,7 @@ class DecisionController:
                     form,
                     solver=self.config.solver,
                     time_limit=self.config.solver_time_limit_s,
+                    session=self.session,
                 )
             )
             if status.is_success:

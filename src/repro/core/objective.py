@@ -27,6 +27,7 @@ from repro.cluster.interface import SchedulingContext
 from repro.core.config import WaterWiseConfig
 from repro.milp import Problem, VarType, Variable, lin_sum
 from repro.milp.problem import StandardForm
+from repro.milp.structure import PlacementStructure, attach_structure
 from repro.traces.job import Job
 
 __all__ = [
@@ -179,7 +180,7 @@ def build_placement_form(
     if soft:
         upper[n_x:] = np.inf
 
-    return StandardForm(
+    form = StandardForm(
         variables=(),
         c=c,
         c0=0.0,
@@ -191,6 +192,22 @@ def build_placement_form(
         upper=upper,
         integrality=integrality,
         maximize=False,
+    )
+    # This function *is* the placement layout the structure-aware solver path
+    # recognizes; attaching the matrices directly spares the per-round scan.
+    return attach_structure(
+        form,
+        PlacementStructure(
+            m_jobs=m_jobs,
+            n_regions=n_regions,
+            soft=soft,
+            penalty_weight=float(config.penalty_weight) if soft else 0.0,
+            cost=np.asarray(cost, dtype=float),
+            latency_ratio=np.asarray(latency_ratio, dtype=float),
+            tolerance=np.asarray(tolerance, dtype=float),
+            servers=servers,
+            capacity=np.asarray(capacity, dtype=float),
+        ),
     )
 
 

@@ -1,17 +1,27 @@
-"""Best-first branch & bound MILP solver over LP relaxations.
+"""Best-first branch & bound MILP solver over warm-started LP relaxations.
 
 The solver works on the array form of a problem
 (:class:`repro.milp.problem.StandardForm`), repeatedly solving LP relaxations
-with tightened variable bounds.  The LP engine is pluggable: by default it is
-the native simplex (:func:`repro.milp.simplex.solve_lp_arrays`), but the SciPy
-HiGHS ``linprog`` wrapper can be injected for speed.
+with tightened variable bounds.  Relaxations run on the bounded-variable
+revised simplex (:class:`repro.milp.revised_simplex.BoundedLP`): the sparse
+constraint system is prepared **once** for the whole tree and every node
+re-solves it with its own bounds, **warm-started from its parent's optimal
+basis** — after a single branching bound change the parent basis is one or
+two feasibility-restoration pivots away from the child optimum.  A legacy
+dense backend can still be injected through ``lp_backend`` (the test suite
+uses it to cross-check against the tableau reference implementation).
 
-The node selection strategy is best-bound-first (a heap keyed on the parent
-LP objective), and branching picks the integer variable whose relaxation value
-is most fractional.  WaterWise's placement MILPs are near-integral (their
-assignment/capacity structure is totally unimodular; only the delay/penalty
-coupling breaks it), so the tree almost always collapses to a handful of
-nodes — but the implementation is a complete, general MILP solver.
+Node selection is best-bound-first via a heap keyed on ``(bound, order)``
+where ``order`` is the global push counter: among nodes with equal bounds the
+*oldest* is explored first, the down-branch is always pushed before the
+up-branch, and branching picks the most fractional variable with ``argmax``
+(first index wins ties).  Every tie-break is therefore explicit and
+platform-independent, which makes native solves byte-reproducible.
+
+WaterWise's placement MILPs are near-integral (their assignment/capacity
+structure is totally unimodular; only the delay/penalty coupling breaks it),
+so the tree almost always collapses to a handful of nodes — but the
+implementation is a complete, general MILP solver.
 """
 
 from __future__ import annotations
@@ -25,7 +35,8 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.milp.problem import StandardForm
-from repro.milp.simplex import LPSolution, solve_lp_arrays
+from repro.milp.revised_simplex import Basis, BoundedLP
+from repro.milp.simplex import LPSolution
 from repro.milp.status import SolveStatus
 
 __all__ = ["BranchAndBoundResult", "solve_milp_arrays"]
@@ -48,10 +59,12 @@ class BranchAndBoundResult:
 
 @dataclasses.dataclass(order=True)
 class _Node:
+    # Ordering is exactly (bound, order): best bound first, then oldest node.
     bound: float
     order: int
     lower: np.ndarray = dataclasses.field(compare=False)
     upper: np.ndarray = dataclasses.field(compare=False)
+    basis: Basis | None = dataclasses.field(compare=False, default=None)
 
 
 def _round_integrality(x: np.ndarray, integrality: np.ndarray, tol: float) -> np.ndarray | None:
@@ -68,11 +81,14 @@ def _round_integrality(x: np.ndarray, integrality: np.ndarray, tol: float) -> np
 
 def solve_milp_arrays(
     form: StandardForm,
-    lp_backend: LPBackend = solve_lp_arrays,
+    lp_backend: LPBackend | None = None,
     integrality_tol: float = 1e-6,
     gap_tol: float = 1e-9,
     node_limit: int = 10_000,
     time_limit: float | None = None,
+    session=None,
+    prepared_lp: BoundedLP | None = None,
+    root_basis: Basis | None = None,
 ) -> BranchAndBoundResult:
     """Solve the MILP described by ``form`` with branch & bound.
 
@@ -81,8 +97,9 @@ def solve_milp_arrays(
     form:
         Problem arrays in minimization form.
     lp_backend:
-        Callable with the signature of
-        :func:`repro.milp.simplex.solve_lp_arrays` used for relaxations.
+        Optional legacy relaxation engine with the signature of
+        :func:`repro.milp.simplex.solve_lp_arrays`.  When omitted the
+        prepared revised simplex with per-node warm starts is used.
     integrality_tol:
         Maximum distance from an integer for a value to count as integral.
     gap_tol:
@@ -92,13 +109,40 @@ def solve_milp_arrays(
         :attr:`SolveStatus.NODE_LIMIT` (the incumbent, if any, is returned).
     time_limit:
         Optional wall-clock limit in seconds.
+    session:
+        Optional :class:`~repro.milp.session.SolverSession`; records per-node
+        warm/cold iteration counts and seeds the root from a previous tree of
+        the same shape.
+    prepared_lp:
+        A :class:`BoundedLP` already built for ``form``'s constraint system
+        (e.g. by the structured placement path, which solved the root
+        relaxation on it moments earlier); skips re-assembly.
+    root_basis:
+        Warm start for the root relaxation — callers that just solved the
+        unrestricted LP pass its optimal basis so the root costs ~0 pivots.
+        Falls back to the session's stored tree basis when omitted.
     """
     start = time.perf_counter()
     integrality = form.integrality
     n = form.num_variables
 
+    lp: BoundedLP | None = None
+    if lp_backend is None:
+        lp = prepared_lp if prepared_lp is not None else BoundedLP(
+            form.c, form.sparse().a_ub, form.b_ub, form.sparse().a_eq, form.b_eq,
+            form.lower, form.upper,
+        )
+    session_key = None
+    if lp is not None and session is not None:
+        session_key = ("bb", lp.n, lp.m_ub, lp.m_eq)
+        if root_basis is None:
+            root_basis = session.basis_for(session_key)
+
     counter = itertools.count()
-    root = _Node(bound=-np.inf, order=next(counter), lower=form.lower.copy(), upper=form.upper.copy())
+    root = _Node(
+        bound=-np.inf, order=next(counter), lower=form.lower.copy(),
+        upper=form.upper.copy(), basis=root_basis,
+    )
     heap: list[_Node] = [root]
 
     incumbent_x: np.ndarray | None = None
@@ -120,9 +164,21 @@ def solve_milp_arrays(
             continue  # cannot improve on the incumbent
         nodes += 1
 
-        relax = lp_backend(
-            form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq, node.lower, node.upper
-        )
+        if lp is not None:
+            remaining = None
+            if time_limit is not None:
+                remaining = max(0.0, time_limit - (time.perf_counter() - start))
+            relax, child_basis = lp.solve(
+                lower=node.lower, upper=node.upper, basis=node.basis,
+                time_limit=remaining,
+            )
+            if session is not None:
+                session.record_lp(relax.iterations, relax.warm_used)
+        else:
+            relax = lp_backend(
+                form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq, node.lower, node.upper
+            )
+            child_basis = None
         iterations += relax.iterations
         if relax.status is SolveStatus.INFEASIBLE:
             continue
@@ -149,26 +205,35 @@ def solve_milp_arrays(
             if objective < incumbent_obj - gap_tol:
                 incumbent_obj = objective
                 incumbent_x = candidate
+                if session is not None and session_key is not None:
+                    session.store_basis(session_key, child_basis)
             continue
 
-        # Branch on the most fractional integer variable.
+        # Branch on the most fractional integer variable (argmax: ties go to
+        # the smallest index — deterministic across platforms).
         fractions = np.abs(relax.x - np.round(relax.x))
         fractions[~integrality] = 0.0
         branch_var = int(np.argmax(fractions))
         value = relax.x[branch_var]
         floor_value = np.floor(value)
 
+        # Down-branch is always pushed (and therefore ordered) before the
+        # up-branch; both inherit the node's optimal basis as a warm start.
         down_upper = node.upper.copy()
         down_upper[branch_var] = floor_value
         if down_upper[branch_var] >= node.lower[branch_var] - 1e-12:
             heapq.heappush(
-                heap, _Node(bound=bound, order=next(counter), lower=node.lower.copy(), upper=down_upper)
+                heap,
+                _Node(bound=bound, order=next(counter), lower=node.lower.copy(),
+                      upper=down_upper, basis=child_basis),
             )
         up_lower = node.lower.copy()
         up_lower[branch_var] = floor_value + 1.0
         if up_lower[branch_var] <= node.upper[branch_var] + 1e-12:
             heapq.heappush(
-                heap, _Node(bound=bound, order=next(counter), lower=up_lower, upper=node.upper.copy())
+                heap,
+                _Node(bound=bound, order=next(counter), lower=up_lower,
+                      upper=node.upper.copy(), basis=child_basis),
             )
 
     elapsed = time.perf_counter() - start

@@ -54,6 +54,21 @@ class StandardForm:
         # objects but must still solve through the same backends.
         return len(self.c)
 
+    def sparse(self) -> "SparseConstraints":
+        """CSR view of the constraint blocks, converted once and cached.
+
+        The form is frozen, so the cached conversion can never diverge from
+        the dense arrays; presolve, the revised simplex and branch & bound all
+        share the same CSR data through this accessor.
+        """
+        cached = self.__dict__.get("_sparse")
+        if cached is None:
+            from repro.milp.sparse import SparseConstraints
+
+            cached = SparseConstraints.from_arrays(self.a_ub, self.a_eq)
+            object.__setattr__(self, "_sparse", cached)
+        return cached
+
     @property
     def num_constraints(self) -> int:
         return self.a_ub.shape[0] + self.a_eq.shape[0]

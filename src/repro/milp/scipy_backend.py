@@ -74,6 +74,15 @@ def scipy_lp_backend(
     return LPSolution(status, x, objective, iterations, time.perf_counter() - start)
 
 
+def _as_scipy_csr(block) -> sparse.csr_matrix:
+    """Accept dense blocks and the NumPy-only CSR carrier alike."""
+    if isinstance(block, np.ndarray):
+        return sparse.csr_matrix(block)
+    return sparse.csr_matrix(
+        (block.data, block.indices, block.indptr), shape=tuple(block.shape)
+    )
+
+
 def solve_form_scipy(
     form: StandardForm,
     time_limit: float | None = None,
@@ -99,11 +108,11 @@ def solve_form_scipy(
     constraints = []
     if form.a_ub.shape[0]:
         constraints.append(
-            optimize.LinearConstraint(sparse.csr_matrix(form.a_ub), -np.inf, form.b_ub)
+            optimize.LinearConstraint(_as_scipy_csr(form.a_ub), -np.inf, form.b_ub)
         )
     if form.a_eq.shape[0]:
         constraints.append(
-            optimize.LinearConstraint(sparse.csr_matrix(form.a_eq), form.b_eq, form.b_eq)
+            optimize.LinearConstraint(_as_scipy_csr(form.a_eq), form.b_eq, form.b_eq)
         )
     options: dict[str, object] = {"mip_rel_gap": mip_rel_gap}
     if time_limit is not None:

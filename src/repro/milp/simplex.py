@@ -44,13 +44,20 @@ _OPT_TOL = 1e-9
 
 @dataclasses.dataclass(frozen=True)
 class LPSolution:
-    """Result of an LP solve in array form."""
+    """Result of an LP solve in array form.
+
+    ``warm_used`` reports whether a supplied warm-start basis actually
+    survived validation and seeded the solve (the revised simplex silently
+    falls back to a cold start on stale bases; accounting must follow what
+    really happened, not what was requested).
+    """
 
     status: SolveStatus
     x: np.ndarray
     objective: float
     iterations: int
     solve_time: float = 0.0
+    warm_used: bool = False
 
 
 @dataclasses.dataclass

@@ -82,6 +82,23 @@ class TestRegistryWideEquivalence:
         )
         assert_equivalent(scalar, batch)
 
+    @pytest.mark.parametrize("solver", ["auto", "native", "structured", "scipy"])
+    def test_waterwise_equivalence_per_solver_backend(self, solver, dataset, scenario_traces):
+        # The solve pipeline dispatches through four backends; the batch
+        # engine must reproduce the scalar engine under every one of them,
+        # including a saturated cluster where capacity-bound rounds take the
+        # transportation-LP path instead of the trivial argmin.
+        from repro.core.config import WaterWiseConfig
+
+        factory = lambda: make_scheduler(  # noqa: E731
+            "waterwise", config=WaterWiseConfig(solver=solver)
+        )
+        for servers in (24, 2):
+            scalar, batch = run_both(
+                scenario_traces["bursty"], factory, dataset, servers_per_region=servers
+            )
+            assert_equivalent(scalar, batch)
+
     def test_sustainability_policies_use_fast_paths(self):
         # Guard the point of this PR: the paper's core policies no longer
         # fall back to the scalar path inside the batch engine.

@@ -1,0 +1,144 @@
+"""Unit tests for the sparse presolve pass (:mod:`repro.milp.presolve`)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import WaterWiseConfig
+from repro.core.objective import build_placement_form
+from repro.milp.presolve import presolve
+from repro.milp.problem import StandardForm
+from repro.milp.scipy_backend import solve_form_scipy
+from repro.milp.solver import solve_standard_form
+from repro.milp.status import SolveStatus
+
+
+def _form(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None, lower=None, upper=None,
+          integrality=None):
+    c = np.asarray(c, dtype=float)
+    n = len(c)
+    return StandardForm(
+        variables=(),
+        c=c,
+        c0=0.0,
+        a_ub=np.asarray(a_ub, dtype=float) if a_ub is not None else np.zeros((0, n)),
+        b_ub=np.asarray(b_ub, dtype=float) if b_ub is not None else np.zeros(0),
+        a_eq=np.asarray(a_eq, dtype=float) if a_eq is not None else np.zeros((0, n)),
+        b_eq=np.asarray(b_eq, dtype=float) if b_eq is not None else np.zeros(0),
+        lower=np.asarray(lower, dtype=float) if lower is not None else np.zeros(n),
+        upper=np.asarray(upper, dtype=float) if upper is not None else np.full(n, np.inf),
+        integrality=np.asarray(integrality, dtype=bool) if integrality is not None
+        else np.zeros(n, dtype=bool),
+        maximize=False,
+    )
+
+
+class TestFixedVariableElimination:
+    def test_fixed_column_removed_and_substituted(self):
+        form = _form(
+            c=[1.0, 2.0],
+            a_ub=[[1.0, 1.0]], b_ub=[5.0],
+            lower=[3.0, 0.0], upper=[3.0, 10.0],
+        )
+        pre = presolve(form)
+        assert not pre.infeasible
+        assert pre.num_variables == 1
+        assert pre.c0 == pytest.approx(3.0)  # c[0] * 3
+        # rhs shrinks by the fixed contribution: x1 <= 2
+        assert pre.upper[0] <= 2.0 + 1e-9
+
+    def test_postsolve_restores_fixed_values(self):
+        form = _form(c=[1.0, 1.0], lower=[2.5, 0.0], upper=[2.5, 1.0])
+        pre = presolve(form)
+        x = pre.postsolve(np.array([0.75]))
+        assert x == pytest.approx([2.5, 0.75])
+
+    def test_everything_fixed_solves_in_dispatch(self):
+        form = _form(c=[1.0, -1.0], lower=[2.0, 3.0], upper=[2.0, 3.0])
+        status, x, objective, _it, _nodes, solver, _t = solve_standard_form(
+            form, solver="native"
+        )
+        assert status is SolveStatus.OPTIMAL
+        assert solver == "native"
+        assert x == pytest.approx([2.0, 3.0])
+        assert objective == pytest.approx(-1.0)
+
+
+class TestBoundTightening:
+    def test_continuous_upper_from_row(self):
+        # 2x + y <= 4 with y >= 0 implies x <= 2.
+        form = _form(c=[-1.0, 0.0], a_ub=[[2.0, 1.0]], b_ub=[4.0])
+        pre = presolve(form)
+        assert pre.stats.bounds_tightened >= 1
+
+    def test_integer_rounding_fixes_binary(self):
+        # 0.8 x <= 0.5 for binary x implies x <= 0.625 → x = 0 after rounding.
+        form = _form(
+            c=[1.0], a_ub=[[0.8]], b_ub=[0.5], upper=[1.0], integrality=[True]
+        )
+        pre = presolve(form)
+        assert pre.num_variables == 0  # fixed to zero and eliminated
+        assert pre.postsolve(np.zeros(0)) == pytest.approx([0.0])
+
+    def test_tightening_never_cuts_the_optimum(self):
+        rng = np.random.default_rng(11)
+        for _ in range(25):
+            n = int(rng.integers(2, 6))
+            form = _form(
+                c=rng.normal(size=n).round(2),
+                a_ub=rng.normal(size=(3, n)).round(2),
+                b_ub=rng.uniform(0.5, 3.0, 3).round(2),
+                lower=np.zeros(n),
+                upper=rng.uniform(0.5, 4.0, n).round(2),
+            )
+            reference = solve_form_scipy(form)
+            native = solve_standard_form(form, solver="native")
+            assert native[0] == reference[0]
+            if reference[0] is SolveStatus.OPTIMAL:
+                assert native[2] == pytest.approx(reference[2], abs=1e-7)
+
+
+class TestRedundancyAndInfeasibility:
+    def test_redundant_row_removed(self):
+        # x + y <= 100 can never bind inside the unit box.
+        form = _form(c=[1.0, 1.0], a_ub=[[1.0, 1.0]], b_ub=[100.0], upper=[1.0, 1.0])
+        pre = presolve(form)
+        assert pre.a_ub.shape[0] == 0
+        assert pre.stats.rows_after < pre.stats.rows_before
+
+    def test_crossed_bounds_infeasible(self):
+        form = _form(c=[1.0], lower=[2.0], upper=[1.0])
+        assert presolve(form).infeasible
+
+    def test_row_activity_infeasible(self):
+        # x + y >= 5 (as -x - y <= -5) inside the unit box is impossible.
+        form = _form(
+            c=[1.0, 1.0], a_ub=[[-1.0, -1.0]], b_ub=[-5.0], upper=[1.0, 1.0]
+        )
+        assert presolve(form).infeasible
+
+    def test_integer_bound_gap_infeasible(self):
+        # 1.2 <= x <= 1.8 contains no integer.
+        form = _form(c=[1.0], lower=[1.2], upper=[1.8], integrality=[True])
+        assert presolve(form).infeasible
+
+
+class TestPlacementFormReduction:
+    def test_hard_delay_rows_fix_forbidden_binaries(self):
+        cost = np.array([[1.0, 2.0], [2.0, 1.0]])
+        latency = np.array([[0.1, 5.0], [0.2, 0.3]])
+        tolerance = np.array([0.5, 0.5])
+        form = build_placement_form(
+            cost, latency, tolerance, np.array([1.0, 1.0]), np.array([2.0, 2.0]),
+            WaterWiseConfig(),
+        )
+        pre = presolve(form)
+        assert not pre.infeasible
+        # x[0, 1] (ratio 5.0 > 0.5) must be fixed to zero and eliminated.
+        assert 1 not in pre.kept_cols
+        assert pre.fixed_values[1] == pytest.approx(0.0)
+
+    def test_presolve_stats_ratios(self):
+        form = _form(c=[1.0, 1.0], a_ub=[[1.0, 1.0]], b_ub=[100.0], upper=[1.0, 1.0])
+        pre = presolve(form)
+        assert 0.0 <= pre.stats.row_ratio < 1.0
+        assert pre.stats.col_ratio == pytest.approx(1.0)

@@ -1,0 +1,257 @@
+"""Streaming-engine benchmark: peak RSS + wall time vs the one-shot engine.
+
+Each case simulates a diurnal scenario sized to ``--sizes`` jobs (default
+10k / 100k / 1M) twice: through the one-shot :class:`BatchSimulator`
+(materialized trace, O(n) columns) and through the bounded-memory
+:class:`StreamingSimulator` in aggregate mode.  Every measurement runs in a
+fresh **subprocess** so ``ru_maxrss`` reports that case's true peak RSS, not
+the parent's high-water mark.  One-shot cases above ``--max-oneshot-jobs``
+are skipped (that is the regime the streaming engine exists for).
+
+The results land in ``BENCH_stream.json`` and are compared against the
+checked-in ``benchmarks/BENCH_stream_baseline.json`` with a *soft* threshold
+(warn; fail only under ``--strict``), like the solver benchmark.  Two hard
+gates back the tentpole's acceptance criteria regardless of baseline:
+
+* every streaming case must stay under ``--rss-limit-mb`` (default 1500);
+* streaming totals must match the one-shot totals (1e-9 relative) wherever
+  both ran.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_stream.py --sizes 10000 100000
+    PYTHONPATH=src python benchmarks/bench_stream.py --sizes 1000000 --stream-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import resource
+import subprocess
+import sys
+import time
+
+#: Borg-like submission rate the cases are sized at; duration scales with
+#: the requested job count.
+RATE_PER_HOUR = 1400.0
+
+#: Soft regression threshold vs the checked-in baseline.
+REGRESSION_FACTOR = 1.5
+
+_HEADLINE_HIGHER_IS_WORSE = (
+    "stream_peak_rss_mb_max",
+    "stream_wall_s_per_100k",
+)
+
+
+def _case_parameters(jobs: int) -> dict:
+    # Invert the diurnal process's expected-count curve so sub-day cases
+    # (which start in the night trough) still hit the requested job count.
+    from repro.traces.arrival import DiurnalPoissonProcess
+
+    process = DiurnalPoissonProcess(RATE_PER_HOUR, amplitude=0.9)
+    lo, hi = 0.0, 8.0 * jobs / (RATE_PER_HOUR / 3600.0)
+    for _ in range(60):
+        mid = (lo + hi) / 2.0
+        if process.expected_count(mid) < jobs:
+            lo = mid
+        else:
+            hi = mid
+    duration_days = hi / 86_400.0
+    return {
+        "scenario": "diurnal",
+        "seed": 42,
+        "rate_per_hour": RATE_PER_HOUR,
+        "duration_days": duration_days,
+        "servers_per_region": 60,
+        "chunk_size": 8192,
+    }
+
+
+def _run_child(jobs: int, mode: str, policy: str) -> dict:
+    """One measured case in a fresh interpreter; returns its JSON report."""
+    command = [
+        sys.executable, os.path.abspath(__file__), "--child",
+        "--child-jobs", str(jobs), "--child-mode", mode, "--policy", policy,
+    ]
+    env = dict(os.environ)
+    src = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(command, capture_output=True, text=True, env=env)
+    if result.returncode != 0:
+        raise RuntimeError(
+            f"{mode} case at {jobs} jobs failed:\n{result.stdout}\n{result.stderr}"
+        )
+    return json.loads(result.stdout.splitlines()[-1])
+
+
+def _child_main(args: argparse.Namespace) -> int:
+    from repro.cluster import BatchSimulator, StreamingSimulator
+    from repro.schedulers import make_scheduler
+    from repro.sustainability import ElectricityMapsLikeProvider
+    from repro.traces.scenarios import scenario_source
+
+    params = _case_parameters(args.child_jobs)
+    source = scenario_source(
+        params["scenario"],
+        seed=params["seed"],
+        rate_per_hour=params["rate_per_hour"],
+        duration_days=params["duration_days"],
+    )
+    dataset = ElectricityMapsLikeProvider(
+        horizon_hours=max(int(params["duration_days"] * 24) + 48, 72),
+        seed=params["seed"],
+    )
+    scheduler = make_scheduler(args.policy)
+    started = time.perf_counter()
+    if args.child_mode == "stream":
+        result = StreamingSimulator(
+            source,
+            scheduler,
+            dataset=dataset,
+            servers_per_region=params["servers_per_region"],
+            chunk_size=params["chunk_size"],
+            collect="aggregate",
+        ).run()
+    else:
+        trace = source.materialize()
+        result = BatchSimulator(
+            trace,
+            scheduler,
+            dataset=dataset,
+            servers_per_region=params["servers_per_region"],
+        ).run()
+    wall_s = time.perf_counter() - started
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss  # kB on Linux
+    print(json.dumps({
+        "mode": args.child_mode,
+        "requested_jobs": args.child_jobs,
+        "jobs": result.num_jobs,
+        "rounds": len(result.round_times_s),
+        "wall_s": round(wall_s, 3),
+        "peak_rss_mb": round(peak_kb / 1024.0, 1),
+        "carbon_kg": result.total_carbon_kg,
+        "water_m3": result.total_water_m3,
+        "mean_service_ratio": result.mean_service_ratio,
+    }))
+    return 0
+
+
+def compare_to_baseline(head: dict, baseline_path: pathlib.Path) -> list[str]:
+    """Soft-threshold comparison; returns the list of regression messages."""
+    if not baseline_path.exists():
+        return []
+    baseline = json.loads(baseline_path.read_text()).get("headline", {})
+    problems = []
+    for key in _HEADLINE_HIGHER_IS_WORSE:
+        base = baseline.get(key)
+        now = head.get(key)
+        if base is None or now is None or base <= 0:
+            continue
+        if now > REGRESSION_FACTOR * base:
+            problems.append(
+                f"{key}: {now:.3f} vs baseline {base:.3f} "
+                f"(> {REGRESSION_FACTOR:.1f}x threshold)"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        default=[10_000, 100_000, 1_000_000])
+    parser.add_argument("--policy", default="baseline",
+                        help="scheduling policy to drive both engines with")
+    parser.add_argument("--max-oneshot-jobs", type=int, default=100_000,
+                        help="skip the one-shot engine above this size")
+    parser.add_argument("--stream-only", action="store_true",
+                        help="measure only the streaming engine")
+    parser.add_argument("--rss-limit-mb", type=float, default=1500.0,
+                        help="hard bound every streaming case must stay under")
+    parser.add_argument("--output", default="BENCH_stream.json")
+    parser.add_argument(
+        "--baseline",
+        default=str(pathlib.Path(__file__).parent / "BENCH_stream_baseline.json"),
+        help="checked-in baseline for the soft regression check",
+    )
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero on a soft-threshold regression")
+    # Internal: a single measured case in a fresh interpreter.
+    parser.add_argument("--child", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--child-jobs", type=int, help=argparse.SUPPRESS)
+    parser.add_argument("--child-mode", choices=["stream", "oneshot"],
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+    if args.child:
+        return _child_main(args)
+
+    cases = []
+    failures = []
+    for jobs in args.sizes:
+        stream = _run_child(jobs, "stream", args.policy)
+        cases.append(stream)
+        print(
+            f"stream  {jobs:>9,} jobs: {stream['wall_s']:8.1f} s, "
+            f"peak RSS {stream['peak_rss_mb']:8.1f} MB "
+            f"({stream['jobs']} simulated, {stream['rounds']} rounds)"
+        )
+        if stream["peak_rss_mb"] > args.rss_limit_mb:
+            failures.append(
+                f"streaming at {jobs} jobs used {stream['peak_rss_mb']:.1f} MB "
+                f"(> hard limit {args.rss_limit_mb:.0f} MB)"
+            )
+        if args.stream_only or jobs > args.max_oneshot_jobs:
+            continue
+        oneshot = _run_child(jobs, "oneshot", args.policy)
+        cases.append(oneshot)
+        print(
+            f"oneshot {jobs:>9,} jobs: {oneshot['wall_s']:8.1f} s, "
+            f"peak RSS {oneshot['peak_rss_mb']:8.1f} MB"
+        )
+        for key in ("carbon_kg", "water_m3", "mean_service_ratio"):
+            if abs(stream[key] - oneshot[key]) > 1e-9 * max(1.0, abs(oneshot[key])):
+                failures.append(
+                    f"{key} diverges at {jobs} jobs: "
+                    f"stream {stream[key]!r} vs oneshot {oneshot[key]!r}"
+                )
+
+    stream_cases = [case for case in cases if case["mode"] == "stream"]
+    head = {
+        "stream_peak_rss_mb_max": max(c["peak_rss_mb"] for c in stream_cases),
+        "stream_wall_s_per_100k": max(
+            c["wall_s"] * 100_000.0 / max(c["jobs"], 1) for c in stream_cases
+        ),
+    }
+    report = {
+        "benchmark": "stream_engine",
+        "policy": args.policy,
+        "rate_per_hour": RATE_PER_HOUR,
+        "rss_limit_mb": args.rss_limit_mb,
+        "headline": {key: round(value, 3) for key, value in head.items()},
+        "cases": cases,
+    }
+    pathlib.Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    print("headline:", json.dumps(report["headline"]))
+
+    if failures:
+        print("\nHARD FAILURES:")
+        for message in failures:
+            print(f"  - {message}")
+        return 1
+    problems = compare_to_baseline(head, pathlib.Path(args.baseline))
+    if problems:
+        print("\nSOFT REGRESSIONS vs baseline:")
+        for message in problems:
+            print(f"  - {message}")
+        if args.strict:
+            return 1
+        print("  (soft threshold: reported but not failing; use --strict to enforce)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

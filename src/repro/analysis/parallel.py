@@ -19,7 +19,10 @@ Determinism guarantees (enforced by ``tests/analysis/test_parallel.py``):
 
 Worker processes rebuild traces and datasets from the point's parameters
 (cheap relative to simulation), so only small parameter/summary payloads
-cross process boundaries.
+cross process boundaries; consecutive policy cells of one workload reuse a
+per-worker cached source/trace instead of regenerating it, and
+``engine="stream"`` cells replay the chunked source through the streaming
+engine without ever materializing the trace.
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from __future__ import annotations
 import concurrent.futures
 import dataclasses
 import itertools
+import threading
 import zlib
 from collections.abc import Iterable, Mapping, Sequence
 
@@ -35,7 +39,7 @@ from repro.traces.scenarios import available_scenarios
 __all__ = ["SweepPoint", "SweepOutcome", "derive_seed", "expand_grid", "run_sweep"]
 
 _TRACE_KINDS = ("borg", "alibaba")
-_ENGINES = ("batch", "scalar")
+_ENGINES = ("batch", "scalar", "stream")
 _EXECUTORS = ("serial", "thread", "process")
 
 
@@ -179,51 +183,100 @@ def expand_grid(
     return points
 
 
+#: Workload signature → source/trace of the most recent point this worker
+#: simulated.  A sweep runs every policy against identical workloads (the
+#: seed derivation guarantees it), and :func:`run_sweep` hands points to
+#: workers in grid order, so consecutive policy cells of one point hit this
+#: cache instead of re-generating the full trace per cell — sweep memory and
+#: generation time no longer scale with ``n_policies × n_jobs``.  The cache
+#: is *thread-local*: ``executor="thread"`` runs cells of different
+#: workloads concurrently, and a shared single slot would let one thread
+#: read another's source mid-update (breaking the module's worker-count
+#: invariance).  One entry per thread/process keeps it O(1 workload).
+_WORKLOAD_CACHE = threading.local()
+
+
+def _point_source(point: SweepPoint):
+    """The chunked trace source of one sweep point (cached per worker)."""
+    from repro.traces.alibaba import AlibabaTraceGenerator
+    from repro.traces.borg import BorgTraceGenerator
+    from repro.traces.scenarios import scenario_source
+
+    cache = _WORKLOAD_CACHE
+    key = (point.trace_kind, point.rate_per_hour, point.duration_days, point.seed)
+    if getattr(cache, "key", None) != key:
+        if point.trace_kind in _TRACE_KINDS:
+            generator_cls = (
+                BorgTraceGenerator if point.trace_kind == "borg" else AlibabaTraceGenerator
+            )
+            source = generator_cls(
+                rate_per_hour=point.rate_per_hour,
+                duration_days=point.duration_days,
+                seed=point.seed,
+            )
+        else:
+            source = scenario_source(
+                point.trace_kind,
+                seed=point.seed,
+                rate_per_hour=point.rate_per_hour,
+                duration_days=point.duration_days,
+            )
+        cache.key = key
+        cache.source = source
+        cache.trace = None
+    return cache.source
+
+
+def _point_trace(point: SweepPoint):
+    """The materialized trace of one sweep point (cached per worker)."""
+    source = _point_source(point)
+    if _WORKLOAD_CACHE.trace is None:
+        _WORKLOAD_CACHE.trace = source.materialize()
+    return _WORKLOAD_CACHE.trace
+
+
 def _run_point(point: SweepPoint) -> SweepOutcome:
     """Simulate one sweep point (module-level so process pools can pickle it)."""
     import math
 
     from repro.cluster.simulator import BatchSimulator, Simulator
+    from repro.cluster.streaming import StreamingSimulator
     from repro.schedulers.registry import make_scheduler
     from repro.sustainability.datasets import ElectricityMapsLikeProvider
-    from repro.traces.alibaba import AlibabaTraceGenerator
-    from repro.traces.borg import BorgTraceGenerator
-    from repro.traces.scenarios import scenario_trace
 
-    if point.trace_kind in _TRACE_KINDS:
-        generator_cls = (
-            BorgTraceGenerator if point.trace_kind == "borg" else AlibabaTraceGenerator
-        )
-        trace = generator_cls(
-            rate_per_hour=point.rate_per_hour,
-            duration_days=point.duration_days,
-            seed=point.seed,
-        ).generate()
-    else:
-        trace = scenario_trace(
-            point.trace_kind,
-            seed=point.seed,
-            rate_per_hour=point.rate_per_hour,
-            duration_days=point.duration_days,
-        )
+    source = _point_source(point)
     duration_days = (
         point.duration_days
         if point.duration_days is not None
-        else trace.horizon_s / 86_400.0
+        else source.horizon_s / 86_400.0
     )
     horizon_hours = max(int(math.ceil(duration_days * 24)) + 48, 72)
     dataset = ElectricityMapsLikeProvider(horizon_hours=horizon_hours, seed=point.seed)
     scheduler = make_scheduler(point.scheduler, **dict(point.scheduler_kwargs))
-    engine_cls = BatchSimulator if point.engine == "batch" else Simulator
-    result = engine_cls(
-        trace=trace,
-        scheduler=scheduler,
-        dataset=dataset,
-        servers_per_region=point.servers_per_region,
-        scheduling_interval_s=point.scheduling_interval_s,
-        delay_tolerance=point.delay_tolerance,
-        include_embodied=point.include_embodied,
-    ).run()
+    if point.engine == "stream":
+        # Bounded memory: the policy cell replays the shared chunked source
+        # without ever materializing the trace.
+        result = StreamingSimulator(
+            source,
+            scheduler,
+            dataset=dataset,
+            servers_per_region=point.servers_per_region,
+            scheduling_interval_s=point.scheduling_interval_s,
+            delay_tolerance=point.delay_tolerance,
+            include_embodied=point.include_embodied,
+            collect="aggregate",
+        ).run()
+    else:
+        engine_cls = BatchSimulator if point.engine == "batch" else Simulator
+        result = engine_cls(
+            trace=_point_trace(point),
+            scheduler=scheduler,
+            dataset=dataset,
+            servers_per_region=point.servers_per_region,
+            scheduling_interval_s=point.scheduling_interval_s,
+            delay_tolerance=point.delay_tolerance,
+            include_embodied=point.include_embodied,
+        ).run()
     return SweepOutcome(
         point=point,
         summary=result.summary(),

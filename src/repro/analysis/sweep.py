@@ -15,6 +15,8 @@ from repro.cluster.capacity import servers_for_target_utilization
 from repro.cluster.interface import Scheduler
 from repro.cluster.metrics import SimulationResult
 from repro.cluster.simulator import BatchSimulator, Simulator
+from repro.cluster.streaming import StreamingSimulator
+from repro.traces.stream import TraceSource, TraceView
 from repro.core.config import WaterWiseConfig
 from repro.core.waterwise import WaterWiseScheduler
 from repro.regions.region import Region
@@ -129,16 +131,40 @@ def simulate(
     regions: Sequence[Region] | None = None,
     include_embodied: bool = True,
     engine: str = "scalar",
+    chunk_size: int = 4096,
 ) -> SimulationResult:
     """Run one policy over one trace (thin wrapper around the simulators).
 
     ``engine="batch"`` runs the vectorized :class:`BatchSimulator` (identical
     decisions and footprints, ~13–16x faster on large traces) and converts
     the columnar result back to a :class:`SimulationResult` so callers are
-    engine-agnostic.
+    engine-agnostic.  ``engine="stream"`` runs the bounded-memory
+    :class:`StreamingSimulator` over ``trace`` — either a chunked
+    :class:`~repro.traces.stream.TraceSource` or a materialized trace
+    (wrapped in a :class:`~repro.traces.stream.TraceView`) — and returns its
+    aggregate-only :class:`~repro.cluster.streaming.StreamResult` (same
+    figures of merit, no per-job outcome list).
     """
-    if engine not in ("scalar", "batch"):
-        raise ValueError(f"engine must be 'scalar' or 'batch', got {engine!r}")
+    if engine not in ("scalar", "batch", "stream"):
+        raise ValueError(
+            f"engine must be 'scalar', 'batch' or 'stream', got {engine!r}"
+        )
+    if engine == "stream":
+        source = trace if isinstance(trace, TraceSource) else TraceView(trace)
+        return StreamingSimulator(
+            source,
+            scheduler,
+            dataset=dataset,
+            regions=regions,
+            servers_per_region=servers_per_region,
+            scheduling_interval_s=scheduling_interval_s,
+            delay_tolerance=delay_tolerance,
+            include_embodied=include_embodied,
+            chunk_size=chunk_size,
+            collect="aggregate",
+        ).run()
+    if isinstance(trace, TraceSource):
+        trace = trace.materialize()
     engine_cls = BatchSimulator if engine == "batch" else Simulator
     result = engine_cls(
         trace=trace,
@@ -173,8 +199,17 @@ def run_policies(
     regions: Sequence[Region] | None = None,
     include_embodied: bool = True,
     engine: str = "scalar",
+    chunk_size: int = 4096,
 ) -> dict[str, SimulationResult]:
-    """Simulate every policy in ``policies`` under identical conditions."""
+    """Simulate every policy in ``policies`` under identical conditions.
+
+    With ``engine="stream"`` every policy cell replays the *same* chunked
+    source (streams are restartable and chunk-size-invariant), so sweep
+    memory stays O(chunk) instead of O(n_policies × n_jobs).
+    """
+    if engine != "stream" and isinstance(trace, TraceSource):
+        # Materialize once, not once per policy cell.
+        trace = trace.materialize()
     results: dict[str, SimulationResult] = {}
     for name, factory in policies.items():
         results[name] = simulate(
@@ -187,6 +222,7 @@ def run_policies(
             regions=regions,
             include_embodied=include_embodied,
             engine=engine,
+            chunk_size=chunk_size,
         )
     return results
 

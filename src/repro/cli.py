@@ -13,7 +13,15 @@ Sub-commands
     Generate a Borg-like (or Alibaba-like) trace — or a named scenario from
     the workload library via ``--scenario`` — run the requested policies
     under identical conditions and print totals and savings versus the
-    baseline.
+    baseline.  ``--stream`` runs the bounded-memory streaming engine
+    (``--chunk-size`` jobs at a time) instead of materializing the trace.
+``checkpoint``
+    Run the first ``--chunks`` chunks of a streaming simulation and save the
+    engine state (plus everything needed to rebuild the run) to a file.
+``resume``
+    Continue a checkpointed streaming simulation — to completion (printing
+    the summary) or for another ``--chunks`` chunks (saving a new
+    checkpoint).
 ``regions``
     Print the region catalog with each region's average carbon intensity,
     EWIF, WUE, water-scarcity factor and water intensity.
@@ -32,7 +40,7 @@ from repro._version import __version__
 from repro.analysis.report import format_table
 from repro.analysis.savings import savings_table
 from repro.analysis.sweep import run_policies
-from repro.cluster import servers_for_target_utilization
+from repro.cluster import StreamingSimulator, servers_for_target_utilization
 from repro.schedulers import available_schedulers, make_scheduler
 from repro.sustainability import ElectricityMapsLikeProvider, WRILikeProvider
 from repro.traces import AlibabaTraceGenerator, BorgTraceGenerator, WORKLOAD_PROFILES
@@ -50,30 +58,50 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_workload_arguments(command):
+        """Workload/cluster options shared by ``simulate`` and ``checkpoint``.
+
+        One definition keeps the two commands' defaults in lockstep — a
+        drifted default would make ``repro checkpoint``/``resume`` rebuild a
+        different workload than ``repro simulate`` for identical flags.
+        """
+        command.add_argument("--trace", choices=["borg", "alibaba"], default="borg")
+        command.add_argument(
+            "--scenario", choices=available_scenarios(), default=None,
+            help="use a named workload scenario instead of --trace (see `repro scenarios`)",
+        )
+        command.add_argument(
+            "--jobs-per-hour", type=float, default=None,
+            help="submission rate (default: 60 for --trace, the family's own "
+                 "default for --scenario)",
+        )
+        command.add_argument("--hours", type=float, default=12.0)
+        command.add_argument("--tolerance", type=float, default=0.5, help="delay tolerance (0.5 = 50%%)")
+        command.add_argument("--utilization", type=float, default=0.15, help="target average utilization")
+        command.add_argument("--interval", type=float, default=300.0, help="scheduling interval (s)")
+        command.add_argument("--data-source", choices=["electricity-maps", "wri"], default="electricity-maps")
+        command.add_argument("--seed", type=int, default=0)
+
     simulate = sub.add_parser("simulate", help="run one or more policies over a synthetic trace")
     simulate.add_argument(
         "--policies", nargs="+", default=["baseline", "waterwise"],
         help=f"policies to compare (available: {', '.join(available_schedulers())})",
     )
-    simulate.add_argument("--trace", choices=["borg", "alibaba"], default="borg")
+    add_workload_arguments(simulate)
     simulate.add_argument(
-        "--scenario", choices=available_scenarios(), default=None,
-        help="use a named workload scenario instead of --trace (see `repro scenarios`)",
+        "--engine", choices=["scalar", "batch", "stream"], default=None,
+        help="simulation engine: batch = vectorized (~13-16x faster, identical "
+             "results), stream = bounded-memory streaming (identical decisions, "
+             "memory stays O(chunk + active jobs); default: scalar)",
     )
     simulate.add_argument(
-        "--jobs-per-hour", type=float, default=None,
-        help="submission rate (default: 60 for --trace, the family's own "
-             "default for --scenario)",
+        "--stream", action="store_true",
+        help="shorthand for --engine stream",
     )
-    simulate.add_argument("--hours", type=float, default=12.0)
-    simulate.add_argument("--tolerance", type=float, default=0.5, help="delay tolerance (0.5 = 50%%)")
-    simulate.add_argument("--utilization", type=float, default=0.15, help="target average utilization")
-    simulate.add_argument("--interval", type=float, default=300.0, help="scheduling interval (s)")
-    simulate.add_argument("--data-source", choices=["electricity-maps", "wri"], default="electricity-maps")
-    simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument(
-        "--engine", choices=["scalar", "batch"], default="scalar",
-        help="simulation engine (batch = vectorized, ~13-16x faster, identical results)",
+        "--chunk-size", type=int, default=None,
+        help="jobs per streaming chunk (stream engine only; results are "
+             "chunk-size-invariant; default 4096)",
     )
     simulate.add_argument(
         "--solver", choices=["auto", "scipy", "native", "structured"], default="auto",
@@ -82,29 +110,92 @@ def build_parser() -> argparse.ArgumentParser:
              "'Solver architecture')",
     )
 
+    checkpoint = sub.add_parser(
+        "checkpoint",
+        help="run the first chunks of a streaming simulation and save its state",
+    )
+    add_workload_arguments(checkpoint)
+    checkpoint.add_argument("--policy", default="waterwise",
+                            help=f"policy to run (available: {', '.join(available_schedulers())})")
+    checkpoint.add_argument("--chunk-size", type=int, default=4096)
+    checkpoint.add_argument("--chunks", type=int, required=True,
+                            help="number of chunks to simulate before saving")
+    checkpoint.add_argument("--out", required=True, help="checkpoint file to write")
+
+    resume = sub.add_parser(
+        "resume", help="continue a checkpointed streaming simulation"
+    )
+    resume.add_argument("checkpoint_file", help="file written by `repro checkpoint`")
+    resume.add_argument(
+        "--chunks", type=int, default=None,
+        help="advance this many chunks and save again (default: run to completion)",
+    )
+    resume.add_argument(
+        "--out", default=None,
+        help="where to save the new checkpoint with --chunks "
+             "(default: overwrite the input file)",
+    )
+
     sub.add_parser("regions", help="print the region catalog and its sustainability factors")
     sub.add_parser("workloads", help="print the PARSEC/CloudSuite workload profiles")
     sub.add_parser("scenarios", help="print the workload-scenario library")
     return parser
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
+def _build_source(args: argparse.Namespace):
+    """The chunked trace source an argparse namespace describes."""
     if args.scenario is not None:
         # None lets the scenario family's natural rate apply.
-        trace = get_scenario(args.scenario).trace(
+        return get_scenario(args.scenario).source(
             seed=args.seed,
             rate_per_hour=args.jobs_per_hour,
             duration_days=args.hours / 24.0,
         )
+    generator_cls = BorgTraceGenerator if args.trace == "borg" else AlibabaTraceGenerator
+    return generator_cls(
+        rate_per_hour=60.0 if args.jobs_per_hour is None else args.jobs_per_hour,
+        duration_days=args.hours / 24.0,
+        seed=args.seed,
+    )
+
+
+def _build_dataset(args: argparse.Namespace):
+    provider = (
+        ElectricityMapsLikeProvider
+        if args.data_source == "electricity-maps"
+        else WRILikeProvider
+    )
+    return provider(horizon_hours=int(args.hours) + 48, seed=args.seed)
+
+
+#: Argparse fields `repro checkpoint` stores so `repro resume` can rebuild
+#: the identical source and dataset.
+_WORKLOAD_ARGS = (
+    "trace", "scenario", "jobs_per_hour", "hours", "tolerance",
+    "utilization", "interval", "data_source", "seed",
+)
+
+
+def _resolve_engine(args: argparse.Namespace) -> tuple[str, int]:
+    """(engine, chunk_size) for ``simulate``, rejecting conflicting flags."""
+    if args.stream and args.engine not in (None, "stream"):
+        raise SystemExit(
+            f"--stream conflicts with --engine {args.engine}; pick one"
+        )
+    engine = "stream" if args.stream else (args.engine or "scalar")
+    if args.chunk_size is not None and engine != "stream":
+        raise SystemExit("--chunk-size requires the streaming engine (--engine stream)")
+    return engine, 4096 if args.chunk_size is None else args.chunk_size
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    engine, chunk_size = _resolve_engine(args)
+    source = _build_source(args)
+    dataset = _build_dataset(args)
+    if engine == "stream":
+        trace = source  # run_policies streams the source directly
     else:
-        generator_cls = BorgTraceGenerator if args.trace == "borg" else AlibabaTraceGenerator
-        trace = generator_cls(
-            rate_per_hour=60.0 if args.jobs_per_hour is None else args.jobs_per_hour,
-            duration_days=args.hours / 24.0,
-            seed=args.seed,
-        ).generate()
-    provider = ElectricityMapsLikeProvider if args.data_source == "electricity-maps" else WRILikeProvider
-    dataset = provider(horizon_hours=int(args.hours) + 48, seed=args.seed)
+        trace = source.materialize()
     servers = servers_for_target_utilization(
         trace, dataset.region_keys, target_utilization=args.utilization
     )
@@ -125,7 +216,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     policies = {name: _factory(name) for name in policy_names}
 
-    print(f"trace     : {trace}")
+    if engine == "stream":
+        print(f"trace     : {source.trace_name} (streaming, {chunk_size} jobs/chunk)")
+    else:
+        print(f"trace     : {trace}")
     print(f"servers   : {servers} per region ({args.utilization:.0%} target utilization)")
     print(f"tolerance : {args.tolerance:.0%}\n")
 
@@ -136,7 +230,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         servers_per_region=servers,
         delay_tolerance=args.tolerance,
         scheduling_interval_s=args.interval,
-        engine=args.engine,
+        engine=engine,
+        chunk_size=chunk_size,
     )
     totals = [
         [
@@ -162,6 +257,94 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             ["policy", "carbon_savings_%", "water_savings_%"], savings_rows,
             title="Savings vs. baseline",
         ))
+    return 0
+
+
+def _print_stream_summary(result) -> None:
+    rows = [[
+        result.scheduler_name,
+        result.total_carbon_kg,
+        result.total_water_m3,
+        result.mean_service_ratio,
+        100.0 * result.violation_fraction,
+    ]]
+    print(format_table(
+        ["policy", "carbon_kg", "water_m3", "service_ratio", "violations_%"],
+        rows, title="Totals",
+    ))
+    quantiles = result.service_ratio_quantiles()
+    print()
+    print(format_table(
+        ["p50", "p95", "p99"],
+        [[quantiles[0.5], quantiles[0.95], quantiles[0.99]]],
+        title="Service-ratio quantiles (streaming P2 estimates)",
+    ))
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    source = _build_source(args)
+    dataset = _build_dataset(args)
+    servers = servers_for_target_utilization(
+        source, dataset.region_keys, target_utilization=args.utilization
+    )
+    engine = StreamingSimulator(
+        source,
+        make_scheduler(args.policy),
+        dataset=dataset,
+        servers_per_region=servers,
+        scheduling_interval_s=args.interval,
+        delay_tolerance=args.tolerance,
+        chunk_size=args.chunk_size,
+        collect="aggregate",
+    )
+    consumed = engine.run_chunks(max_chunks=args.chunks)
+    extra = {"cli": {name: getattr(args, name) for name in _WORKLOAD_ARGS}}
+    extra["cli"]["policy"] = args.policy
+    engine.save_checkpoint(args.out, extra=extra)
+    state = engine.state
+    print(
+        f"checkpoint: {args.out} after {consumed} chunks "
+        f"({state.jobs_seen} jobs seen, {state.rounds} rounds, "
+        f"{state.active_jobs} in flight)"
+    )
+    print(f"resume with: repro resume {args.out}")
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    payload = StreamingSimulator.load_checkpoint(args.checkpoint_file)
+    spec = payload["extra"].get("cli")
+    if spec is None:
+        raise SystemExit(
+            f"{args.checkpoint_file} carries no CLI workload spec; resume it "
+            "programmatically via StreamingSimulator.from_checkpoint"
+        )
+    if args.out is not None and args.chunks is None:
+        raise SystemExit(
+            "--out requires --chunks (a run to completion produces a result, "
+            "not a new checkpoint)"
+        )
+    workload = argparse.Namespace(**{name: spec[name] for name in _WORKLOAD_ARGS})
+    source = _build_source(workload)
+    dataset = _build_dataset(workload)
+    engine = StreamingSimulator.from_checkpoint(
+        args.checkpoint_file, source, dataset=dataset
+    )
+    if args.chunks is not None:
+        consumed = engine.run_chunks(max_chunks=args.chunks)
+        out = args.out or args.checkpoint_file
+        engine.save_checkpoint(out, extra=payload["extra"])
+        state = engine.state
+        print(
+            f"checkpoint: {out} after {consumed} more chunks "
+            f"({state.jobs_seen} jobs seen, {state.rounds} rounds, "
+            f"{state.active_jobs} in flight)"
+        )
+        return 0
+    result = engine.run()
+    print(f"trace     : {result.trace_name} (resumed streaming run, policy {spec['policy']})")
+    print(f"jobs      : {result.num_jobs}\n")
+    _print_stream_summary(result)
     return 0
 
 
@@ -221,6 +404,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "checkpoint":
+        return _cmd_checkpoint(args)
+    if args.command == "resume":
+        return _cmd_resume(args)
     if args.command == "regions":
         return _cmd_regions()
     if args.command == "workloads":

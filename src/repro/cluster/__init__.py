@@ -24,10 +24,11 @@ logic through trace simulation.  This subpackage is that simulation substrate:
 from repro.cluster.batch import DEFER, BatchResult, BatchSchedulingContext, JobArrays
 from repro.cluster.capacity import servers_for_target_utilization
 from repro.cluster.datacenter import Datacenter
-from repro.cluster.footprint import FootprintCalculator
+from repro.cluster.footprint import FootprintCalculator, RunningFootprintTotals
 from repro.cluster.interface import Scheduler, SchedulerDecision, SchedulingContext
-from repro.cluster.metrics import JobOutcome, SimulationResult
+from repro.cluster.metrics import JobOutcome, RunningJobStats, SimulationResult
 from repro.cluster.simulator import BatchSimulator, Simulator
+from repro.cluster.streaming import EngineState, StreamingSimulator, StreamResult
 
 __all__ = [
     "DEFER",
@@ -35,13 +36,18 @@ __all__ = [
     "BatchSchedulingContext",
     "BatchSimulator",
     "Datacenter",
+    "EngineState",
     "FootprintCalculator",
     "JobArrays",
     "JobOutcome",
+    "RunningFootprintTotals",
+    "RunningJobStats",
     "Scheduler",
     "SchedulerDecision",
     "SchedulingContext",
     "SimulationResult",
     "Simulator",
+    "StreamResult",
+    "StreamingSimulator",
     "servers_for_target_utilization",
 ]

@@ -26,6 +26,7 @@ optional.
 from __future__ import annotations
 
 import dataclasses
+import zlib
 from collections.abc import Mapping, Sequence
 
 import numpy as np
@@ -37,11 +38,57 @@ from repro.regions.region import Region
 from repro.sustainability.datasets import SustainabilityDataset
 from repro.traces.trace import Trace
 
-__all__ = ["DEFER", "JobArrays", "BatchSchedulingContext", "BatchResult"]
+__all__ = [
+    "DEFER",
+    "JobArrays",
+    "BatchSchedulingContext",
+    "BatchResult",
+    "resolve_fast_decision",
+]
 
 #: Region code a vectorized fast path returns to postpone a job to the next
 #: round (the array-world equivalent of ``SchedulerDecision.deferred``).
 DEFER = -1
+
+
+def resolve_fast_decision(
+    result, batch: np.ndarray, n_regions: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a fast path's round result; returns ``(choice, commit_positions)``.
+
+    Shared by the one-shot :class:`~repro.cluster.simulator.BatchSimulator`
+    and the :class:`~repro.cluster.streaming.StreamingSimulator`, whose
+    decision paths must stay operation-for-operation identical (the
+    differential harness enforces digest equality between them).  ``choice``
+    holds one region code per batch position (:data:`DEFER` postpones);
+    ``commit_positions`` lists the assigned positions in commit order — a
+    custom commit order must cover exactly the assigned positions, because
+    commit order decides FIFO tie-breaking and a silently dropped or
+    duplicated position would corrupt the equivalence guarantee.
+    """
+    if isinstance(result, tuple):
+        choice, commit_order = result
+    else:
+        choice, commit_order = result, None
+    choice = np.asarray(choice, dtype=np.int64)
+    if choice.shape != batch.shape:
+        raise ValueError(
+            f"fast path returned {choice.shape} region codes for a batch of "
+            f"{batch.shape}"
+        )
+    if np.any(choice < -1) or np.any(choice >= n_regions):
+        raise ValueError("fast path returned region codes outside the cluster")
+    assigned = np.flatnonzero(choice >= 0)
+    if commit_order is None:
+        commit_positions = assigned
+    else:
+        commit_positions = np.asarray(commit_order, dtype=np.int64)
+        if not np.array_equal(np.sort(commit_positions), assigned):
+            raise ValueError(
+                "fast path commit order must be a permutation of the "
+                "assigned batch positions"
+            )
+    return choice, commit_positions
 
 
 @dataclasses.dataclass(frozen=True)
@@ -86,18 +133,18 @@ class JobArrays:
         batch engine.
         """
         keys = tuple(region_keys)
-        index = {key: i for i, key in enumerate(keys)}
         columns = trace.to_columns()
-        homes = columns["home_region"]
-        home_idx = np.empty(len(homes), dtype=np.int64)
-        for i, home in enumerate(homes):
-            code = index.get(home)
-            if code is None:
-                raise ValueError(
-                    f"job {columns['job_id'][i]} has home region {home!r} which is not "
-                    f"part of the simulated cluster ({sorted(keys)})"
-                )
-            home_idx[i] = code
+        homes = np.asarray(columns["home_region"], dtype=object)
+        home_idx = np.full(len(homes), -1, dtype=np.int64)
+        for code, key in enumerate(keys):
+            home_idx[homes == key] = code
+        unknown = np.flatnonzero(home_idx < 0)
+        if len(unknown):
+            i = int(unknown[0])
+            raise ValueError(
+                f"job {columns['job_id'][i]} has home region {homes[i]!r} which is not "
+                f"part of the simulated cluster ({sorted(keys)})"
+            )
         return cls(
             region_keys=keys,
             job_id=columns["job_id"],
@@ -347,6 +394,36 @@ class BatchResult:
         if mean_exec == 0.0:
             return 0.0
         return self.mean_decision_time_s / mean_exec
+
+    # -- identity ----------------------------------------------------------------------
+    def digest(self) -> int:
+        """CRC32 over every per-job decision column (job-id order).
+
+        Two runs that made the same scheduling decisions — same executed
+        regions, start/finish/ready times, transfer latencies, deferral
+        counts and footprints for every job — have equal digests.  The
+        streaming engine's checkpoint/resume determinism tests compare this
+        digest against the one-shot batch engine's.
+        """
+        crc = zlib.crc32(repr(self.region_keys).encode("utf-8"))
+        for column in (
+            self.job_id,
+            self.home_idx,
+            self.region_idx,
+            self.arrival,
+            self.considered,
+            self.assigned,
+            self.ready,
+            self.start,
+            self.finish,
+            self.execution_time,
+            self.transfer_latency,
+            self.carbon_g,
+            self.water_l,
+            self.deferrals,
+        ):
+            crc = zlib.crc32(np.ascontiguousarray(column).tobytes(), crc)
+        return crc
 
     # -- comparisons -------------------------------------------------------------------
     def carbon_savings_vs(self, baseline) -> float:

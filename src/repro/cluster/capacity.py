@@ -14,10 +14,37 @@ from __future__ import annotations
 import math
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro._validation import ensure_positive
 from repro.traces.trace import Trace
 
 __all__ = ["servers_for_target_utilization"]
+
+
+def _busy_server_seconds_and_horizon(workload) -> tuple[float, float, int]:
+    """(busy server-seconds, horizon, job count) of a trace *or* a source.
+
+    Materialized traces are summed from their cached columns in one NumPy
+    pass; chunked :class:`~repro.traces.stream.TraceSource` streams are
+    folded chunk by chunk, so sizing a cluster for a multi-million-job
+    stream never materializes it.
+    """
+    if isinstance(workload, Trace):
+        columns = workload.to_columns()
+        busy = float(
+            np.sum(columns["realized_execution_time"] * columns["servers_required"])
+        )
+        return busy, workload.horizon_s, len(workload)
+    busy = 0.0
+    horizon = 0.0
+    count = 0
+    for chunk in workload.iter_chunks(4096):
+        busy += float(np.sum(chunk.exec_real * chunk.servers))
+        if chunk.n:
+            horizon = float(chunk.arrival[-1])
+            count += chunk.n
+    return busy, horizon, count
 
 
 def servers_for_target_utilization(
@@ -35,7 +62,9 @@ def servers_for_target_utilization(
     Parameters
     ----------
     trace:
-        The workload to size for.
+        The workload to size for — a :class:`Trace` or a chunked
+        :class:`~repro.traces.stream.TraceSource` (streamed, not
+        materialized).
     region_keys:
         The regions sharing the load.
     target_utilization:
@@ -47,14 +76,12 @@ def servers_for_target_utilization(
         raise ValueError("region_keys must not be empty")
     if not 0.0 < target_utilization <= 1.0:
         raise ValueError(f"target_utilization must be in (0, 1], got {target_utilization}")
-    if len(trace) == 0:
-        return int(minimum_servers)
     ensure_positive(minimum_servers, "minimum_servers")
+    busy_server_seconds, horizon_s, count = _busy_server_seconds_and_horizon(trace)
+    if count == 0:
+        return int(minimum_servers)
 
-    busy_server_seconds = sum(
-        job.realized_execution_time * job.servers_required for job in trace
-    )
-    horizon = max(trace.horizon_s, 1.0)
+    horizon = max(horizon_s, 1.0)
     n_regions = len(region_keys)
     servers = busy_server_seconds / (target_utilization * n_regions * horizon)
     return max(int(minimum_servers), int(math.ceil(servers)))

@@ -26,9 +26,48 @@ from repro.sustainability.embodied import DEFAULT_SERVER, ServerSpec
 from repro.sustainability.water import WaterModel
 from repro.traces.job import Job
 
-__all__ = ["FootprintCalculator"]
+__all__ = ["FootprintCalculator", "RunningFootprintTotals"]
 
 _SECONDS_PER_HOUR = 3600.0
+
+
+class RunningFootprintTotals:
+    """Carry-over footprint accumulator for the streaming engine.
+
+    The one-shot batch engine integrates every job's footprint in a single
+    :meth:`FootprintCalculator.integrate_batch` pass after the event loop
+    drains.  The streaming engine instead integrates each chunk of *finished*
+    jobs as it retires them (the same prefix-sum kernel, so the per-job
+    values are identical) and folds the results into this accumulator:
+    per-region and overall totals survive across chunk boundaries while the
+    per-job columns are released.  Picklable, so checkpoints carry it.
+    """
+
+    def __init__(self, n_regions: int) -> None:
+        self.carbon_g_per_region = np.zeros(int(n_regions))
+        self.water_l_per_region = np.zeros(int(n_regions))
+        self.jobs_integrated = 0
+
+    def add(
+        self, region_idx: np.ndarray, carbon_g: np.ndarray, water_l: np.ndarray
+    ) -> None:
+        region_idx = np.asarray(region_idx)
+        n_regions = len(self.carbon_g_per_region)
+        self.carbon_g_per_region += np.bincount(
+            region_idx, weights=carbon_g, minlength=n_regions
+        )
+        self.water_l_per_region += np.bincount(
+            region_idx, weights=water_l, minlength=n_regions
+        )
+        self.jobs_integrated += len(region_idx)
+
+    @property
+    def total_carbon_g(self) -> float:
+        return float(np.sum(self.carbon_g_per_region))
+
+    @property
+    def total_water_l(self) -> float:
+        return float(np.sum(self.water_l_per_region))
 
 
 class _RegionPrefixIntegrals:

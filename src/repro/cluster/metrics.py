@@ -1,4 +1,14 @@
-"""Per-job outcomes and aggregate simulation results."""
+"""Per-job outcomes, aggregate simulation results, and streaming accumulators.
+
+Besides the object-world :class:`JobOutcome` / :class:`SimulationResult`
+pair, this module provides the *carry-over accumulators* of the streaming
+horizon engine: :class:`RunningJobStats` folds finished-job chunks into the
+aggregate figures of merit without retaining per-job columns, assisted by
+:class:`P2Quantile` (constant-memory quantile estimation) and
+:class:`ReservoirSample` (a seeded uniform sample of per-job rows for
+post-hoc inspection).  All three are picklable, so a checkpointed engine
+resumes mid-aggregation.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +16,15 @@ import dataclasses
 import statistics
 from collections.abc import Mapping, Sequence
 
-__all__ = ["JobOutcome", "SimulationResult"]
+import numpy as np
+
+__all__ = [
+    "JobOutcome",
+    "SimulationResult",
+    "P2Quantile",
+    "ReservoirSample",
+    "RunningJobStats",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -256,3 +274,248 @@ class SimulationResult:
             f"SimulationResult({self.scheduler_name!r}, jobs={self.num_jobs}, "
             f"carbon={self.total_carbon_kg:.2f} kg, water={self.total_water_m3:.2f} m3)"
         )
+
+
+class P2Quantile:
+    """Streaming quantile estimate via the P² algorithm (Jain & Chlamtac 1985).
+
+    Keeps five markers instead of the sample, so memory stays O(1) no matter
+    how many observations arrive.  Until five observations are seen the exact
+    order statistic is returned.  Results are deterministic in the insertion
+    order, which the streaming engine fixes (finish order).
+    """
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"q must be in (0, 1), got {q}")
+        self.q = float(q)
+        self._heights: list[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        heights = self._heights
+        if len(heights) < 5:
+            heights.append(value)
+            heights.sort()
+            return
+        positions = self._positions
+        # Locate the cell and update the extreme markers.
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while value >= heights[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        # Adjust the three interior markers toward their desired positions.
+        for i in (1, 2, 3):
+            delta = self._desired[i] - positions[i]
+            if (delta >= 1.0 and positions[i + 1] - positions[i] > 1.0) or (
+                delta <= -1.0 and positions[i - 1] - positions[i] < -1.0
+            ):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:  # parabolic estimate escaped the bracket: linear step
+                    j = i + int(step)
+                    heights[i] = heights[i] + step * (heights[j] - heights[i]) / (
+                        positions[j] - positions[i]
+                    )
+                positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, p = self._heights, self._positions
+        return h[i] + step / (p[i + 1] - p[i - 1]) * (
+            (p[i] - p[i - 1] + step) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+            + (p[i + 1] - p[i] - step) * (h[i] - h[i - 1]) / (p[i] - p[i - 1])
+        )
+
+    def add_many(self, values) -> None:
+        for value in np.asarray(values, dtype=float).ravel():
+            self.add(value)
+
+    def value(self) -> float:
+        """The current quantile estimate (NaN before the first observation)."""
+        heights = self._heights
+        if not heights:
+            return float("nan")
+        if self.count <= 5:
+            rank = self.q * (len(heights) - 1)
+            lo = int(np.floor(rank))
+            hi = int(np.ceil(rank))
+            frac = rank - lo
+            return heights[lo] * (1.0 - frac) + heights[hi] * frac
+        return heights[2]
+
+
+class ReservoirSample:
+    """Uniform fixed-size sample over a stream of per-job rows (algorithm R).
+
+    ``offer`` takes a dict of equal-length arrays; each row is kept with
+    probability ``capacity / rows_seen``.  Seeded, so a given stream always
+    produces the same sample, and picklable, so resume continues the same
+    random sequence.
+    """
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.seen = 0
+        self._rng = np.random.default_rng(np.random.SeedSequence([int(seed), 0x5E5E]))
+        self._rows: dict[str, list] = {}
+
+    def offer(self, rows: Mapping[str, np.ndarray]) -> None:
+        names = sorted(rows)
+        if not names:
+            return
+        n = len(rows[names[0]])
+        if n == 0:
+            return
+        if not self._rows:
+            self._rows = {name: [] for name in names}
+        columns = {name: np.asarray(rows[name]) for name in names}
+        start = 0
+        # Fill phase: the first `capacity` rows are always kept.
+        while len(self._rows[names[0]]) < self.capacity and start < n:
+            for name in names:
+                self._rows[name].append(columns[name][start])
+            self.seen += 1
+            start += 1
+        if start >= n:
+            return
+        # Replacement phase, vectorized: row t (1-based count) replaces a
+        # random slot when integers(0, t) < capacity.
+        counts = self.seen + 1 + np.arange(n - start)
+        draws = self._rng.integers(0, counts)
+        hits = np.flatnonzero(draws < self.capacity)
+        for i in hits.tolist():
+            slot = int(draws[i])
+            for name in names:
+                self._rows[name][slot] = columns[name][start + i]
+        self.seen += n - start
+
+    def rows(self) -> dict[str, np.ndarray]:
+        """The current sample as arrays (insertion/replacement order)."""
+        return {name: np.asarray(values) for name, values in self._rows.items()}
+
+
+class RunningJobStats:
+    """Carry-over aggregation of finished jobs for the streaming engine.
+
+    Folds chunks of finished-job columns into the same figures of merit
+    :class:`SimulationResult` computes from its outcome list — totals, means,
+    violation/migration fractions, per-region job counts — plus streaming
+    service-ratio quantiles and an optional reservoir of per-job rows.
+    Memory is O(regions + reservoir), independent of the number of jobs.
+    """
+
+    def __init__(
+        self,
+        n_regions: int,
+        delay_tolerance: float,
+        reservoir_size: int = 0,
+        seed: int = 0,
+        quantiles: Sequence[float] = (0.5, 0.95, 0.99),
+    ) -> None:
+        self.n_regions = int(n_regions)
+        self.delay_tolerance = float(delay_tolerance)
+        self.num_jobs = 0
+        self.carbon_g = 0.0
+        self.water_l = 0.0
+        self.service_ratio_sum = 0.0
+        self.queue_delay_sum = 0.0
+        self.transfer_sum = 0.0
+        self.execution_sum = 0.0
+        self.violations = 0
+        self.migrated = 0
+        self.jobs_per_region = np.zeros(self.n_regions, dtype=np.int64)
+        self.quantiles = {q: P2Quantile(q) for q in quantiles}
+        self.reservoir = (
+            ReservoirSample(reservoir_size, seed=seed) if reservoir_size else None
+        )
+
+    def add(
+        self,
+        *,
+        region_idx: np.ndarray,
+        home_idx: np.ndarray,
+        considered: np.ndarray,
+        ready: np.ndarray,
+        start: np.ndarray,
+        finish: np.ndarray,
+        execution_time: np.ndarray,
+        transfer_latency: np.ndarray,
+        carbon_g: np.ndarray,
+        water_l: np.ndarray,
+        job_id: np.ndarray | None = None,
+    ) -> None:
+        n = len(region_idx)
+        if n == 0:
+            return
+        service = finish - considered
+        ratios = service / execution_time
+        limit = (1.0 + self.delay_tolerance) * execution_time + 1e-9
+        self.num_jobs += n
+        self.carbon_g += float(np.sum(carbon_g))
+        self.water_l += float(np.sum(water_l))
+        self.service_ratio_sum += float(np.sum(ratios))
+        self.queue_delay_sum += float(np.sum(np.maximum(0.0, start - ready)))
+        self.transfer_sum += float(np.sum(transfer_latency))
+        self.execution_sum += float(np.sum(execution_time))
+        self.violations += int(np.count_nonzero(service > limit))
+        self.migrated += int(np.count_nonzero(region_idx != home_idx))
+        self.jobs_per_region += np.bincount(region_idx, minlength=self.n_regions)
+        for estimator in self.quantiles.values():
+            estimator.add_many(ratios)
+        if self.reservoir is not None:
+            self.reservoir.offer(
+                {
+                    "job_id": job_id if job_id is not None else np.zeros(n, dtype=np.int64),
+                    "region_idx": region_idx,
+                    "service_ratio": ratios,
+                    "carbon_g": carbon_g,
+                    "water_l": water_l,
+                }
+            )
+
+    # -- derived figures ---------------------------------------------------------------
+    @property
+    def mean_service_ratio(self) -> float:
+        return self.service_ratio_sum / self.num_jobs if self.num_jobs else float("nan")
+
+    @property
+    def violation_fraction(self) -> float:
+        return self.violations / self.num_jobs if self.num_jobs else 0.0
+
+    @property
+    def migration_fraction(self) -> float:
+        return self.migrated / self.num_jobs if self.num_jobs else 0.0
+
+    @property
+    def mean_queue_delay_s(self) -> float:
+        return self.queue_delay_sum / self.num_jobs if self.num_jobs else 0.0
+
+    @property
+    def mean_transfer_latency_s(self) -> float:
+        return self.transfer_sum / self.num_jobs if self.num_jobs else 0.0
+
+    @property
+    def mean_execution_time_s(self) -> float:
+        return self.execution_sum / self.num_jobs if self.num_jobs else 0.0
+
+    def service_ratio_quantiles(self) -> dict[float, float]:
+        return {q: estimator.value() for q, estimator in self.quantiles.items()}

@@ -32,7 +32,12 @@ from collections.abc import Mapping, Sequence
 import numpy as np
 
 from repro._validation import ensure_non_negative, ensure_positive
-from repro.cluster.batch import BatchResult, BatchSchedulingContext, JobArrays
+from repro.cluster.batch import (
+    BatchResult,
+    BatchSchedulingContext,
+    JobArrays,
+    resolve_fast_decision,
+)
 from repro.cluster.datacenter import Datacenter
 from repro.cluster.footprint import FootprintCalculator
 from repro.cluster.interface import Scheduler, SchedulingContext
@@ -122,7 +127,14 @@ class _SimulatorBase:
         self.trace = trace
         self.scheduler = scheduler
         if dataset is None:
-            horizon_hours = int(math.ceil(trace.horizon_s / 3600.0)) + int(
+            # Size by the *declared* horizon where the workload carries one
+            # (generator duration; streams and their materialized traces
+            # agree on it, so both engines auto-build the identical dataset)
+            # and by the last arrival otherwise.
+            horizon_s = getattr(trace, "declared_horizon_s", None)
+            if horizon_s is None:
+                horizon_s = trace.horizon_s
+            horizon_hours = int(math.ceil(horizon_s / 3600.0)) + int(
                 seed_dataset_horizon_slack_h
             )
             dataset = ElectricityMapsLikeProvider(horizon_hours=max(horizon_hours, 24))
@@ -607,32 +619,9 @@ class BatchSimulator(_SimulatorBase):
         result = fast_path(self.scheduler, context)
         decision_seconds = _time.perf_counter() - started
 
-        if isinstance(result, tuple):
-            choice, commit_order = result
-        else:
-            choice, commit_order = result, None
-        choice = np.asarray(choice, dtype=np.int64)
-        if choice.shape != batch.shape:
-            raise ValueError(
-                f"fast path returned {choice.shape} region codes for a batch of "
-                f"{batch.shape}"
-            )
-        if np.any(choice < -1) or np.any(choice >= len(arrays.region_keys)):
-            raise ValueError("fast path returned region codes outside the cluster")
-
-        assigned = np.flatnonzero(choice >= 0)
-        if commit_order is None:
-            commit_positions = assigned
-        else:
-            # A custom commit order must cover exactly the assigned positions:
-            # commit order decides FIFO tie-breaking, so a silently dropped or
-            # duplicated position would corrupt the equivalence guarantee.
-            commit_positions = np.asarray(commit_order, dtype=np.int64)
-            if not np.array_equal(np.sort(commit_positions), assigned):
-                raise ValueError(
-                    "fast path commit order must be a permutation of the "
-                    "assigned batch positions"
-                )
+        choice, commit_positions = resolve_fast_decision(
+            result, batch, len(arrays.region_keys)
+        )
         batch_list = batch.tolist()
         for position in np.flatnonzero(choice < 0).tolist():
             deferrals[batch_list[position]] += 1

@@ -1,0 +1,1049 @@
+"""Streaming horizon engine: bounded-memory, checkpointable batch simulation.
+
+:class:`~repro.cluster.simulator.BatchSimulator` materializes the whole trace
+up front — ``JobArrays`` and ``BatchResult`` both allocate O(n_jobs) columns —
+so one-shot runs are memory-bound near tens of thousands of jobs.
+:class:`StreamingSimulator` runs the *same* discrete-event simulation against
+a chunked :class:`~repro.traces.stream.TraceSource`, holding only
+
+* the current chunk of not-yet-arrived jobs,
+* the in-flight jobs (pending, queued or executing), and
+* O(1) carry-over accumulators for metrics and footprints,
+
+in a slot-recycling job pool: memory is O(chunk + active jobs) instead of
+O(trace).  The engine is split into the resumable triple
+:meth:`~StreamingSimulator.init_state` / :meth:`~StreamingSimulator.advance`
+/ :meth:`~StreamingSimulator.finalize` around an explicit, picklable
+:class:`EngineState` (event heap, queues, free/committed servers, in-flight
+executions, accumulators), so a run can be checkpointed to disk at any chunk
+boundary and resumed later — bit-identically, which the differential harness
+enforces for every registered scheduler.
+
+Decision equivalence with the one-shot engine rests on one safety rule: a
+scheduling round at time *T* only runs once every arrival ≤ *T* has been
+ingested.  Chunks are time-ordered, so after ingesting a chunk whose last
+arrival is the *watermark* ``A``, every round with ``T < A`` is safe; rounds
+at or beyond the watermark wait for the next chunk (or :meth:`finalize`).
+Everything else — round cadence, batch order, commit order, event
+tie-breaking — replicates :class:`BatchSimulator` operation for operation,
+and the scheduler object itself (decision-controller history, slack manager,
+solver-session warm bases) simply persists across chunk boundaries.
+
+Results come in two shapes, chosen with ``collect``:
+
+* ``"full"`` (default) — per-job columns are retained and :meth:`finalize`
+  returns a regular :class:`~repro.cluster.batch.BatchResult`, byte-identical
+  (``BatchResult.digest``) to the one-shot engine's.  Memory is O(trace) for
+  the *result* only; the simulation state stays bounded.
+* ``"aggregate"`` — finished jobs fold into
+  :class:`~repro.cluster.metrics.RunningJobStats` (totals, means, streaming
+  P² quantiles, seeded reservoir sample) and
+  :class:`~repro.cluster.footprint.RunningFootprintTotals`; :meth:`finalize`
+  returns a :class:`StreamResult` and memory stays bounded end to end.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import math
+import pickle
+import time as _time
+from collections import deque
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.batch import (
+    BatchResult,
+    BatchSchedulingContext,
+    JobArrays,
+    resolve_fast_decision,
+)
+from repro.cluster.footprint import RunningFootprintTotals
+from repro.cluster.interface import SchedulingContext
+from repro.cluster.metrics import RunningJobStats
+from repro.cluster.simulator import _EVENT_FINISH, _EVENT_READY, _SimulatorBase
+from repro.regions.latency import TransferLatencyModel
+from repro.traces.job import Job
+from repro.traces.stream import JobChunk
+
+__all__ = ["EngineState", "StreamResult", "StreamingSimulator", "CHECKPOINT_FORMAT"]
+
+#: Version tag of the checkpoint payload; bumped on incompatible layout
+#: changes so stale checkpoints fail loudly instead of resuming garbage.
+CHECKPOINT_FORMAT = 1
+
+#: Per-job *data* columns of the slot pool (written once at ingest).
+_DATA_COLUMNS = (
+    ("job_id", np.int64),
+    ("arrival", float),
+    ("exec_est", float),
+    ("exec_real", float),
+    ("energy_est", float),
+    ("energy_real", float),
+    ("home", np.int64),
+    ("package", float),
+    ("servers", np.int64),
+    ("workload", np.int64),
+)
+
+#: Per-job *state* columns (mutated as the job progresses).
+_STATE_COLUMNS = (
+    ("considered", float),
+    ("assigned", float),
+    ("ready", float),
+    ("start", float),
+    ("finish", float),
+    ("transfer", float),
+    ("region", np.int64),
+    ("deferrals", np.int64),
+)
+
+
+@dataclasses.dataclass
+class EngineState:
+    """Everything the simulation carries across chunk boundaries.
+
+    The job pool is a set of slot-indexed columns; a slot is occupied from
+    ingest until the job finishes *and* its outcome has been flushed into the
+    result collector, then recycled.  All contents are plain
+    dicts/lists/deques/NumPy arrays, so the state pickles — that is the
+    checkpoint format.
+    """
+
+    region_keys: tuple[str, ...]
+    pool: dict[str, np.ndarray]
+    free_slots: list[int]
+    waiting: deque[int]
+    pending: dict[int, None]
+    events: list[tuple[float, int, int, int]]
+    sequence: int
+    queues: list[deque[int]]
+    free: np.ndarray
+    committed: np.ndarray
+    busy_server_seconds: np.ndarray
+    finished: list[int]
+    workload_names: list[str]
+    collector: object
+    makespan: float = 0.0
+    round_time: float = 0.0
+    rounds: int = 0
+    watermark: float = 0.0
+    jobs_seen: int = 0
+    chunks_seen: int = 0
+    decision_times: list[float] = dataclasses.field(default_factory=list)
+    round_times: list[float] = dataclasses.field(default_factory=list)
+
+    @property
+    def pool_capacity(self) -> int:
+        return len(self.pool["job_id"])
+
+    @property
+    def active_jobs(self) -> int:
+        """Occupied pool slots (waiting + pending + in flight + unflushed)."""
+        return self.pool_capacity - len(self.free_slots)
+
+    def allocate(self, count: int) -> np.ndarray:
+        """Claim ``count`` slots, growing the pool geometrically if needed."""
+        shortfall = count - len(self.free_slots)
+        if shortfall > 0:
+            capacity = self.pool_capacity
+            grow = max(shortfall, capacity, 64)
+            for (name, dtype) in (*_DATA_COLUMNS, *_STATE_COLUMNS):
+                column = self.pool[name]
+                extension = np.zeros(grow, dtype=column.dtype)
+                self.pool[name] = np.concatenate([column, extension])
+            self.free_slots.extend(range(capacity + grow - 1, capacity - 1, -1))
+        return np.array([self.free_slots.pop() for _ in range(count)], dtype=np.int64)
+
+
+class _WorkloadView:
+    """Lazy slot → workload-name sequence for :class:`JobArrays`.
+
+    Fast paths never read ``JobArrays.workloads``; materializing a pool-sized
+    tuple of strings every round would be pure overhead, so the view resolves
+    codes on demand.
+    """
+
+    def __init__(self, codes: np.ndarray, names: list[str]) -> None:
+        self._codes = codes
+        self._names = names
+
+    def __len__(self) -> int:
+        return len(self._codes)
+
+    def __getitem__(self, index):
+        return self._names[self._codes[index]]
+
+
+class _FullCollector:
+    """Retain finished-job columns and finalize into a :class:`BatchResult`."""
+
+    kind = "full"
+
+    def __init__(self) -> None:
+        self._parts: list[dict[str, np.ndarray]] = []
+
+    def add(self, rows: dict[str, np.ndarray]) -> None:
+        self._parts.append(rows)
+
+    def finalize(self, engine: "StreamingSimulator", state: EngineState) -> BatchResult:
+        if self._parts:
+            merged = {
+                key: np.concatenate([part[key] for part in self._parts])
+                for key in self._parts[0]
+            }
+        else:
+            int_keys = ("job_id", "home", "region", "workload", "deferrals")
+            merged = {
+                key: np.zeros(0, dtype=np.int64 if key in int_keys else float)
+                for key in ("job_id", "arrival", "considered", "assigned", "ready",
+                            "start", "finish", "exec_real", "transfer", "carbon",
+                            "water", "deferrals", "home", "region", "workload")
+            }
+        order = np.argsort(merged["job_id"], kind="stable")
+        names = state.workload_names
+        result = BatchResult(
+            scheduler_name=engine.scheduler.name,
+            trace_name=engine.trace_name,
+            region_keys=state.region_keys,
+            job_id=merged["job_id"][order],
+            workloads=[names[code] for code in merged["workload"][order]],
+            home_idx=merged["home"][order],
+            region_idx=merged["region"][order],
+            arrival=merged["arrival"][order],
+            considered=merged["considered"][order],
+            assigned=merged["assigned"][order],
+            ready=merged["ready"][order],
+            start=merged["start"][order],
+            finish=merged["finish"][order],
+            execution_time=merged["exec_real"][order],
+            transfer_latency=merged["transfer"][order],
+            carbon_g=merged["carbon"][order],
+            water_l=merged["water"][order],
+            deferrals=merged["deferrals"][order],
+            region_servers=engine.servers_by_region(),
+            region_utilization=engine.region_utilization(state),
+            makespan_s=state.makespan,
+            decision_times_s=state.decision_times,
+            round_times_s=state.round_times,
+            delay_tolerance=engine.delay_tolerance,
+        )
+        return result
+
+
+class _AggregateCollector:
+    """Fold finished jobs into O(1) carry-over accumulators."""
+
+    kind = "aggregate"
+
+    def __init__(
+        self,
+        n_regions: int,
+        delay_tolerance: float,
+        reservoir_size: int,
+        seed: int,
+    ) -> None:
+        self.stats = RunningJobStats(
+            n_regions,
+            delay_tolerance,
+            reservoir_size=reservoir_size,
+            seed=seed,
+        )
+        self.footprints = RunningFootprintTotals(n_regions)
+
+    def add(self, rows: dict[str, np.ndarray]) -> None:
+        self.stats.add(
+            region_idx=rows["region"],
+            home_idx=rows["home"],
+            considered=rows["considered"],
+            ready=rows["ready"],
+            start=rows["start"],
+            finish=rows["finish"],
+            execution_time=rows["exec_real"],
+            transfer_latency=rows["transfer"],
+            carbon_g=rows["carbon"],
+            water_l=rows["water"],
+            job_id=rows["job_id"],
+        )
+        self.footprints.add(rows["region"], rows["carbon"], rows["water"])
+
+    def finalize(self, engine: "StreamingSimulator", state: EngineState) -> "StreamResult":
+        return StreamResult(
+            scheduler_name=engine.scheduler.name,
+            trace_name=engine.trace_name,
+            region_keys=state.region_keys,
+            stats=self.stats,
+            footprint_totals=self.footprints,
+            region_servers=engine.servers_by_region(),
+            region_utilization=engine.region_utilization(state),
+            makespan_s=state.makespan,
+            decision_times_s=state.decision_times,
+            round_times_s=state.round_times,
+            delay_tolerance=engine.delay_tolerance,
+        )
+
+
+class StreamResult:
+    """Aggregate-only result of a streaming run (no per-job columns).
+
+    Exposes the same figures of merit — and the same :meth:`summary` keys —
+    as :class:`~repro.cluster.batch.BatchResult`, so reports and savings
+    tables accept either result type, plus the streaming extras: P² service
+    -ratio quantiles and the seeded reservoir sample of per-job rows.
+    """
+
+    #: See :attr:`repro.cluster.metrics.SimulationResult.solver_stats`.
+    solver_stats: dict | None = None
+
+    def __init__(
+        self,
+        scheduler_name: str,
+        trace_name: str,
+        region_keys: tuple[str, ...],
+        stats: RunningJobStats,
+        footprint_totals: RunningFootprintTotals,
+        region_servers: dict[str, int],
+        region_utilization: dict[str, float],
+        makespan_s: float,
+        decision_times_s: list[float],
+        round_times_s: list[float],
+        delay_tolerance: float,
+    ) -> None:
+        self.scheduler_name = scheduler_name
+        self.trace_name = trace_name
+        self.region_keys = tuple(region_keys)
+        self.stats = stats
+        self.footprint_totals = footprint_totals
+        self.region_servers = dict(region_servers)
+        self.region_utilization = dict(region_utilization)
+        self.makespan_s = float(makespan_s)
+        self.decision_times_s = tuple(decision_times_s)
+        self.round_times_s = tuple(round_times_s)
+        self.delay_tolerance = float(delay_tolerance)
+
+    # -- totals ------------------------------------------------------------------------
+    @property
+    def num_jobs(self) -> int:
+        return self.stats.num_jobs
+
+    @property
+    def total_carbon_g(self) -> float:
+        return self.footprint_totals.total_carbon_g
+
+    @property
+    def total_carbon_kg(self) -> float:
+        return self.total_carbon_g / 1000.0
+
+    @property
+    def total_water_l(self) -> float:
+        return self.footprint_totals.total_water_l
+
+    @property
+    def total_water_m3(self) -> float:
+        return self.total_water_l / 1000.0
+
+    # -- service time / distribution -----------------------------------------------------
+    @property
+    def mean_service_ratio(self) -> float:
+        return self.stats.mean_service_ratio
+
+    @property
+    def violation_fraction(self) -> float:
+        return self.stats.violation_fraction
+
+    @property
+    def migration_fraction(self) -> float:
+        return self.stats.migration_fraction
+
+    @property
+    def mean_queue_delay_s(self) -> float:
+        return self.stats.mean_queue_delay_s
+
+    @property
+    def mean_transfer_latency_s(self) -> float:
+        return self.stats.mean_transfer_latency_s
+
+    def service_ratio_quantiles(self) -> dict[float, float]:
+        """Streaming P² estimates, keyed by quantile (0.5/0.95/0.99)."""
+        return self.stats.service_ratio_quantiles()
+
+    def reservoir_rows(self) -> dict[str, np.ndarray]:
+        """The seeded uniform per-job sample (empty dict when disabled)."""
+        if self.stats.reservoir is None:
+            return {}
+        return self.stats.reservoir.rows()
+
+    def jobs_per_region(self) -> dict[str, int]:
+        counts = self.stats.jobs_per_region
+        return {key: int(counts[i]) for i, key in enumerate(self.region_keys)}
+
+    def region_distribution(self) -> dict[str, float]:
+        counts = self.jobs_per_region()
+        total = sum(counts.values())
+        if total == 0:
+            return {key: 0.0 for key in counts}
+        return {key: value / total for key, value in counts.items()}
+
+    @property
+    def overall_utilization(self) -> float:
+        total_servers = sum(self.region_servers.values())
+        if total_servers == 0:
+            return 0.0
+        return (
+            sum(
+                self.region_utilization.get(key, 0.0) * servers
+                for key, servers in self.region_servers.items()
+            )
+            / total_servers
+        )
+
+    # -- overhead ----------------------------------------------------------------------
+    @property
+    def total_decision_time_s(self) -> float:
+        return float(sum(self.decision_times_s))
+
+    @property
+    def mean_decision_time_s(self) -> float:
+        if not self.decision_times_s:
+            return 0.0
+        return self.total_decision_time_s / len(self.decision_times_s)
+
+    def decision_overhead_fraction(self) -> float:
+        mean_exec = self.stats.mean_execution_time_s
+        if mean_exec == 0.0:
+            return 0.0
+        return self.mean_decision_time_s / mean_exec
+
+    # -- comparisons -------------------------------------------------------------------
+    def carbon_savings_vs(self, baseline) -> float:
+        if baseline.total_carbon_g == 0.0:
+            return 0.0
+        return 100.0 * (1.0 - self.total_carbon_g / baseline.total_carbon_g)
+
+    def water_savings_vs(self, baseline) -> float:
+        if baseline.total_water_l == 0.0:
+            return 0.0
+        return 100.0 * (1.0 - self.total_water_l / baseline.total_water_l)
+
+    # -- reporting ---------------------------------------------------------------------
+    def summary(self) -> dict[str, float | str | int]:
+        """Flat summary dictionary, same keys as ``BatchResult.summary``."""
+        return {
+            "scheduler": self.scheduler_name,
+            "trace": self.trace_name,
+            "jobs": self.num_jobs,
+            "carbon_kg": round(self.total_carbon_kg, 3),
+            "water_m3": round(self.total_water_m3, 3),
+            "mean_service_ratio": round(self.mean_service_ratio, 4),
+            "violation_pct": round(100.0 * self.violation_fraction, 3),
+            "migration_pct": round(100.0 * self.migration_fraction, 2),
+            "utilization_pct": round(100.0 * self.overall_utilization, 2),
+            "mean_decision_time_s": round(self.mean_decision_time_s, 5),
+            "delay_tolerance_pct": round(100.0 * self.delay_tolerance, 1),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamResult({self.scheduler_name!r}, jobs={self.num_jobs}, "
+            f"carbon={self.total_carbon_kg:.2f} kg, water={self.total_water_m3:.2f} m3)"
+        )
+
+
+class StreamingSimulator(_SimulatorBase):
+    """Chunk-at-a-time batch engine over a :class:`TraceSource`.
+
+    Construction parameters extend :class:`_SimulatorBase` (the first
+    positional argument is a *source*, not a trace — any object with
+    ``iter_chunks`` / ``horizon_s``):
+
+    chunk_size:
+        Jobs per chunk pulled from the source in :meth:`run` (callers driving
+        :meth:`advance` themselves may use any chunking — results are
+        chunk-size-invariant).
+    collect:
+        ``"full"`` retains per-job columns and finalizes into a
+        :class:`BatchResult`; ``"aggregate"`` keeps O(1) accumulators and
+        finalizes into a :class:`StreamResult`.
+    reservoir_size / reservoir_seed:
+        Size and seed of the aggregate mode's uniform per-job sample
+        (0 disables it).
+    """
+
+    def __init__(
+        self,
+        source,
+        scheduler,
+        dataset=None,
+        regions=None,
+        servers_per_region=20,
+        scheduling_interval_s: float = 300.0,
+        delay_tolerance: float = 0.25,
+        latency=None,
+        server=None,
+        include_embodied: bool = True,
+        seed_dataset_horizon_slack_h: int = 24,
+        max_rounds: int = 1_000_000,
+        chunk_size: int = 4096,
+        collect: str = "full",
+        reservoir_size: int = 256,
+        reservoir_seed: int = 0,
+    ) -> None:
+        base_kwargs = dict(
+            dataset=dataset,
+            regions=regions,
+            servers_per_region=servers_per_region,
+            scheduling_interval_s=scheduling_interval_s,
+            delay_tolerance=delay_tolerance,
+            latency=latency,
+            include_embodied=include_embodied,
+            seed_dataset_horizon_slack_h=seed_dataset_horizon_slack_h,
+            max_rounds=max_rounds,
+        )
+        if server is not None:
+            base_kwargs["server"] = server
+        super().__init__(source, scheduler, **base_kwargs)
+        if int(chunk_size) < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if collect not in ("full", "aggregate"):
+            raise ValueError(f"collect must be 'full' or 'aggregate', got {collect!r}")
+        self.source = source
+        self.chunk_size = int(chunk_size)
+        self.collect = collect
+        self.reservoir_size = int(reservoir_size)
+        self.reservoir_seed = int(reservoir_seed)
+        self.state: EngineState | None = None
+        self._region_index = {key: i for i, key in enumerate(self.region_keys)}
+        self._keys_tuple = tuple(self.region_keys)
+        # Transfer latency decomposition, as in BatchSimulator.
+        self._transfer_decomposes = type(self.latency) is TransferLatencyModel
+        if self._transfer_decomposes:
+            self._propagation = self.latency.propagation_seconds(self.region_keys)
+        else:
+            self._propagation = None
+        self._region_vocab_maps: dict[tuple[str, ...], np.ndarray] = {}
+        self._workload_vocab_maps: dict[tuple[str, ...], np.ndarray] = {}
+
+    # -- small helpers -----------------------------------------------------------------
+    @property
+    def trace_name(self) -> str:
+        return getattr(self.source, "trace_name", getattr(self.source, "name", "stream"))
+
+    def servers_by_region(self) -> dict[str, int]:
+        return dict(self._servers)
+
+    def region_utilization(self, state: EngineState) -> dict[str, float]:
+        servers = np.array([self._servers[key] for key in self.region_keys])
+        return {
+            key: (
+                float(state.busy_server_seconds[idx] / (servers[idx] * state.makespan))
+                if state.makespan > 0.0
+                else 0.0
+            )
+            for idx, key in enumerate(self.region_keys)
+        }
+
+    # -- lifecycle ---------------------------------------------------------------------
+    def init_state(self) -> EngineState:
+        """Fresh engine state; resets the scheduler (once per run, not per chunk)."""
+        self.scheduler.reset()
+        n_regions = len(self.region_keys)
+        servers = np.array(
+            [self._servers[key] for key in self.region_keys], dtype=np.int64
+        )
+        if self.collect == "full":
+            collector: object = _FullCollector()
+        else:
+            collector = _AggregateCollector(
+                n_regions,
+                self.delay_tolerance,
+                reservoir_size=self.reservoir_size,
+                seed=self.reservoir_seed,
+            )
+        self.state = EngineState(
+            region_keys=self._keys_tuple,
+            pool={
+                name: np.zeros(0, dtype=dtype)
+                for name, dtype in (*_DATA_COLUMNS, *_STATE_COLUMNS)
+            },
+            free_slots=[],
+            waiting=deque(),
+            pending={},
+            events=[],
+            sequence=0,
+            queues=[deque() for _ in range(n_regions)],
+            free=servers.copy(),
+            committed=np.zeros(n_regions, dtype=np.int64),
+            busy_server_seconds=np.zeros(n_regions),
+            finished=[],
+            workload_names=[],
+            collector=collector,
+        )
+        return self.state
+
+    def _region_remap(self, chunk: JobChunk) -> np.ndarray:
+        remap = self._region_vocab_maps.get(chunk.region_keys)
+        if remap is None:
+            remap = np.array(
+                [self._region_index.get(key, -1) for key in chunk.region_keys],
+                dtype=np.int64,
+            )
+            self._region_vocab_maps[chunk.region_keys] = remap
+        return remap
+
+    def _workload_remap(self, chunk: JobChunk, state: EngineState) -> np.ndarray:
+        remap = self._workload_vocab_maps.get(chunk.workload_names)
+        if remap is None:
+            codes = []
+            for name in chunk.workload_names:
+                try:
+                    codes.append(state.workload_names.index(name))
+                except ValueError:
+                    state.workload_names.append(name)
+                    codes.append(len(state.workload_names) - 1)
+            remap = np.array(codes, dtype=np.int64)
+            self._workload_vocab_maps[chunk.workload_names] = remap
+        return remap
+
+    def advance(self, chunk: JobChunk) -> None:
+        """Ingest one time-ordered chunk and run every round it makes safe."""
+        state = self.state
+        if state is None:
+            state = self.init_state()
+        n = chunk.n
+        if n:
+            arrivals = np.asarray(chunk.arrival, dtype=float)
+            if float(arrivals[0]) < state.watermark - 1e-12:
+                raise ValueError(
+                    "chunk arrives out of order: first arrival "
+                    f"{float(arrivals[0]):.3f}s is before the watermark "
+                    f"{state.watermark:.3f}s"
+                )
+            remap = self._region_remap(chunk)
+            home = remap[chunk.home_idx]
+            if np.any(home < 0):
+                i = int(np.flatnonzero(home < 0)[0])
+                raise ValueError(
+                    f"job {int(chunk.job_id[i])} has home region "
+                    f"{chunk.region_keys[chunk.home_idx[i]]!r} which is not part "
+                    f"of the simulated cluster ({sorted(self.region_keys)})"
+                )
+            workload = self._workload_remap(chunk, state)[chunk.workload_idx]
+            slots = state.allocate(n)
+            pool = state.pool
+            pool["job_id"][slots] = chunk.job_id
+            pool["arrival"][slots] = arrivals
+            pool["exec_est"][slots] = chunk.exec_est
+            pool["exec_real"][slots] = chunk.exec_real
+            pool["energy_est"][slots] = chunk.energy_est
+            pool["energy_real"][slots] = chunk.energy_real
+            pool["home"][slots] = home
+            pool["package"][slots] = chunk.package_gb
+            pool["servers"][slots] = chunk.servers
+            pool["workload"][slots] = workload
+            for name, _ in _STATE_COLUMNS:
+                pool[name][slots] = -1 if name in ("region",) else 0
+            pool["start"][slots] = -1.0
+            pool["finish"][slots] = -1.0
+            state.waiting.extend(slots.tolist())
+            state.jobs_seen += n
+            state.watermark = float(arrivals[-1])
+        state.chunks_seen += 1
+        self._drain(final=False)
+        self._flush_finished()
+
+    def finalize(self):
+        """Run the remaining rounds, drain every event, return the result."""
+        state = self.state
+        if state is None:
+            state = self.init_state()
+        self._drain(final=True)
+        self._process_events_until(math.inf)
+        self._flush_finished()
+        result = state.collector.finalize(self, state)
+        self._attach_solver_stats(result)
+        return result
+
+    def run(self):
+        """Stream the whole source (resuming if state was loaded) and finalize."""
+        self.run_chunks()
+        return self.finalize()
+
+    def run_chunks(self, max_chunks: int | None = None) -> int:
+        """Advance up to ``max_chunks`` chunks (all remaining when ``None``).
+
+        Returns the number of chunks consumed.  Chunks are pulled from the
+        source starting after the jobs the state has already seen, so the
+        same call pattern works for fresh runs and resumed checkpoints.
+        """
+        if self.state is None:
+            self.init_state()
+        consumed = 0
+        if max_chunks is not None and max_chunks <= 0:
+            return consumed
+        for chunk in self.source.iter_chunks(
+            self.chunk_size, skip_jobs=self.state.jobs_seen
+        ):
+            self.advance(chunk)
+            consumed += 1
+            if max_chunks is not None and consumed >= max_chunks:
+                break
+        return consumed
+
+    # -- checkpointing -----------------------------------------------------------------
+    def save_checkpoint(self, path, extra: dict | None = None) -> None:
+        """Pickle the engine state + scheduler (+ caller metadata) to ``path``.
+
+        The dataset, latency model and source are *not* serialized — they are
+        reconstruction parameters the resuming caller must supply (the CLI
+        stores its own arguments in ``extra`` for that purpose).  Checkpoints
+        are only portable across identical code versions; see README
+        "Streaming engine" for the compatibility caveats.
+        """
+        if self.state is None:
+            raise RuntimeError("nothing to checkpoint: run init_state()/advance() first")
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "state": self.state,
+            "scheduler": self.scheduler,
+            "config": {
+                "servers_per_region": dict(self._servers),
+                "scheduling_interval_s": self.scheduling_interval_s,
+                "delay_tolerance": self.delay_tolerance,
+                "include_embodied": self.footprints.include_embodied,
+                "max_rounds": self.max_rounds,
+                "chunk_size": self.chunk_size,
+                "collect": self.collect,
+                "reservoir_size": self.reservoir_size,
+                "reservoir_seed": self.reservoir_seed,
+            },
+            "extra": dict(extra or {}),
+        }
+        Path(path).write_bytes(pickle.dumps(payload))
+
+    @staticmethod
+    def load_checkpoint(path) -> dict:
+        """Read and validate a checkpoint payload (see :meth:`save_checkpoint`)."""
+        payload = pickle.loads(Path(path).read_bytes())
+        if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
+            raise ValueError(
+                f"{path} is not a format-{CHECKPOINT_FORMAT} streaming checkpoint"
+            )
+        return payload
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path,
+        source,
+        dataset=None,
+        regions=None,
+        latency=None,
+        server=None,
+        **overrides,
+    ) -> "StreamingSimulator":
+        """Rebuild an engine mid-run from a checkpoint file.
+
+        ``source`` and ``dataset`` must reproduce the original run's workload
+        and intensities (checkpoints store neither); ``overrides`` may adjust
+        non-semantic knobs only — ``chunk_size`` (results are chunk-size-
+        invariant, so resuming with a different chunking is legal) and
+        ``max_rounds``.  Semantic configuration (servers, tolerance, interval,
+        …) is pinned by the restored state: the pickled free/committed server
+        counts and round clock reflect the original settings, so changing
+        them mid-run would silently corrupt the simulation.
+        """
+        allowed = {"chunk_size", "max_rounds"}
+        refused = set(overrides) - allowed
+        if refused:
+            raise ValueError(
+                f"cannot override {sorted(refused)} on resume: the checkpointed "
+                f"engine state depends on them (overridable: {sorted(allowed)})"
+            )
+        payload = cls.load_checkpoint(path)
+        config = dict(payload["config"])
+        config.update(overrides)
+        engine = cls(
+            source,
+            payload["scheduler"],
+            dataset=dataset,
+            regions=regions,
+            latency=latency,
+            server=server,
+            **config,
+        )
+        state: EngineState = payload["state"]
+        if state.region_keys != engine._keys_tuple:
+            raise ValueError(
+                "checkpoint was taken over regions "
+                f"{state.region_keys} but the engine simulates {engine._keys_tuple}"
+            )
+        engine.state = state
+        return engine
+
+    # -- the event loop ----------------------------------------------------------------
+    def _process_events_until(self, limit: float) -> None:
+        state = self.state
+        pool = state.pool
+        events = state.events
+        servers_col = pool["servers"]
+        start_col = pool["start"]
+        region_col = pool["region"]
+        while events and events[0][0] <= limit:
+            when, kind, _seq, slot = heapq.heappop(events)
+            region = region_col[slot]
+            if kind == _EVENT_READY:
+                state.committed[region] += servers_col[slot]
+                if (
+                    state.free[region] >= servers_col[slot]
+                    and not state.queues[region]
+                ):
+                    self._start_job(slot, region, when)
+                else:
+                    state.queues[region].append(slot)
+            else:  # _EVENT_FINISH
+                state.free[region] += servers_col[slot]
+                state.committed[region] -= servers_col[slot]
+                state.busy_server_seconds[region] += servers_col[slot] * (
+                    when - start_col[slot]
+                )
+                pool["finish"][slot] = when
+                if when > state.makespan:
+                    state.makespan = when
+                state.finished.append(slot)
+                queue = state.queues[region]
+                while queue and state.free[region] >= servers_col[queue[0]]:
+                    self._start_job(queue.popleft(), region, when)
+
+    def _start_job(self, slot: int, region: int, when: float) -> None:
+        state = self.state
+        pool = state.pool
+        state.free[region] -= pool["servers"][slot]
+        pool["start"][slot] = when
+        heapq.heappush(
+            state.events,
+            (when + pool["exec_real"][slot], _EVENT_FINISH, state.sequence, slot),
+        )
+        state.sequence += 1
+
+    def _commit_assignment(self, slot: int, region: int, now: float) -> None:
+        state = self.state
+        pool = state.pool
+        home = pool["home"][slot]
+        if region == home:
+            transfer = 0.0
+        elif self._transfer_decomposes:
+            transfer = (
+                self._propagation[home, region]
+                + pool["package"][slot] * 8.0 / self.latency.bandwidth_gbps
+            )
+        else:
+            transfer = self.latency.transfer_time(
+                self.region_keys[home], self.region_keys[region], pool["package"][slot]
+            )
+        pool["region"][slot] = region
+        pool["assigned"][slot] = now
+        pool["transfer"][slot] = transfer
+        pool["ready"][slot] = now + transfer
+        heapq.heappush(
+            state.events, (now + transfer, _EVENT_READY, state.sequence, slot)
+        )
+        state.sequence += 1
+
+    def _drain(self, final: bool) -> None:
+        from repro.schedulers.vectorized import fast_path_for  # lazy: import cycle
+
+        state = self.state
+        pool = state.pool
+        arrival_col = pool["arrival"]
+        fast_path = fast_path_for(self.scheduler)
+        servers = np.array(
+            [self._servers[key] for key in self.region_keys], dtype=np.int64
+        )
+        while True:
+            if not final and not (state.round_time < state.watermark):
+                break
+            if final and not state.waiting and not state.pending:
+                break
+            if state.rounds > self.max_rounds:
+                raise RuntimeError(
+                    f"scheduling did not converge after {self.max_rounds} rounds "
+                    f"({len(state.pending)} jobs still pending)"
+                )
+            self._process_events_until(state.round_time)
+
+            while state.waiting and arrival_col[state.waiting[0]] <= state.round_time:
+                slot = state.waiting.popleft()
+                state.pending[slot] = None
+                pool["considered"][slot] = state.round_time
+
+            if state.pending:
+                state.rounds += 1
+                state.round_times.append(state.round_time)
+                batch = np.fromiter(
+                    state.pending.keys(), dtype=np.int64, count=len(state.pending)
+                )
+                capacity = np.maximum(0, servers - state.committed)
+                if fast_path is not None:
+                    decision_seconds = self._run_fast_round(
+                        fast_path, state.round_time, batch, capacity
+                    )
+                else:
+                    decision_seconds = self._run_fallback_round(
+                        state.round_time, batch, capacity
+                    )
+                state.decision_times.append(decision_seconds)
+
+            if not state.pending and not state.waiting:
+                # Only reachable when finalizing: in a non-final drain the
+                # watermark job itself (arrival == watermark) can never leave
+                # ``waiting``, because rounds are gated on
+                # ``round_time < watermark``.
+                break
+            next_arrival = (
+                float(arrival_col[state.waiting[0]])
+                if not state.pending and state.waiting
+                else None
+            )
+            state.round_time = self._next_round_time(state.round_time, next_arrival)
+
+    def _flush_finished(self) -> None:
+        """Integrate + hand finished jobs to the collector, recycle their slots."""
+        state = self.state
+        if not state.finished:
+            return
+        pool = state.pool
+        idx = np.array(state.finished, dtype=np.int64)
+        region = pool["region"][idx].copy()
+        start = pool["start"][idx].copy()
+        exec_real = pool["exec_real"][idx].copy()
+        carbon, water = self.footprints.integrate_batch(
+            self.region_keys, region, start, exec_real, pool["energy_real"][idx]
+        )
+        state.collector.add(
+            {
+                "job_id": pool["job_id"][idx].copy(),
+                "arrival": pool["arrival"][idx].copy(),
+                "considered": pool["considered"][idx].copy(),
+                "assigned": pool["assigned"][idx].copy(),
+                "ready": pool["ready"][idx].copy(),
+                "start": start,
+                "finish": pool["finish"][idx].copy(),
+                "exec_real": exec_real,
+                "transfer": pool["transfer"][idx].copy(),
+                "deferrals": pool["deferrals"][idx].copy(),
+                "home": pool["home"][idx].copy(),
+                "region": region,
+                "workload": pool["workload"][idx].copy(),
+                "carbon": carbon,
+                "water": water,
+            }
+        )
+        state.free_slots.extend(state.finished)
+        state.finished = []
+
+    # -- scheduling rounds ---------------------------------------------------------------
+    def _pool_arrays(self) -> JobArrays:
+        pool = self.state.pool
+        return JobArrays(
+            region_keys=self._keys_tuple,
+            job_id=pool["job_id"],
+            arrival=pool["arrival"],
+            exec_est=pool["exec_est"],
+            exec_real=pool["exec_real"],
+            energy_est=pool["energy_est"],
+            energy_real=pool["energy_real"],
+            home_idx=pool["home"],
+            package_gb=pool["package"],
+            servers=pool["servers"],
+            workloads=_WorkloadView(pool["workload"], self.state.workload_names),
+        )
+
+    def _run_fast_round(
+        self, fast_path, now: float, batch: np.ndarray, capacity: np.ndarray
+    ) -> float:
+        state = self.state
+        pool = state.pool
+        arrays = self._pool_arrays()
+        context = BatchSchedulingContext(
+            now=now,
+            region_keys=self._keys_tuple,
+            capacity=capacity,
+            jobs=arrays,
+            batch=batch,
+            wait_times=now - pool["considered"][batch],
+            delay_tolerance=self.delay_tolerance,
+            scheduling_interval_s=self.scheduling_interval_s,
+            dataset=self.dataset,
+            latency=self.latency,
+            footprints=self.footprints,
+            regions=self.regions,
+        )
+        started = _time.perf_counter()
+        result = fast_path(self.scheduler, context)
+        decision_seconds = _time.perf_counter() - started
+
+        choice, commit_positions = resolve_fast_decision(
+            result, batch, len(self._keys_tuple)
+        )
+        batch_list = batch.tolist()
+        for position in np.flatnonzero(choice < 0).tolist():
+            pool["deferrals"][batch_list[position]] += 1
+        for position in commit_positions.tolist():
+            slot = batch_list[position]
+            del state.pending[slot]
+            self._commit_assignment(slot, int(choice[position]), now)
+        return decision_seconds
+
+    def _run_fallback_round(
+        self, now: float, batch: np.ndarray, capacity: np.ndarray
+    ) -> float:
+        """Scalar-policy fallback: materialize the round's Jobs from the pool."""
+        state = self.state
+        pool = state.pool
+        jobs = [
+            Job(
+                job_id=int(pool["job_id"][slot]),
+                workload=state.workload_names[pool["workload"][slot]],
+                arrival_time=float(pool["arrival"][slot]),
+                execution_time=float(pool["exec_est"][slot]),
+                energy_kwh=float(pool["energy_est"][slot]),
+                home_region=self.region_keys[pool["home"][slot]],
+                package_gb=float(pool["package"][slot]),
+                servers_required=int(pool["servers"][slot]),
+                true_execution_time=float(pool["exec_real"][slot]),
+                true_energy_kwh=float(pool["energy_real"][slot]),
+            )
+            for slot in batch.tolist()
+        ]
+        wait_times = {
+            job.job_id: now - pool["considered"][slot]
+            for slot, job in zip(batch.tolist(), jobs)
+        }
+        context = SchedulingContext(
+            now=now,
+            regions=self.regions,
+            capacity={
+                key: int(capacity[idx]) for idx, key in enumerate(self.region_keys)
+            },
+            dataset=self.dataset,
+            latency=self.latency,
+            footprints=self.footprints,
+            delay_tolerance=self.delay_tolerance,
+            scheduling_interval_s=self.scheduling_interval_s,
+            job_wait_times=wait_times,
+        )
+        started = _time.perf_counter()
+        decision = self.scheduler.schedule(jobs, context)
+        decision_seconds = _time.perf_counter() - started
+        decision.validate_for(jobs, self.region_keys)
+
+        slot_of = {job.job_id: slot for slot, job in zip(batch.tolist(), jobs)}
+        for job_id, region_key in decision.assignments.items():
+            slot = slot_of[job_id]
+            del state.pending[slot]
+            self._commit_assignment(slot, self._region_index[region_key], now)
+        for job_id in decision.deferred:
+            pool["deferrals"][slot_of[job_id]] += 1
+        return decision_seconds

@@ -35,8 +35,10 @@ from repro.traces.scenarios import (
     Scenario,
     available_scenarios,
     get_scenario,
+    scenario_source,
     scenario_trace,
 )
+from repro.traces.stream import JobChunk, TraceSource, TraceView
 from repro.traces.trace import Trace
 from repro.traces.workloads import (
     WORKLOAD_PROFILES,
@@ -50,14 +52,18 @@ __all__ = [
     "BurstyArrivalProcess",
     "DiurnalPoissonProcess",
     "Job",
+    "JobChunk",
     "PoissonArrivalProcess",
     "SCENARIOS",
     "Scenario",
     "Trace",
+    "TraceSource",
+    "TraceView",
     "WORKLOAD_PROFILES",
     "WorkloadProfile",
     "available_scenarios",
     "get_scenario",
     "get_workload",
+    "scenario_source",
     "scenario_trace",
 ]

@@ -11,13 +11,10 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
-import numpy as np
-
 from repro._validation import ensure_positive
 from repro.sustainability.embodied import DEFAULT_SERVER, ServerSpec
 from repro.traces.arrival import BurstyArrivalProcess
 from repro.traces.borg import BorgTraceGenerator
-from repro.traces.trace import Trace
 
 __all__ = ["AlibabaTraceGenerator"]
 
@@ -74,8 +71,3 @@ class AlibabaTraceGenerator(BorgTraceGenerator):
             burst_duration_s=self.burst_duration_s,
             burst_multiplier=self.burst_multiplier,
         )
-
-    def generate(self) -> Trace:
-        trace = super().generate()
-        # Re-label so reports distinguish the two synthetic traces.
-        return Trace(trace.jobs, name=f"{self.name}-{self.seed}")

@@ -15,17 +15,50 @@ invocation rate) and burstier.  Three arrival processes cover those shapes:
 All processes generate arrival times in seconds over a horizon, using the
 thinning method for the non-homogeneous cases, and are deterministic given a
 NumPy ``Generator``.
+
+For the streaming trace sources each process additionally generates its
+arrivals *slab-wise* (:meth:`iter_slab_arrivals`): the horizon is cut into
+fixed :data:`SLAB_S`-second slabs and slab ``k`` is a pure function of the
+caller's seed entropy and ``k``.  Poisson processes have independent
+increments, so restricting the draw to a slab is distributionally identical
+to slicing a whole-horizon draw — but it makes the output independent of how
+the consumer chunks the stream, which is the property the streaming engine's
+determinism rests on.
 """
 
 from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
 from repro._validation import ensure_non_negative, ensure_positive
 
-__all__ = ["PoissonArrivalProcess", "DiurnalPoissonProcess", "BurstyArrivalProcess"]
+__all__ = [
+    "SLAB_S",
+    "PoissonArrivalProcess",
+    "DiurnalPoissonProcess",
+    "BurstyArrivalProcess",
+]
 
 _SECONDS_PER_DAY = 86_400.0
+
+#: Slab length (seconds) of the chunk-invariant slab-wise generation.  Part
+#: of every generator's deterministic output contract — changing it changes
+#: every generated trace.
+SLAB_S = 3600.0
+
+
+def _slab_rng(entropy: Sequence[int], slab_index: int) -> np.random.Generator:
+    """The dedicated RNG of one slab (pure function of entropy + index)."""
+    return np.random.default_rng(np.random.SeedSequence([*entropy, slab_index]))
+
+
+def _slab_bounds(horizon_s: float) -> Iterator[tuple[int, float, float]]:
+    """(index, start, end) of every slab covering ``[0, horizon_s)``."""
+    n_slabs = int(np.ceil(horizon_s / SLAB_S))
+    for k in range(n_slabs):
+        yield k, k * SLAB_S, min((k + 1) * SLAB_S, horizon_s)
 
 
 class PoissonArrivalProcess:
@@ -49,6 +82,16 @@ class PoissonArrivalProcess:
             return np.zeros(0)
         count = rng.poisson(self.rate_per_second * horizon_s)
         return np.sort(rng.uniform(0.0, horizon_s, size=count))
+
+    def iter_slab_arrivals(
+        self, horizon_s: float, entropy: Sequence[int]
+    ) -> Iterator[np.ndarray]:
+        """Chunk-invariant arrivals, one sorted array per :data:`SLAB_S` slab."""
+        horizon_s = ensure_non_negative(horizon_s, "horizon_s")
+        for k, start, end in _slab_bounds(horizon_s):
+            rng = _slab_rng(entropy, k)
+            count = rng.poisson(self.rate_per_second * (end - start))
+            yield np.sort(rng.uniform(start, end, size=count))
 
 
 class DiurnalPoissonProcess:
@@ -105,6 +148,26 @@ class DiurnalPoissonProcess:
         )
         return candidates[keep]
 
+    def iter_slab_arrivals(
+        self, horizon_s: float, entropy: Sequence[int]
+    ) -> Iterator[np.ndarray]:
+        """Chunk-invariant thinned arrivals, one sorted array per slab.
+
+        The dominating rate is the *global* peak, not the slab's, so the
+        thinning acceptance probability — and therefore the output — matches
+        a whole-horizon draw sliced at slab boundaries in distribution.
+        """
+        horizon_s = ensure_non_negative(horizon_s, "horizon_s")
+        max_rate_per_s = self.base_rate_per_hour * (1.0 + self.amplitude) / 3600.0
+        for k, start, end in _slab_bounds(horizon_s):
+            rng = _slab_rng(entropy, k)
+            count = rng.poisson(max_rate_per_s * (end - start))
+            candidates = np.sort(rng.uniform(start, end, size=count))
+            keep = rng.uniform(0.0, 1.0, size=count) * max_rate_per_s <= (
+                np.asarray(self.rate_at(candidates)) / 3600.0
+            )
+            yield candidates[keep]
+
 
 class BurstyArrivalProcess:
     """Diurnal arrivals overlaid with short high-rate bursts (Alibaba-like).
@@ -156,3 +219,45 @@ class BurstyArrivalProcess:
         if not extras:
             return base
         return np.sort(np.concatenate([base, *extras]))
+
+    def iter_slab_arrivals(
+        self, horizon_s: float, entropy: Sequence[int]
+    ) -> Iterator[np.ndarray]:
+        """Chunk-invariant bursty arrivals, one sorted array per slab.
+
+        The diurnal base uses its own slab streams (entropy + ``0``); burst
+        *starts* and their extra arrivals are drawn in the slab the burst
+        starts in (entropy + ``1``), and the extras that spill past the slab
+        boundary are carried forward to the slab they belong to — so every
+        yielded array stays globally sorted while each draw remains a pure
+        function of a slab index.
+        """
+        horizon_s = ensure_non_negative(horizon_s, "horizon_s")
+        base_slabs = self.diurnal.iter_slab_arrivals(horizon_s, (*entropy, 0))
+        extra_rate_per_s = (
+            self.diurnal.base_rate_per_hour * (self.burst_multiplier - 1.0) / 3600.0
+        )
+        carry: list[np.ndarray] = []
+        for (k, start, end), base in zip(_slab_bounds(horizon_s), base_slabs):
+            rng = _slab_rng((*entropy, 1), k)
+            n_bursts = rng.poisson(self.bursts_per_day * (end - start) / _SECONDS_PER_DAY)
+            parts = [base]
+            future: list[np.ndarray] = []
+            if n_bursts:
+                burst_starts = rng.uniform(start, end, size=n_bursts)
+                for burst_start in burst_starts:
+                    duration = min(self.burst_duration_s, horizon_s - burst_start)
+                    count = rng.poisson(extra_rate_per_s * duration)
+                    if count:
+                        times = burst_start + rng.uniform(0.0, duration, size=count)
+                        parts.append(times[times < end])
+                        spill = times[times >= end]
+                        if len(spill):
+                            future.append(spill)
+            for carried in carry:
+                parts.append(carried[carried < end])
+                spill = carried[carried >= end]
+                if len(spill):
+                    future.append(spill)
+            carry = future
+            yield np.sort(np.concatenate(parts)) if len(parts) > 1 else np.sort(parts[0])

@@ -19,11 +19,19 @@ statistics:
 The default scale is much smaller than ten days × 230k jobs so that the test
 suite and benchmarks run in seconds; the full paper scale is a parameter
 change (``duration_days=10, rate_per_hour=960``).
+
+The generator is a chunked :class:`~repro.traces.stream.TraceSource`:
+arrivals are drawn per fixed one-hour time slab and job attributes per fixed
+4096-job index block — each a pure function of the seed and the slab/block
+index — so the stream is *chunk-size-invariant* (byte-identical jobs at any
+chunk size) and :meth:`~BorgTraceGenerator.generate` builds its
+:class:`~repro.traces.trace.Trace` directly from columns, with no
+intermediate per-job object list.
 """
 
 from __future__ import annotations
 
-from collections.abc import Mapping, Sequence
+from collections.abc import Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -31,14 +39,18 @@ from repro._validation import ensure_non_negative, ensure_positive
 from repro.regions.catalog import DEFAULT_REGION_KEYS
 from repro.sustainability.embodied import DEFAULT_SERVER, ServerSpec
 from repro.traces.arrival import DiurnalPoissonProcess
-from repro.traces.job import Job
+from repro.traces.stream import ATTR_BLOCK, StreamingTraceGenerator
 from repro.traces.trace import Trace
 from repro.traces.workloads import WORKLOAD_PROFILES
 
 __all__ = ["BorgTraceGenerator"]
 
+#: Entropy tags separating the generator's independent random streams.
+_ARRIVAL_STREAM = 0xA121
+_ATTR_STREAM = 0xA7712
 
-class BorgTraceGenerator:
+
+class BorgTraceGenerator(StreamingTraceGenerator):
     """Generate Borg-like traces of batch jobs.
 
     Parameters
@@ -113,39 +125,89 @@ class BorgTraceGenerator:
     def horizon_s(self) -> float:
         return self.duration_days * 86_400.0
 
+    @property
+    def chunk_region_keys(self) -> tuple[str, ...]:
+        return tuple(self.region_keys)
+
+    @property
+    def chunk_workload_names(self) -> tuple[str, ...]:
+        return tuple(self.workload_names)
+
     def _arrival_process(self) -> DiurnalPoissonProcess:
         return DiurnalPoissonProcess(self.rate_per_hour, amplitude=self.diurnal_amplitude)
 
-    def generate(self) -> Trace:
-        """Generate the trace."""
-        rng = np.random.default_rng(self.seed)
-        arrivals = self._arrival_process().generate(self.horizon_s, rng)
-        jobs = []
-        for job_id, arrival in enumerate(arrivals):
-            workload_name = self.workload_names[
-                int(rng.choice(len(self.workload_names), p=self.workload_weights))
-            ]
-            profile = WORKLOAD_PROFILES[workload_name]
-            estimate_time = profile.sample_execution_time(rng)
-            estimate_energy = profile.energy_kwh(estimate_time, self.server)
-            if self.estimate_error > 0.0:
-                time_factor = 1.0 + rng.uniform(-self.estimate_error, self.estimate_error)
-                energy_factor = 1.0 + rng.uniform(-self.estimate_error, self.estimate_error)
-            else:
-                time_factor = energy_factor = 1.0
-            home = self.region_keys[int(rng.choice(len(self.region_keys), p=self.region_weights))]
-            jobs.append(
-                Job(
-                    job_id=job_id,
-                    workload=workload_name,
-                    arrival_time=float(arrival),
-                    execution_time=estimate_time,
-                    energy_kwh=estimate_energy,
-                    home_region=home,
-                    package_gb=profile.package_gb,
-                    true_execution_time=estimate_time * time_factor,
-                    true_energy_kwh=estimate_energy * energy_factor,
-                    metadata={"suite": profile.suite, "generator": self.name},
-                )
+    def _arrival_slabs(self) -> Iterator[np.ndarray]:
+        return self._arrival_process().iter_slab_arrivals(
+            self.horizon_s, (self.seed, _ARRIVAL_STREAM)
+        )
+
+    def _workload_tables(self) -> dict[str, np.ndarray]:
+        """Per-workload sampling constants, aligned with ``workload_names``."""
+        tables = getattr(self, "_workload_tables_cache", None)
+        if tables is None:
+            profiles = [WORKLOAD_PROFILES[name] for name in self.workload_names]
+            sigma2 = np.array(
+                [np.log(1.0 + p.cv_execution_time**2) for p in profiles]
             )
-        return Trace(jobs, name=f"{self.name}-{self.seed}")
+            mu = np.array(
+                [np.log(p.mean_execution_time_s) for p in profiles]
+            ) - sigma2 / 2.0
+            tables = {
+                "mu": mu,
+                "sigma": np.sqrt(sigma2),
+                "power_w": np.array(
+                    [self.server.power_at_utilization(p.mean_utilization) for p in profiles]
+                ),
+                "package_gb": np.array([p.package_gb for p in profiles]),
+            }
+            self._workload_tables_cache = tables
+        return tables
+
+    def _attribute_block(self, block_index: int) -> dict[str, np.ndarray]:
+        """Attributes of job-index block ``b`` (pure function of seed + ``b``).
+
+        The draw order within a block is fixed — workload, execution-time
+        normals, estimate-error factors, home region — so the block's content
+        is independent of how many of its rows any chunking actually uses.
+        """
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, _ATTR_STREAM, block_index])
+        )
+        tables = self._workload_tables()
+        workload_idx = rng.choice(
+            len(self.workload_names), size=ATTR_BLOCK, p=self.workload_weights
+        ).astype(np.int64)
+        normals = rng.standard_normal(ATTR_BLOCK)
+        if self.estimate_error > 0.0:
+            time_factor = 1.0 + rng.uniform(
+                -self.estimate_error, self.estimate_error, size=ATTR_BLOCK
+            )
+            energy_factor = 1.0 + rng.uniform(
+                -self.estimate_error, self.estimate_error, size=ATTR_BLOCK
+            )
+        else:
+            time_factor = energy_factor = np.ones(ATTR_BLOCK)
+        home_idx = rng.choice(
+            len(self.region_keys), size=ATTR_BLOCK, p=self.region_weights
+        ).astype(np.int64)
+        exec_est = np.exp(
+            tables["mu"][workload_idx] + tables["sigma"][workload_idx] * normals
+        )
+        energy_est = tables["power_w"][workload_idx] * exec_est / 3600.0 / 1000.0
+        return {
+            "workload_idx": workload_idx,
+            "home_idx": home_idx,
+            "exec_est": exec_est,
+            "exec_real": exec_est * time_factor,
+            "energy_est": energy_est,
+            "energy_real": energy_est * energy_factor,
+            "package_gb": tables["package_gb"][workload_idx],
+            "servers": np.ones(ATTR_BLOCK, dtype=np.int64),
+        }
+
+    def job_metadata(self, workload: str) -> dict:
+        return {"suite": WORKLOAD_PROFILES[workload].suite, "generator": self.name}
+
+    def generate(self) -> Trace:
+        """Generate the whole trace (columns only; ``Job`` objects stay lazy)."""
+        return self.materialize()

@@ -1,9 +1,9 @@
 """Named workload-scenario library for sweeps, benchmarks and the CLI.
 
 PR 1's batch engine made single-trace sweeps fast; this library makes them
-*diverse*.  Each scenario is a named, seeded recipe producing a
-:class:`~repro.traces.trace.Trace` with a distinct shape, so experiments can
-exercise the schedulers well beyond the default Borg/Alibaba pair:
+*diverse*.  Each scenario is a named, seeded recipe producing a workload with
+a distinct shape, so experiments can exercise the schedulers well beyond the
+default Borg/Alibaba pair:
 
 ``diurnal``
     Borg-like arrivals with a pronounced day/night cycle (0.9 amplitude) —
@@ -24,13 +24,23 @@ exercise the schedulers well beyond the default Borg/Alibaba pair:
     Diurnal arrivals submitted overwhelmingly from two of the five regions —
     stresses migration policies, since the home regions saturate first.
 
-Every scenario is deterministic in ``(seed, rate_per_hour, duration_days)``
-across processes and platforms (NumPy ``default_rng`` only — no ``hash()``;
-see the PR 1 crc32 lesson), which the Hypothesis suite in
-``tests/traces/test_scenarios.py`` enforces.
+Every scenario is a :class:`~repro.traces.stream.TraceSource`:
+:func:`scenario_source` streams fixed-size, time-ordered chunks with
+*chunk-size-invariant* seeding (every random draw is keyed on absolute time
+slabs and job-index blocks, never on generator call order — the same
+``(seed, rate, duration)`` yields byte-identical jobs whether consumed one
+job, 512 jobs, or the whole trace at a time), and :func:`scenario_trace`
+materializes the same stream as a :class:`~repro.traces.trace.Trace` built
+directly from columns, with no intermediate ``Job`` list.
+
+Determinism is also cross-process and cross-platform (NumPy ``SeedSequence``
+streams only — no ``hash()``; see the PR 1 crc32 lesson), which the
+Hypothesis suites in ``tests/traces/test_scenarios.py`` and
+``tests/traces/test_stream.py`` enforce.
 
 Scenarios plug in everywhere traces do: :func:`scenario_trace` feeds the
-simulators directly, ``SweepPoint(trace_kind=<scenario>)`` runs them through
+one-shot simulators, :func:`scenario_source` the streaming engine,
+``SweepPoint(trace_kind=<scenario>)`` runs them through
 :mod:`repro.analysis.parallel`, and ``python -m repro simulate --scenario
 <name>`` drives them from the command line.
 """
@@ -38,7 +48,7 @@ simulators directly, ``SweepPoint(trace_kind=<scenario>)`` runs them through
 from __future__ import annotations
 
 import dataclasses
-from collections.abc import Callable
+from collections.abc import Callable, Iterator
 
 import numpy as np
 
@@ -46,8 +56,15 @@ from repro._validation import ensure_positive
 from repro.regions.catalog import DEFAULT_REGION_KEYS
 from repro.sustainability.embodied import DEFAULT_SERVER
 from repro.traces.alibaba import AlibabaTraceGenerator
+from repro.traces.arrival import PoissonArrivalProcess
 from repro.traces.borg import BorgTraceGenerator
-from repro.traces.job import Job
+from repro.traces.stream import (
+    ATTR_BLOCK,
+    BlockGather,
+    JobChunk,
+    StreamingTraceGenerator,
+    TraceSource,
+)
 from repro.traces.trace import Trace
 
 __all__ = [
@@ -55,6 +72,7 @@ __all__ = [
     "SCENARIOS",
     "available_scenarios",
     "get_scenario",
+    "scenario_source",
     "scenario_trace",
 ]
 
@@ -64,21 +82,151 @@ _ELEPHANT_FRACTION = 0.05
 _ELEPHANT_PARETO_SHAPE = 1.6
 _ELEPHANT_MAX_FACTOR = 200.0
 
+#: Entropy tags of the scenario-specific random streams.
+_ELEPHANT_STREAM = 0x7E47A11
+_ML_ARRIVAL_STREAM = 0x317A1
+_ML_ATTR_STREAM = 0x317A2
+
+
+class _HeavyTailSource(TraceSource):
+    """Promote a block-keyed fraction of an inner stream's jobs to elephants.
+
+    The promotion draw for job ``i`` lives in job-index block ``i // B`` of a
+    dedicated stream, so it is independent of chunking; estimates and
+    realized values are stretched by the same factor, preserving the
+    estimate-error model.
+    """
+
+    def __init__(self, inner: BorgTraceGenerator) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self.seed = inner.seed
+        self.horizon_s = inner.horizon_s
+
+    def job_metadata(self, workload: str) -> dict:
+        return self.inner.job_metadata(workload)
+
+    def _factor_block(self, block_index: int) -> dict[str, np.ndarray]:
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, _ELEPHANT_STREAM, block_index])
+        )
+        promote = rng.random(ATTR_BLOCK) < _ELEPHANT_FRACTION
+        factor = np.minimum(
+            1.0 + rng.pareto(_ELEPHANT_PARETO_SHAPE, size=ATTR_BLOCK),
+            _ELEPHANT_MAX_FACTOR,
+        )
+        return {"factor": np.where(promote, factor, 1.0)}
+
+    def iter_chunks(
+        self, chunk_size: int | None = None, skip_jobs: int = 0
+    ) -> Iterator[JobChunk]:
+        gather = BlockGather(self._factor_block)
+        for chunk in self.inner.iter_chunks(chunk_size, skip_jobs=skip_jobs):
+            if chunk.n == 0:
+                yield chunk
+                continue
+            first = int(chunk.job_id[0])
+            factor = gather.rows(first, first + chunk.n)["factor"]
+            yield dataclasses.replace(
+                chunk,
+                exec_est=chunk.exec_est * factor,
+                exec_real=chunk.exec_real * factor,
+                energy_est=chunk.energy_est * factor,
+                energy_real=chunk.energy_real * factor,
+            )
+
+
+class MLTrainingTraceGenerator(StreamingTraceGenerator):
+    """Sparse multi-hour, multi-server training jobs with heavyweight packages."""
+
+    def __init__(self, seed: int, rate_per_hour: float, duration_days: float) -> None:
+        self.seed = int(seed)
+        self.rate_per_hour = ensure_positive(rate_per_hour, "rate_per_hour")
+        self.duration_days = ensure_positive(duration_days, "duration_days")
+        self.name = "ml-training"
+        self.region_keys = list(DEFAULT_REGION_KEYS)
+
+    @property
+    def horizon_s(self) -> float:
+        return self.duration_days * 86_400.0
+
+    @property
+    def chunk_region_keys(self) -> tuple[str, ...]:
+        return tuple(self.region_keys)
+
+    @property
+    def chunk_workload_names(self) -> tuple[str, ...]:
+        return ("ml-training",)
+
+    def job_metadata(self, workload: str) -> dict:
+        return {"generator": self.name}
+
+    def _arrival_slabs(self) -> Iterator[np.ndarray]:
+        process = PoissonArrivalProcess(self.rate_per_hour)
+        return process.iter_slab_arrivals(self.horizon_s, (self.seed, _ML_ARRIVAL_STREAM))
+
+    def _attribute_block(self, block_index: int) -> dict[str, np.ndarray]:
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, _ML_ATTR_STREAM, block_index])
+        )
+        execution = np.exp(
+            np.log(3.0 * 3600.0) + 0.6 * rng.standard_normal(ATTR_BLOCK)
+        )
+        servers = rng.integers(2, 9, size=ATTR_BLOCK).astype(np.int64)
+        utilization = rng.uniform(0.75, 0.95, size=ATTR_BLOCK)
+        home_idx = rng.integers(0, len(self.region_keys), size=ATTR_BLOCK).astype(np.int64)
+        package_gb = rng.uniform(8.0, 24.0, size=ATTR_BLOCK)
+        error = 1.0 + rng.uniform(-0.15, 0.15, size=ATTR_BLOCK)
+        power_w = (
+            DEFAULT_SERVER.idle_power_w
+            + (DEFAULT_SERVER.peak_power_w - DEFAULT_SERVER.idle_power_w) * utilization
+        ) * servers
+        energy = power_w * execution / 3600.0 / 1000.0
+        return {
+            "workload_idx": np.zeros(ATTR_BLOCK, dtype=np.int64),
+            "home_idx": home_idx,
+            "exec_est": execution,
+            "exec_real": execution * error,
+            "energy_est": energy,
+            "energy_real": energy * error,
+            "package_gb": package_gb,
+            "servers": servers,
+        }
+
 
 @dataclasses.dataclass(frozen=True)
 class Scenario:
     """A named, seeded workload family.
 
     ``builder`` maps ``(seed, rate_per_hour, duration_days)`` to a
-    :class:`Trace`; ``default_rate_per_hour`` / ``default_duration_days``
-    are the family's natural scale (used when the caller passes ``None``).
+    :class:`~repro.traces.stream.TraceSource`; ``default_rate_per_hour`` /
+    ``default_duration_days`` are the family's natural scale (used when the
+    caller passes ``None``).
     """
 
     name: str
     description: str
-    builder: Callable[[int, float, float], Trace]
+    builder: Callable[[int, float, float], TraceSource]
     default_rate_per_hour: float = 60.0
     default_duration_days: float = 0.5
+
+    def source(
+        self,
+        seed: int = 0,
+        rate_per_hour: float | None = None,
+        duration_days: float | None = None,
+    ) -> TraceSource:
+        """Build this scenario's chunked stream (family defaults where unspecified)."""
+        rate = self.default_rate_per_hour if rate_per_hour is None else rate_per_hour
+        days = self.default_duration_days if duration_days is None else duration_days
+        ensure_positive(rate, "rate_per_hour")
+        ensure_positive(days, "duration_days")
+        source = self.builder(int(seed), float(rate), float(days))
+        # Re-label the family so results read "<scenario>-<seed>"; the
+        # generator's own name stays untouched as the provenance tag in
+        # job metadata.
+        source.label = self.name
+        return source
 
     def trace(
         self,
@@ -86,22 +234,19 @@ class Scenario:
         rate_per_hour: float | None = None,
         duration_days: float | None = None,
     ) -> Trace:
-        """Build this scenario's trace (family defaults where unspecified)."""
-        rate = self.default_rate_per_hour if rate_per_hour is None else rate_per_hour
-        days = self.default_duration_days if duration_days is None else duration_days
-        ensure_positive(rate, "rate_per_hour")
-        ensure_positive(days, "duration_days")
-        trace = self.builder(int(seed), float(rate), float(days))
-        return Trace(trace.jobs, name=f"{self.name}-{int(seed)}")
+        """Materialize this scenario's trace (identical jobs to the stream)."""
+        return self.source(
+            seed=seed, rate_per_hour=rate_per_hour, duration_days=duration_days
+        ).materialize()
 
 
-def _diurnal(seed: int, rate: float, days: float) -> Trace:
+def _diurnal(seed: int, rate: float, days: float) -> TraceSource:
     return BorgTraceGenerator(
         rate_per_hour=rate, duration_days=days, seed=seed, diurnal_amplitude=0.9
-    ).generate()
+    )
 
 
-def _bursty(seed: int, rate: float, days: float) -> Trace:
+def _bursty(seed: int, rate: float, days: float) -> TraceSource:
     return AlibabaTraceGenerator(
         rate_per_hour=rate,
         duration_days=days,
@@ -110,67 +255,22 @@ def _bursty(seed: int, rate: float, days: float) -> Trace:
         bursts_per_day=16.0,
         burst_duration_s=900.0,
         burst_multiplier=6.0,
-    ).generate()
+    )
 
 
-def _heavy_tail(seed: int, rate: float, days: float) -> Trace:
-    base = BorgTraceGenerator(
-        rate_per_hour=rate, duration_days=days, seed=seed, diurnal_amplitude=0.5
-    ).generate()
-    # A dedicated stream (offset from the generator's) promotes a small
-    # fraction of jobs to Pareto-tailed elephants; estimates and realized
-    # values are stretched by the same factor so the estimate error model is
-    # preserved.
-    rng = np.random.default_rng(np.random.SeedSequence([seed, 0x7E47A11]))
-    jobs = []
-    for job in base:
-        if rng.random() < _ELEPHANT_FRACTION:
-            factor = min(1.0 + rng.pareto(_ELEPHANT_PARETO_SHAPE), _ELEPHANT_MAX_FACTOR)
-            job = dataclasses.replace(
-                job,
-                execution_time=job.execution_time * factor,
-                energy_kwh=job.energy_kwh * factor,
-                true_execution_time=job.realized_execution_time * factor,
-                true_energy_kwh=job.realized_energy_kwh * factor,
-            )
-        jobs.append(job)
-    return Trace(jobs, name=base.name)
-
-
-def _ml_training(seed: int, rate: float, days: float) -> Trace:
-    rng = np.random.default_rng(np.random.SeedSequence([seed, 0x317A1]))
-    horizon_s = days * 86_400.0
-    count = rng.poisson(rate / 3600.0 * horizon_s)
-    arrivals = np.sort(rng.uniform(0.0, horizon_s, size=count))
-    regions = list(DEFAULT_REGION_KEYS)
-    jobs = []
-    for job_id, arrival in enumerate(arrivals):
-        # Multi-hour, multi-server training runs with heavyweight packages.
-        execution = float(rng.lognormal(mean=np.log(3.0 * 3600.0), sigma=0.6))
-        servers = int(rng.integers(2, 9))
-        utilization = float(rng.uniform(0.75, 0.95))
-        power_w = DEFAULT_SERVER.power_at_utilization(utilization) * servers
-        energy = power_w * execution / 3600.0 / 1000.0
-        error = 1.0 + rng.uniform(-0.15, 0.15)
-        jobs.append(
-            Job(
-                job_id=job_id,
-                workload="ml-training",
-                arrival_time=float(arrival),
-                execution_time=execution,
-                energy_kwh=energy,
-                home_region=regions[int(rng.integers(len(regions)))],
-                package_gb=float(rng.uniform(8.0, 24.0)),
-                servers_required=servers,
-                true_execution_time=execution * error,
-                true_energy_kwh=energy * error,
-                metadata={"generator": "ml-training"},
-            )
+def _heavy_tail(seed: int, rate: float, days: float) -> TraceSource:
+    return _HeavyTailSource(
+        BorgTraceGenerator(
+            rate_per_hour=rate, duration_days=days, seed=seed, diurnal_amplitude=0.5
         )
-    return Trace(jobs, name="ml-training")
+    )
 
 
-def _region_skew(seed: int, rate: float, days: float) -> Trace:
+def _ml_training(seed: int, rate: float, days: float) -> TraceSource:
+    return MLTrainingTraceGenerator(seed, rate, days)
+
+
+def _region_skew(seed: int, rate: float, days: float) -> TraceSource:
     keys = list(DEFAULT_REGION_KEYS)
     # Two dominant submission regions, a long tail over the rest.
     weights = np.full(len(keys), 0.05)
@@ -183,7 +283,7 @@ def _region_skew(seed: int, rate: float, days: float) -> Trace:
         seed=seed,
         diurnal_amplitude=0.5,
         region_weights=weights,
-    ).generate()
+    )
 
 
 SCENARIOS: dict[str, Scenario] = {
@@ -234,6 +334,18 @@ def get_scenario(name: str) -> Scenario:
         raise KeyError(
             f"unknown scenario {name!r}; available: {list(available_scenarios())}"
         ) from None
+
+
+def scenario_source(
+    name: str,
+    seed: int = 0,
+    rate_per_hour: float | None = None,
+    duration_days: float | None = None,
+) -> TraceSource:
+    """Build the named scenario's chunked stream (family defaults where unspecified)."""
+    return get_scenario(name).source(
+        seed=seed, rate_per_hour=rate_per_hour, duration_days=duration_days
+    )
 
 
 def scenario_trace(

@@ -164,8 +164,58 @@ class TestRunSweep:
             scalar_outcome.total_water_l, rel=1e-9
         )
 
+    def test_stream_engine_agrees_with_batch(self):
+        # The bounded-memory sweep cells must report the same figures of
+        # merit as the materialized batch cells for the identical workload.
+        batch_points = expand_grid(
+            scheduler=["baseline", "waterwise"], delay_tolerance=[0.25], **TINY
+        )
+        stream_points = [dataclasses.replace(p, engine="stream") for p in batch_points]
+        for batch_outcome, stream_outcome in zip(
+            run_sweep(batch_points, executor="serial"),
+            run_sweep(stream_points, executor="serial"),
+        ):
+            assert stream_outcome.num_jobs == batch_outcome.num_jobs
+            assert stream_outcome.total_carbon_g == pytest.approx(
+                batch_outcome.total_carbon_g, rel=1e-9
+            )
+            assert stream_outcome.total_water_l == pytest.approx(
+                batch_outcome.total_water_l, rel=1e-9
+            )
+            assert stream_outcome.mean_service_ratio == pytest.approx(
+                batch_outcome.mean_service_ratio, rel=1e-9
+            )
+            assert stream_outcome.violation_fraction == batch_outcome.violation_fraction
+
+    def test_stream_engine_is_worker_invariant(self):
+        points = expand_grid(
+            scheduler=["baseline", "round-robin"], delay_tolerance=[0.25],
+            engine="stream", **TINY,
+        )
+        serial = run_sweep(points, executor="serial")
+        threaded = run_sweep(points, workers=2, executor="thread")
+        assert [stable_summary(o) for o in serial] == [stable_summary(o) for o in threaded]
+
     def test_validation(self):
         with pytest.raises(ValueError, match="executor"):
             run_sweep([], executor="cluster")
         with pytest.raises(ValueError, match="workers"):
             run_sweep([], workers=0)
+
+
+class TestWorkloadCacheSafety:
+    def test_mixed_workload_thread_sweep_is_deterministic(self):
+        # Regression: the per-worker workload cache must be thread-local —
+        # a shared slot let concurrent cells of *different* workloads read
+        # each other's trace mid-update.
+        points = expand_grid(
+            scheduler=["baseline", "least-load"],
+            trace_kind=["borg", "alibaba", "diurnal"],
+            rate_per_hour=30.0, duration_days=0.1, servers_per_region=10,
+        )
+        serial = run_sweep(points, executor="serial")
+        for _ in range(3):
+            threaded = run_sweep(points, workers=6, executor="thread")
+            assert [stable_summary(o) for o in threaded] == [
+                stable_summary(o) for o in serial
+            ]

@@ -7,6 +7,13 @@ batch engine reproduces the scalar engine's scheduling decisions exactly and
 its footprints within 1e-9 relative — whether the policy runs through a
 registered vectorized fast path or through the scalar fallback.
 
+The streaming horizon engine rides the same harness: for every registered
+policy, :class:`~repro.cluster.streaming.StreamingSimulator` must produce a
+``BatchResult`` whose :meth:`digest` — every per-job decision column —
+equals the one-shot batch engine's at multiple chunk sizes, and a run
+checkpointed and resumed at *every* chunk boundary must produce that same
+digest.
+
 Because both axes are enumerated dynamically, a future policy registered with
 :func:`repro.schedulers.registry.register_scheduler` (or a new scenario added
 to :data:`repro.traces.scenarios.SCENARIOS`) is covered with zero new test
@@ -14,8 +21,11 @@ code — registering a fast path that diverges from its scalar ``schedule``
 fails here immediately.
 """
 
+import math
+
 import pytest
 
+from repro.cluster import BatchSimulator, StreamingSimulator
 from repro.schedulers import available_schedulers, has_fast_path, make_scheduler
 from repro.sustainability import ElectricityMapsLikeProvider
 from repro.traces.scenarios import available_scenarios, get_scenario
@@ -47,6 +57,33 @@ def scenario_traces():
         )
         for name in available_scenarios()
     }
+
+
+#: Moderate pressure for the streaming cells: some rounds saturate, so commit
+#: order and FIFO tie-breaking are exercised across chunk boundaries.
+_STREAM_SERVERS = 8
+
+
+@pytest.fixture(scope="module")
+def policy_sources(dataset, scenario_traces):
+    """Per-policy (chunked source, one-shot reference result), cached."""
+    source = get_scenario("bursty").source(
+        seed=13, rate_per_hour=_SCENARIO_RATES["bursty"], duration_days=_DURATION_DAYS
+    )
+    cache = {}
+
+    def get(policy):
+        if policy not in cache:
+            oneshot = BatchSimulator(
+                scenario_traces["bursty"],
+                _policy_factory(policy)(),
+                dataset=dataset,
+                servers_per_region=_STREAM_SERVERS,
+            ).run()
+            cache[policy] = (source, oneshot)
+        return cache[policy]
+
+    return get
 
 
 def _policy_factory(name):
@@ -98,6 +135,50 @@ class TestRegistryWideEquivalence:
                 scenario_traces["bursty"], factory, dataset, servers_per_region=servers
             )
             assert_equivalent(scalar, batch)
+
+    def test_streaming_decision_equivalence_registry_wide(self, policy_sources, dataset):
+        # Acceptance gate of the streaming tentpole: for every registered
+        # scheduler, the streaming engine's per-job decisions (executed
+        # regions, start/finish times, deferrals, footprints) are
+        # byte-identical to the one-shot batch engine at ≥ 2 distinct chunk
+        # sizes.
+        for policy in available_schedulers():
+            source, oneshot = policy_sources(policy)
+            for chunk_size in (37, 512):
+                streamed = StreamingSimulator(
+                    source,
+                    _policy_factory(policy)(),
+                    dataset=dataset,
+                    servers_per_region=_STREAM_SERVERS,
+                    chunk_size=chunk_size,
+                ).run()
+                assert streamed.digest() == oneshot.digest(), (policy, chunk_size)
+
+    def test_checkpoint_resume_at_every_boundary_registry_wide(
+        self, policy_sources, dataset, tmp_path
+    ):
+        # Resume determinism: stop after k chunks, checkpoint to disk, resume
+        # in a fresh engine — for every k and every registered scheduler the
+        # final digest must equal the one-shot run's.
+        chunk_size = 48
+        for policy in available_schedulers():
+            source, oneshot = policy_sources(policy)
+            n_chunks = math.ceil(oneshot.num_jobs / chunk_size)
+            assert n_chunks >= 3, "the trace must span several chunks"
+            for stop in range(1, n_chunks + 1):
+                engine = StreamingSimulator(
+                    source,
+                    _policy_factory(policy)(),
+                    dataset=dataset,
+                    servers_per_region=_STREAM_SERVERS,
+                    chunk_size=chunk_size,
+                )
+                assert engine.run_chunks(max_chunks=stop) == stop
+                path = tmp_path / f"{policy}-{stop}.ckpt"
+                engine.save_checkpoint(path)
+                resumed = StreamingSimulator.from_checkpoint(path, source, dataset=dataset)
+                result = resumed.run()
+                assert result.digest() == oneshot.digest(), (policy, stop)
 
     def test_sustainability_policies_use_fast_paths(self):
         # Guard the point of this PR: the paper's core policies no longer

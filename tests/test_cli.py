@@ -84,3 +84,86 @@ class TestCommands:
         batch_out = capsys.readouterr().out
         # Identical tables: totals and savings agree digit for digit.
         assert batch_out == scalar_out
+
+
+class TestStreamingCli:
+    def test_simulate_stream_matches_batch_tables(self, capsys):
+        common = [
+            "simulate", "--policies", "baseline", "waterwise", "--scenario",
+            "bursty", "--jobs-per-hour", "30", "--hours", "3", "--seed", "4",
+        ]
+        assert main(common + ["--engine", "batch"]) == 0
+        batch_out = capsys.readouterr().out
+        assert main(common + ["--stream", "--chunk-size", "64"]) == 0
+        stream_out = capsys.readouterr().out
+        # Identical totals/savings tables; only the trace header differs.
+        assert stream_out.splitlines()[1:] == batch_out.splitlines()[1:]
+        assert "streaming, 64 jobs/chunk" in stream_out
+
+    def test_checkpoint_then_resume_to_completion(self, capsys, tmp_path):
+        path = tmp_path / "run.ckpt"
+        assert main([
+            "checkpoint", "--scenario", "diurnal", "--policy", "waterwise",
+            "--jobs-per-hour", "30", "--hours", "3", "--seed", "4",
+            "--chunk-size", "32", "--chunks", "2", "--out", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint:" in out and path.exists()
+        assert main(["resume", str(path)]) == 0
+        resumed = capsys.readouterr().out
+        assert "resumed streaming run" in resumed
+        assert "Totals" in resumed and "Service-ratio quantiles" in resumed
+
+    def test_chained_resume_equals_uninterrupted_stream(self, capsys, tmp_path):
+        workload = [
+            "--scenario", "diurnal", "--jobs-per-hour", "30", "--hours", "3",
+            "--seed", "4",
+        ]
+        assert main([
+            "simulate", *workload, "--policies", "waterwise", "--stream",
+            "--chunk-size", "32",
+        ]) == 0
+        direct = capsys.readouterr().out
+        path = tmp_path / "run.ckpt"
+        assert main([
+            "checkpoint", *workload, "--policy", "waterwise",
+            "--chunk-size", "32", "--chunks", "1", "--out", str(path),
+        ]) == 0
+        capsys.readouterr()
+        step = tmp_path / "run2.ckpt"
+        assert main(["resume", str(path), "--chunks", "1", "--out", str(step)]) == 0
+        capsys.readouterr()
+        assert main(["resume", str(step)]) == 0
+        resumed = capsys.readouterr().out
+        # The resumed totals row reproduces the uninterrupted run's.
+        totals_row = next(l for l in resumed.splitlines() if l.startswith("waterwise"))
+        assert totals_row in direct
+
+    def test_engine_stream_equals_stream_flag(self, capsys):
+        common = [
+            "simulate", "--policies", "baseline", "--scenario", "diurnal",
+            "--jobs-per-hour", "20", "--hours", "2", "--seed", "1",
+        ]
+        assert main(common + ["--engine", "stream"]) == 0
+        via_engine = capsys.readouterr().out
+        assert main(common + ["--stream"]) == 0
+        via_flag = capsys.readouterr().out
+        assert via_engine == via_flag
+
+    def test_conflicting_engine_flags_rejected(self):
+        base = ["simulate", "--policies", "baseline", "--jobs-per-hour", "5", "--hours", "1"]
+        with pytest.raises(SystemExit, match="--stream conflicts"):
+            main(base + ["--engine", "batch", "--stream"])
+        with pytest.raises(SystemExit, match="--chunk-size requires"):
+            main(base + ["--engine", "batch", "--chunk-size", "64"])
+
+    def test_resume_out_without_chunks_rejected(self, capsys, tmp_path):
+        path = tmp_path / "run.ckpt"
+        assert main([
+            "checkpoint", "--scenario", "diurnal", "--policy", "baseline",
+            "--jobs-per-hour", "20", "--hours", "2", "--seed", "1",
+            "--chunk-size", "16", "--chunks", "1", "--out", str(path),
+        ]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="--out requires --chunks"):
+            main(["resume", str(path), "--out", str(tmp_path / "x.ckpt")])

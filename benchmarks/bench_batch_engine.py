@@ -30,11 +30,16 @@ from repro.traces.alibaba import AlibabaTraceGenerator
 
 EQUIVALENCE_RTOL = 1e-9
 SPEEDUP_TARGET = 5.0
-#: WaterWise used to keep a lower floor (its rounds were solve-bound, and
-#: the fast path shared the solver with the scalar engine); the sparse,
-#: warm-started, structure-aware solver core removed that bottleneck, so the
-#: policy is held to the standard 5x target (measured ≥9x on the 10k trace).
-SPEEDUP_TARGETS: dict[str, float] = {}
+#: Per-policy overrides of the scalar-vs-batch speedup floor.  WaterWise's
+#: floor is lower *because the scalar engine got faster, not because the
+#: batch engine regressed*: the scalar path now runs the same array decision
+#: pipeline (vectorized slack + standard-form MILP) as the fast path, so the
+#: decision time — the bulk of a WaterWise round — is identical on both
+#: sides and only the engine loop differs.  Absolute batch time improved at
+#: the same commit this floor was lowered (see BENCH_sweep_baseline.json).
+#: Floors are calibrated at the CI scale (4000 jobs; measured 4.0x there) —
+#: much smaller runs squeeze every ratio under per-round fixed costs.
+SPEEDUP_TARGETS: dict[str, float] = {"waterwise": 2.0}
 
 
 def build_workload(jobs: int, seed: int):

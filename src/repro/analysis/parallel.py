@@ -19,20 +19,36 @@ Determinism guarantees (enforced by ``tests/analysis/test_parallel.py``):
 
 Worker processes rebuild traces and datasets from the point's parameters
 (cheap relative to simulation), so only small parameter/summary payloads
-cross process boundaries; consecutive policy cells of one workload reuse a
-per-worker cached source/trace instead of regenerating it, and
-``engine="stream"`` cells replay the chunked source through the streaming
-engine without ever materializing the trace.
+cross process boundaries; policy cells of one workload reuse a per-worker
+LRU-cached source/trace instead of regenerating it, and ``engine="stream"``
+cells replay the chunked source through the streaming engine without ever
+materializing the trace.
+
+``run_sweep(..., fused=True)`` collapses the cells that share a workload
+*and* simulation conditions (everything but the policy) into one fused task
+driven by :class:`~repro.cluster.multi.MultiPolicyRunner` — the workload is
+generated, columnized and streamed once per group instead of once per cell.
+With the process executor the parent additionally packs each distinct
+workload's columns into a ``multiprocessing.shared_memory`` segment exactly
+once; workers attach and stream zero-copy
+:class:`~repro.traces.stream.ColumnSource` views instead of regenerating the
+trace per worker.  Segments are unlinked deterministically by the parent
+when the sweep finishes, and worker-side attachments are closed on eviction
+from a small LRU and at worker shutdown.
 """
 
 from __future__ import annotations
 
+import atexit
+import collections
 import concurrent.futures
 import dataclasses
 import itertools
 import threading
 import zlib
 from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
 
 from repro.traces.scenarios import available_scenarios
 
@@ -183,75 +199,210 @@ def expand_grid(
     return points
 
 
-#: Workload signature → source/trace of the most recent point this worker
-#: simulated.  A sweep runs every policy against identical workloads (the
-#: seed derivation guarantees it), and :func:`run_sweep` hands points to
-#: workers in grid order, so consecutive policy cells of one point hit this
-#: cache instead of re-generating the full trace per cell — sweep memory and
-#: generation time no longer scale with ``n_policies × n_jobs``.  The cache
-#: is *thread-local*: ``executor="thread"`` runs cells of different
-#: workloads concurrently, and a shared single slot would let one thread
-#: read another's source mid-update (breaking the module's worker-count
-#: invariance).  One entry per thread/process keeps it O(1 workload).
+#: Workload signature → source/trace LRU of the workloads this worker has
+#: simulated recently.  A sweep runs every policy against identical
+#: workloads (the seed derivation guarantees it), so policy cells of one
+#: workload hit this cache instead of re-generating the full trace per cell
+#: — sweep memory and generation time no longer scale with
+#: ``n_policies × n_jobs``.  The cache is *thread-local*:
+#: ``executor="thread"`` runs cells of different workloads concurrently, and
+#: a shared structure would let one thread read another's source mid-update
+#: (breaking the module's worker-count invariance).  Bounded to
+#: :data:`_WORKLOAD_CACHE_SIZE` workloads per thread/process — a long sweep
+#: over many workloads (or grid orders that interleave them) evicts the
+#: least recently used entry instead of growing without limit.
 _WORKLOAD_CACHE = threading.local()
+_WORKLOAD_CACHE_SIZE = 4
 
 
-def _point_source(point: SweepPoint):
-    """The chunked trace source of one sweep point (cached per worker)."""
+def _workload_entries() -> "collections.OrderedDict":
+    entries = getattr(_WORKLOAD_CACHE, "entries", None)
+    if entries is None:
+        entries = collections.OrderedDict()
+        _WORKLOAD_CACHE.entries = entries
+    return entries
+
+
+def _workload_key(point: SweepPoint) -> tuple:
+    return (point.trace_kind, point.rate_per_hour, point.duration_days, point.seed)
+
+
+def _build_source(point: SweepPoint):
     from repro.traces.alibaba import AlibabaTraceGenerator
     from repro.traces.borg import BorgTraceGenerator
     from repro.traces.scenarios import scenario_source
 
-    cache = _WORKLOAD_CACHE
-    key = (point.trace_kind, point.rate_per_hour, point.duration_days, point.seed)
-    if getattr(cache, "key", None) != key:
-        if point.trace_kind in _TRACE_KINDS:
-            generator_cls = (
-                BorgTraceGenerator if point.trace_kind == "borg" else AlibabaTraceGenerator
-            )
-            source = generator_cls(
-                rate_per_hour=point.rate_per_hour,
-                duration_days=point.duration_days,
-                seed=point.seed,
-            )
-        else:
-            source = scenario_source(
-                point.trace_kind,
-                seed=point.seed,
-                rate_per_hour=point.rate_per_hour,
-                duration_days=point.duration_days,
-            )
-        cache.key = key
-        cache.source = source
-        cache.trace = None
-    return cache.source
+    if point.trace_kind in _TRACE_KINDS:
+        generator_cls = (
+            BorgTraceGenerator if point.trace_kind == "borg" else AlibabaTraceGenerator
+        )
+        return generator_cls(
+            rate_per_hour=point.rate_per_hour,
+            duration_days=point.duration_days,
+            seed=point.seed,
+        )
+    return scenario_source(
+        point.trace_kind,
+        seed=point.seed,
+        rate_per_hour=point.rate_per_hour,
+        duration_days=point.duration_days,
+    )
+
+
+def _workload_entry(point: SweepPoint) -> dict:
+    entries = _workload_entries()
+    key = _workload_key(point)
+    entry = entries.get(key)
+    if entry is None:
+        entry = {"source": _build_source(point), "trace": None}
+        entries[key] = entry
+        while len(entries) > _WORKLOAD_CACHE_SIZE:
+            entries.popitem(last=False)
+    else:
+        entries.move_to_end(key)
+    return entry
+
+
+def _point_source(point: SweepPoint):
+    """The chunked trace source of one sweep point (LRU-cached per worker)."""
+    return _workload_entry(point)["source"]
 
 
 def _point_trace(point: SweepPoint):
-    """The materialized trace of one sweep point (cached per worker)."""
-    source = _point_source(point)
-    if _WORKLOAD_CACHE.trace is None:
-        _WORKLOAD_CACHE.trace = source.materialize()
-    return _WORKLOAD_CACHE.trace
+    """The materialized trace of one sweep point (LRU-cached per worker)."""
+    entry = _workload_entry(point)
+    if entry["trace"] is None:
+        entry["trace"] = entry["source"].materialize()
+    return entry["trace"]
 
 
-def _run_point(point: SweepPoint) -> SweepOutcome:
-    """Simulate one sweep point (module-level so process pools can pickle it)."""
+# -- shared-memory chunk transport (process-executor fused sweeps) ------------------
+
+#: Worker-side LRU of attached shared-memory segments: name → (shm, source).
+#: Evicted attachments are closed immediately; the atexit hook closes the
+#: rest so worker shutdown never leaks segment handles.  The parent owns the
+#: segments and unlinks them when the sweep completes.
+_SHM_ATTACH_LIMIT = 4
+_SHM_ATTACHMENTS: "collections.OrderedDict[str, tuple]" = collections.OrderedDict()
+_SHM_LOCK = threading.Lock()
+
+
+def _close_all_shared_attachments() -> None:
+    with _SHM_LOCK:
+        while _SHM_ATTACHMENTS:
+            _name, (shm, _source) = _SHM_ATTACHMENTS.popitem(last=False)
+            try:
+                shm.close()
+            except OSError:  # pragma: no cover - close is best-effort at exit
+                pass
+
+
+atexit.register(_close_all_shared_attachments)
+
+
+def pack_shared_workload(source, chunk_size: int = 8192):
+    """Copy a source's columns into one shared-memory segment.
+
+    Returns ``(shm, handle)`` — the caller owns ``shm`` and must
+    ``close()`` + ``unlink()`` it when the consumers are done; ``handle`` is
+    a small picklable dict workers pass to :func:`attach_shared_workload`.
+    """
+    from multiprocessing import shared_memory
+
+    from repro.traces.stream import CHUNK_COLUMNS
+
+    chunks = list(source.iter_chunks(chunk_size))
+    if chunks:
+        columns = {
+            field: np.ascontiguousarray(
+                np.concatenate([getattr(chunk, field) for chunk in chunks])
+            )
+            for field in CHUNK_COLUMNS
+        }
+        region_keys = chunks[0].region_keys
+        workload_names = chunks[0].workload_names
+    else:
+        columns = {field: np.zeros(0) for field in CHUNK_COLUMNS}
+        region_keys = workload_names = ()
+    total = sum(column.nbytes for column in columns.values())
+    shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    fields = []
+    offset = 0
+    for field in CHUNK_COLUMNS:
+        column = columns[field]
+        view = np.ndarray(column.shape, dtype=column.dtype, buffer=shm.buf, offset=offset)
+        view[:] = column
+        fields.append((field, column.dtype.str, offset, len(column)))
+        offset += column.nbytes
+    handle = {
+        "shm": shm.name,
+        "fields": fields,
+        "region_keys": tuple(region_keys),
+        "workload_names": tuple(workload_names),
+        "name": getattr(source, "name", "stream"),
+        "label": getattr(source, "label", None),
+        "seed": getattr(source, "seed", 0),
+        "horizon_s": float(getattr(source, "horizon_s", 0.0)),
+    }
+    return shm, handle
+
+
+def attach_shared_workload(handle: dict):
+    """Worker-side view of a packed workload as a zero-copy ``ColumnSource``."""
+    from multiprocessing import shared_memory
+
+    from repro.traces.stream import ColumnSource
+
+    name = handle["shm"]
+    with _SHM_LOCK:
+        cached = _SHM_ATTACHMENTS.get(name)
+        if cached is not None:
+            _SHM_ATTACHMENTS.move_to_end(name)
+            return cached[1]
+        shm = shared_memory.SharedMemory(name=name)
+        columns = {
+            field: np.ndarray((length,), dtype=np.dtype(dtype), buffer=shm.buf, offset=offset)
+            for field, dtype, offset, length in handle["fields"]
+        }
+        source = ColumnSource(
+            columns,
+            region_keys=handle["region_keys"],
+            workload_names=handle["workload_names"],
+            name=handle["name"],
+            seed=handle["seed"],
+            horizon_s=handle["horizon_s"],
+            label=handle["label"],
+        )
+        _SHM_ATTACHMENTS[name] = (shm, source)
+        while len(_SHM_ATTACHMENTS) > _SHM_ATTACH_LIMIT:
+            _stale, (stale_shm, _stale_source) = _SHM_ATTACHMENTS.popitem(last=False)
+            stale_shm.close()
+        return source
+
+
+def _point_dataset(point: SweepPoint, source):
+    """The sweep point's sustainability dataset (same recipe for all paths)."""
     import math
 
-    from repro.cluster.simulator import BatchSimulator, Simulator
-    from repro.cluster.streaming import StreamingSimulator
-    from repro.schedulers.registry import make_scheduler
     from repro.sustainability.datasets import ElectricityMapsLikeProvider
 
-    source = _point_source(point)
     duration_days = (
         point.duration_days
         if point.duration_days is not None
         else source.horizon_s / 86_400.0
     )
     horizon_hours = max(int(math.ceil(duration_days * 24)) + 48, 72)
-    dataset = ElectricityMapsLikeProvider(horizon_hours=horizon_hours, seed=point.seed)
+    return ElectricityMapsLikeProvider(horizon_hours=horizon_hours, seed=point.seed)
+
+
+def _run_point(point: SweepPoint) -> SweepOutcome:
+    """Simulate one sweep point (module-level so process pools can pickle it)."""
+    from repro.cluster.simulator import BatchSimulator, Simulator
+    from repro.cluster.streaming import StreamingSimulator
+    from repro.schedulers.registry import make_scheduler
+
+    source = _point_source(point)
+    dataset = _point_dataset(point, source)
     scheduler = make_scheduler(point.scheduler, **dict(point.scheduler_kwargs))
     if point.engine == "stream":
         # Bounded memory: the policy cell replays the shared chunked source
@@ -277,6 +428,10 @@ def _run_point(point: SweepPoint) -> SweepOutcome:
             delay_tolerance=point.delay_tolerance,
             include_embodied=point.include_embodied,
         ).run()
+    return _outcome_from_result(point, result)
+
+
+def _outcome_from_result(point: SweepPoint, result) -> SweepOutcome:
     return SweepOutcome(
         point=point,
         summary=result.summary(),
@@ -288,10 +443,105 @@ def _run_point(point: SweepPoint) -> SweepOutcome:
     )
 
 
+#: SweepPoint fields that define a *fusable cell group*: points agreeing on
+#: all of these (i.e. differing only in the policy and its kwargs) can run
+#: through one MultiPolicyRunner pass.
+_FUSE_FIELDS = (
+    "trace_kind", "rate_per_hour", "duration_days", "delay_tolerance",
+    "servers_per_region", "scheduling_interval_s", "include_embodied", "seed",
+)
+
+
+def _fuse_key(point: SweepPoint) -> tuple:
+    return tuple(getattr(point, name) for name in _FUSE_FIELDS)
+
+
+def _run_fused_group(
+    points: Sequence[SweepPoint], handle: dict | None = None
+) -> list[SweepOutcome]:
+    """Run one fused cell group (same workload + conditions, many policies).
+
+    ``handle``, when given, points at a shared-memory workload packed by the
+    parent (:func:`pack_shared_workload`); otherwise the worker builds the
+    source from the point's parameters through the per-worker LRU cache.
+    Results are the streaming engine's aggregates, decision-identical to the
+    per-cell engines.
+    """
+    from repro.cluster.multi import MultiPolicyRunner
+    from repro.schedulers.registry import make_scheduler
+
+    points = list(points)
+    first = points[0]
+    source = attach_shared_workload(handle) if handle else _point_source(first)
+    dataset = _point_dataset(first, source)
+    schedulers = [
+        (str(i), make_scheduler(p.scheduler, **dict(p.scheduler_kwargs)))
+        for i, p in enumerate(points)
+    ]
+    results = MultiPolicyRunner(
+        source,
+        schedulers,
+        dataset=dataset,
+        collect="aggregate",
+        servers_per_region=first.servers_per_region,
+        scheduling_interval_s=first.scheduling_interval_s,
+        delay_tolerance=first.delay_tolerance,
+        include_embodied=first.include_embodied,
+    ).run()
+    return [
+        _outcome_from_result(point, results[str(i)])
+        for i, point in enumerate(points)
+    ]
+
+
+def _run_sweep_fused(
+    points: list[SweepPoint], workers: int | None, executor: str
+) -> list[SweepOutcome]:
+    """Fused execution plan: group cells, optionally pack workloads into shm."""
+    groups: "collections.OrderedDict[tuple, list[int]]" = collections.OrderedDict()
+    for index, point in enumerate(points):
+        groups.setdefault(_fuse_key(point), []).append(index)
+    tasks = [[points[i] for i in indices] for indices in groups.values()]
+
+    segments = []
+    handles: list[dict | None] = [None] * len(tasks)
+    outcomes: list[SweepOutcome | None] = [None] * len(points)
+    try:
+        if executor == "process" and not (workers == 1 or len(tasks) <= 1):
+            # Pack each distinct workload once; groups sharing a workload
+            # (e.g. several delay tolerances) share one segment.
+            by_workload: dict[tuple, dict] = {}
+            for task_index, group in enumerate(tasks):
+                key = _workload_key(group[0])
+                handle = by_workload.get(key)
+                if handle is None:
+                    shm, handle = pack_shared_workload(_point_source(group[0]))
+                    segments.append(shm)
+                    by_workload[key] = handle
+                handles[task_index] = handle
+            with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+                group_outcomes = list(pool.map(_run_fused_group, tasks, handles))
+        elif executor == "thread" and not (workers == 1 or len(tasks) <= 1):
+            with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
+                group_outcomes = list(pool.map(_run_fused_group, tasks))
+        else:
+            group_outcomes = [_run_fused_group(task) for task in tasks]
+    finally:
+        for shm in segments:
+            shm.close()
+            shm.unlink()
+
+    for indices, group_result in zip(groups.values(), group_outcomes):
+        for position, outcome in zip(indices, group_result):
+            outcomes[position] = outcome
+    return outcomes  # type: ignore[return-value]
+
+
 def run_sweep(
     points: Sequence[SweepPoint],
     workers: int | None = None,
     executor: str = "process",
+    fused: bool = False,
 ) -> list[SweepOutcome]:
     """Simulate every point, sharding across workers; outcomes in input order.
 
@@ -306,12 +556,23 @@ def run_sweep(
         ``"process"`` (default — real parallelism for the CPU-bound
         simulations), ``"thread"`` (no spawn cost; useful for small sweeps
         and tests) or ``"serial"``.
+    fused:
+        Collapse cells that differ only in the policy into one-pass
+        multi-policy tasks (:class:`~repro.cluster.multi.MultiPolicyRunner`),
+        sharing trace generation and columnization across the group; with
+        ``executor="process"`` each distinct workload is additionally packed
+        into shared memory once and streamed zero-copy by the workers.
+        Fused cells run the bounded-memory streaming engine regardless of
+        ``point.engine`` (decisions are engine-invariant; summaries agree to
+        float tolerance).
     """
     if executor not in _EXECUTORS:
         raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
     if workers is not None and workers < 1:
         raise ValueError("workers must be >= 1")
     points = list(points)
+    if fused:
+        return _run_sweep_fused(points, workers, executor)
     if executor == "serial" or workers == 1 or len(points) <= 1:
         return [_run_point(point) for point in points]
     pool_cls = (

@@ -14,6 +14,7 @@ from collections.abc import Callable, Mapping, Sequence
 from repro.cluster.capacity import servers_for_target_utilization
 from repro.cluster.interface import Scheduler
 from repro.cluster.metrics import SimulationResult
+from repro.cluster.multi import MultiPolicyRunner
 from repro.cluster.simulator import BatchSimulator, Simulator
 from repro.cluster.streaming import StreamingSimulator
 from repro.traces.stream import TraceSource, TraceView
@@ -206,7 +207,29 @@ def run_policies(
     With ``engine="stream"`` every policy cell replays the *same* chunked
     source (streams are restartable and chunk-size-invariant), so sweep
     memory stays O(chunk) instead of O(n_policies × n_jobs).
+    ``engine="fused"`` goes one step further: a single
+    :class:`~repro.cluster.multi.MultiPolicyRunner` pass drives every policy
+    in lockstep over one chunk stream, so trace generation and columnization
+    are paid once for the whole policy set instead of once per cell.  Fused
+    results are the streaming engine's aggregate
+    :class:`~repro.cluster.streaming.StreamResult`\\ s (identical decisions,
+    same summary keys).
     """
+    if engine == "fused":
+        source = trace if isinstance(trace, TraceSource) else TraceView(trace)
+        runner = MultiPolicyRunner(
+            source,
+            {name: factory() for name, factory in policies.items()},
+            dataset=dataset,
+            chunk_size=chunk_size,
+            collect="aggregate",
+            regions=regions,
+            servers_per_region=servers_per_region,
+            scheduling_interval_s=scheduling_interval_s,
+            delay_tolerance=delay_tolerance,
+            include_embodied=include_embodied,
+        )
+        return runner.run()
     if engine != "stream" and isinstance(trace, TraceSource):
         # Materialize once, not once per policy cell.
         trace = trace.materialize()

@@ -89,10 +89,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_workload_arguments(simulate)
     simulate.add_argument(
-        "--engine", choices=["scalar", "batch", "stream"], default=None,
-        help="simulation engine: batch = vectorized (~13-16x faster, identical "
-             "results), stream = bounded-memory streaming (identical decisions, "
-             "memory stays O(chunk + active jobs); default: scalar)",
+        "--engine", choices=["scalar", "batch", "stream", "fused"], default=None,
+        help="simulation engine: batch = vectorized (identical results), "
+             "stream = bounded-memory streaming (identical decisions, memory "
+             "stays O(chunk + active jobs)), fused = one-pass multi-policy "
+             "streaming (the workload is generated and columnized once for "
+             "ALL policies; identical decisions); default: scalar",
     )
     simulate.add_argument(
         "--stream", action="store_true",
@@ -100,8 +102,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument(
         "--chunk-size", type=int, default=None,
-        help="jobs per streaming chunk (stream engine only; results are "
-             "chunk-size-invariant; default 4096)",
+        help="jobs per streaming chunk (stream/fused engines only; results "
+             "are chunk-size-invariant; default 4096)",
+    )
+    simulate.add_argument(
+        "--profile", metavar="FILE", default=None,
+        help="profile the simulation with cProfile and write the top entries "
+             "(by cumulative time) to FILE",
     )
     simulate.add_argument(
         "--solver", choices=["auto", "scipy", "native", "structured"], default="auto",
@@ -183,8 +190,10 @@ def _resolve_engine(args: argparse.Namespace) -> tuple[str, int]:
             f"--stream conflicts with --engine {args.engine}; pick one"
         )
     engine = "stream" if args.stream else (args.engine or "scalar")
-    if args.chunk_size is not None and engine != "stream":
-        raise SystemExit("--chunk-size requires the streaming engine (--engine stream)")
+    if args.chunk_size is not None and engine not in ("stream", "fused"):
+        raise SystemExit(
+            "--chunk-size requires a chunked engine (--engine stream/fused)"
+        )
     return engine, 4096 if args.chunk_size is None else args.chunk_size
 
 
@@ -192,7 +201,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     engine, chunk_size = _resolve_engine(args)
     source = _build_source(args)
     dataset = _build_dataset(args)
-    if engine == "stream":
+    if engine in ("stream", "fused"):
         trace = source  # run_policies streams the source directly
     else:
         trace = source.materialize()
@@ -216,13 +225,24 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     policies = {name: _factory(name) for name in policy_names}
 
-    if engine == "stream":
+    if engine == "fused":
+        print(
+            f"trace     : {source.trace_name} "
+            f"(fused multi-policy streaming, {chunk_size} jobs/chunk)"
+        )
+    elif engine == "stream":
         print(f"trace     : {source.trace_name} (streaming, {chunk_size} jobs/chunk)")
     else:
         print(f"trace     : {trace}")
     print(f"servers   : {servers} per region ({args.utilization:.0%} target utilization)")
     print(f"tolerance : {args.tolerance:.0%}\n")
 
+    profiler = None
+    if args.profile is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     results = run_policies(
         trace,
         dataset,
@@ -233,6 +253,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         engine=engine,
         chunk_size=chunk_size,
     )
+    if profiler is not None:
+        profiler.disable()
     totals = [
         [
             name,
@@ -257,7 +279,23 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             ["policy", "carbon_savings_%", "water_savings_%"], savings_rows,
             title="Savings vs. baseline",
         ))
+    if profiler is not None:
+        _write_profile(profiler, args.profile)
     return 0
+
+
+def _write_profile(profiler, path: str, top: int = 40) -> None:
+    """Dump the profile's top functions (by cumulative time) to ``path``."""
+    import io
+    import pstats
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    stats.sort_stats("tottime").print_stats(top)
+    with open(path, "w", encoding="utf-8") as sink:
+        sink.write(buffer.getvalue())
+    print(f"\nprofile   : wrote top-{top} functions to {path}")
 
 
 def _print_stream_summary(result) -> None:
@@ -277,7 +315,7 @@ def _print_stream_summary(result) -> None:
     print(format_table(
         ["p50", "p95", "p99"],
         [[quantiles[0.5], quantiles[0.95], quantiles[0.99]]],
-        title="Service-ratio quantiles (streaming P2 estimates)",
+        title="Service-ratio quantiles (streaming estimates)",
     ))
 
 

@@ -16,6 +16,10 @@ logic through trace simulation.  This subpackage is that simulation substrate:
 * :mod:`repro.cluster.batch` — columnar job/result containers for the batch
   engine (:class:`JobArrays`, :class:`BatchSchedulingContext`,
   :class:`BatchResult`),
+* :mod:`repro.cluster.events` — the array-batched event kernel both array
+  engines drive their discrete-event core through,
+* :mod:`repro.cluster.multi` — the fused multi-policy runner (one workload
+  pass, K policies in lockstep),
 * :mod:`repro.cluster.metrics` — per-job outcomes and aggregate results,
 * :mod:`repro.cluster.capacity` — helpers to size clusters for a target
   utilization (the paper's 5% / 15% / 25% settings).
@@ -26,7 +30,9 @@ from repro.cluster.capacity import servers_for_target_utilization
 from repro.cluster.datacenter import Datacenter
 from repro.cluster.footprint import FootprintCalculator, RunningFootprintTotals
 from repro.cluster.interface import Scheduler, SchedulerDecision, SchedulingContext
+from repro.cluster.events import EventQueue
 from repro.cluster.metrics import JobOutcome, RunningJobStats, SimulationResult
+from repro.cluster.multi import MultiPolicyRunner
 from repro.cluster.simulator import BatchSimulator, Simulator
 from repro.cluster.streaming import EngineState, StreamingSimulator, StreamResult
 
@@ -37,9 +43,11 @@ __all__ = [
     "BatchSimulator",
     "Datacenter",
     "EngineState",
+    "EventQueue",
     "FootprintCalculator",
     "JobArrays",
     "JobOutcome",
+    "MultiPolicyRunner",
     "RunningFootprintTotals",
     "RunningJobStats",
     "Scheduler",

@@ -1,0 +1,430 @@
+"""Array-batched event kernel shared by the batch and streaming engines.
+
+Both simulation engines used to drive their discrete-event core through a
+Python ``heapq`` of ``(when, kind, seq, slot)`` tuples — one pop, one tuple
+compare and a handful of scalar array reads *per event*, which at a million
+jobs (two events each) dominates the non-decision runtime.  This module
+replaces the heap with an :class:`EventQueue` that keeps the pending READY
+and FINISH events in NumPy arrays sorted by ``(when, seq)`` and processes a
+whole *round window* (all events up to the next scheduling round) at once.
+
+The window kernel exploits that regions are independent inside the event
+loop — queues, free servers, committed counts and busy-second accounting
+never couple two regions between scheduling rounds — and splits the window
+per region:
+
+* **Clean regions** (FIFO queue empty at the window start, and a per-region
+  prefix-sum over the window's server deltas — applying same-time events in
+  the heap's order, finishes before readies — proves free capacity never
+  binds): every ready job provably starts at its ready time, so starts,
+  finishes, busy seconds, committed/free updates and the finished-slot list
+  are computed as vectorized segment operations.  No per-event Python.
+* **Contended regions** (non-empty queue or capacity binding inside the
+  window): their events are replayed through the *classic* heap loop,
+  operation for operation identical to the pre-kernel engines (finishes
+  before readies at equal times, sequenced pushes, FIFO admission).
+
+The clean path only fires when it is provably equivalent to the replay, and
+the replay *is* the original algorithm, so per-job regions, start/finish/
+ready times, deferrals and footprints — everything ``BatchResult.digest()``
+hashes — are byte-identical either way.  The registry-wide differential
+harness enforces this, and the engines expose ``kernel="scalar"`` to force
+the reference loop everywhere (used by differential tests and as the
+benchmark baseline).
+
+Sequence numbers keep their engine-level contract: commits assign one
+``seq`` per READY push in commit order, starts one ``seq`` per FINISH push.
+Sequence *order* only ever breaks ties between same-region events (distinct
+regions cannot interact), and within a region both paths assign sequence
+numbers in the region's own causal order, so equal-time FIFO tie-breaking is
+preserved exactly.
+
+One deliberate non-guarantee: the *cross-region interleaving* of the
+finished list differs between the kernels in mixed windows (clean regions
+flush before contended ones), and is deterministic but not identical to the
+pure-replay order.  Per-job values and per-region order — everything
+``BatchResult.digest()`` and the aggregate totals depend on up to float
+rounding — are unaffected; only flush-order-sensitive aggregate extras (the
+seeded reservoir sample, last-ulp float-sum rounding) can differ between
+``kernel="vector"`` and ``kernel="scalar"``.  Each kernel by itself remains
+exactly chunk-size- and checkpoint-invariant.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+__all__ = ["EventQueue", "process_until"]
+
+#: Event kinds, ordered like the legacy heap tuples (finishes pop first at
+#: equal times).  Values mirror ``simulator._EVENT_FINISH`` / ``_EVENT_READY``.
+KIND_FINISH = 0
+KIND_READY = 1
+
+_EMPTY_F = np.zeros(0)
+_EMPTY_I = np.zeros(0, dtype=np.int64)
+
+
+def _merge_sorted(
+    when: np.ndarray, seq: np.ndarray, slot: np.ndarray,
+    new_when: np.ndarray, new_seq: np.ndarray, new_slot: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Merge two ``(when, seq)``-sorted event arrays into one."""
+    if len(new_when) == 0:
+        return when, seq, slot
+    when = np.concatenate([when, new_when])
+    seq = np.concatenate([seq, new_seq])
+    slot = np.concatenate([slot, new_slot])
+    order = np.lexsort((seq, when))
+    return when[order], seq[order], slot[order]
+
+
+class EventQueue:
+    """Pending READY/FINISH events as ``(when, seq)``-sorted NumPy arrays.
+
+    Plain arrays plus an integer sequence counter, so the queue pickles —
+    it is part of the streaming engine's checkpointable
+    :class:`~repro.cluster.streaming.EngineState`.
+    """
+
+    def __init__(self) -> None:
+        self.ready_when = _EMPTY_F
+        self.ready_seq = _EMPTY_I
+        self.ready_slot = _EMPTY_I
+        self.finish_when = _EMPTY_F
+        self.finish_seq = _EMPTY_I
+        self.finish_slot = _EMPTY_I
+        self.sequence = 0
+
+    def __len__(self) -> int:
+        return len(self.ready_when) + len(self.finish_when)
+
+    def push_ready_batch(self, when: np.ndarray, slots: np.ndarray) -> None:
+        """Queue READY events, assigning sequence numbers in the given order.
+
+        The order of ``slots`` is the commit order — it decides equal-time
+        FIFO tie-breaking exactly like consecutive ``heappush`` calls did.
+        """
+        n = len(slots)
+        if n == 0:
+            return
+        seq = np.arange(self.sequence, self.sequence + n, dtype=np.int64)
+        self.sequence += n
+        self.ready_when, self.ready_seq, self.ready_slot = _merge_sorted(
+            self.ready_when, self.ready_seq, self.ready_slot,
+            np.asarray(when, dtype=float), seq, np.asarray(slots, dtype=np.int64),
+        )
+
+    def _push_finish_arrays(
+        self, when: np.ndarray, seq: np.ndarray, slots: np.ndarray
+    ) -> None:
+        self.finish_when, self.finish_seq, self.finish_slot = _merge_sorted(
+            self.finish_when, self.finish_seq, self.finish_slot, when, seq, slots
+        )
+
+
+def process_until(
+    queue: EventQueue,
+    limit: float,
+    *,
+    servers: np.ndarray,
+    exec_real: np.ndarray,
+    region_of: np.ndarray,
+    start: np.ndarray,
+    finish: np.ndarray,
+    free: np.ndarray,
+    committed: np.ndarray,
+    busy_seconds: np.ndarray,
+    queues: list,
+    finished: list | None,
+    use_fast: bool = True,
+) -> float:
+    """Process every event at or before ``limit``; returns the max finish time.
+
+    ``servers`` / ``exec_real`` / ``region_of`` / ``start`` / ``finish`` are
+    slot-indexed job columns (mutated in place for started/finished jobs);
+    ``free`` / ``committed`` / ``busy_seconds`` / ``queues`` are the
+    per-region state.  ``finished`` (when not ``None``) receives the finished
+    slots in a deterministic near-pop order (exact pop order per region).
+    Returns ``-inf`` when nothing finished.
+    """
+    nf = int(np.searchsorted(queue.finish_when, limit, side="right"))
+    nr = int(np.searchsorted(queue.ready_when, limit, side="right"))
+    if nf == 0 and nr == 0:
+        return -np.inf
+
+    r_when = queue.ready_when[:nr]
+    r_seq = queue.ready_seq[:nr]
+    r_slot = queue.ready_slot[:nr]
+    f_when = queue.finish_when[:nf]
+    f_seq = queue.finish_seq[:nf]
+    f_slot = queue.finish_slot[:nf]
+    queue.ready_when = queue.ready_when[nr:]
+    queue.ready_seq = queue.ready_seq[nr:]
+    queue.ready_slot = queue.ready_slot[nr:]
+    queue.finish_when = queue.finish_when[nf:]
+    queue.finish_seq = queue.finish_seq[nf:]
+    queue.finish_slot = queue.finish_slot[nf:]
+
+    r_reg = region_of[r_slot]
+    f_reg = region_of[f_slot]
+
+    clean = None
+    if use_fast:
+        clean = _clean_regions(
+            limit, r_when, r_slot, r_reg, f_when, f_slot, f_reg,
+            servers=servers, exec_real=exec_real, free=free, queues=queues,
+        )
+
+    makespan = -np.inf
+    if clean is not None and clean.any():
+        r_mask = clean[r_reg]
+        f_mask = clean[f_reg]
+        span = _apply_clean(
+            queue, limit,
+            r_when[r_mask], r_slot[r_mask], r_reg[r_mask],
+            f_when[f_mask], f_seq[f_mask], f_slot[f_mask], f_reg[f_mask],
+            servers=servers, exec_real=exec_real, start=start, finish=finish,
+            free=free, committed=committed, busy_seconds=busy_seconds,
+            finished=finished,
+        )
+        makespan = max(makespan, span)
+        r_keep = ~r_mask
+        f_keep = ~f_mask
+        r_when, r_seq, r_slot = r_when[r_keep], r_seq[r_keep], r_slot[r_keep]
+        f_when, f_seq, f_slot = f_when[f_keep], f_seq[f_keep], f_slot[f_keep]
+        r_reg, f_reg = r_reg[r_keep], f_reg[f_keep]
+
+    if len(r_when) or len(f_when):
+        span = _replay(
+            queue, limit, r_when, r_seq, r_slot, r_reg, f_when, f_seq, f_slot, f_reg,
+            servers=servers, exec_real=exec_real,
+            start=start, finish=finish, free=free, committed=committed,
+            busy_seconds=busy_seconds, queues=queues, finished=finished,
+        )
+        makespan = max(makespan, span)
+    return makespan
+
+
+def _clean_regions(
+    limit: float,
+    r_when: np.ndarray,
+    r_slot: np.ndarray,
+    r_reg: np.ndarray,
+    f_when: np.ndarray,
+    f_slot: np.ndarray,
+    f_reg: np.ndarray,
+    *,
+    servers: np.ndarray,
+    exec_real: np.ndarray,
+    free: np.ndarray,
+    queues: list,
+) -> np.ndarray:
+    """Per-region verdict: may this window be applied without replay?
+
+    A region qualifies when its FIFO queue is empty at the window start and
+    the per-region prefix sum over the window's server deltas — finishes
+    (freeing) before readies (starting) at equal times, exactly like the heap
+    order — never overdraws its free servers.  Same-kind same-time deltas
+    share a sign, so their internal order cannot affect the running minimum.
+    """
+    n_regions = len(free)
+    clean = np.array([not queues[r] for r in range(n_regions)])
+    if not clean.any():
+        return clean
+
+    r_srv = servers[r_slot]
+    f_srv = servers[f_slot]
+    new_when = r_when + exec_real[r_slot]
+    in_window = new_when <= limit
+    ev_when = np.concatenate([f_when, new_when[in_window], r_when])
+    n_finish = len(f_when) + int(in_window.sum())
+    ev_kind = np.concatenate(
+        [np.zeros(n_finish, dtype=np.int8), np.ones(len(r_when), dtype=np.int8)]
+    )
+    ev_reg = np.concatenate([f_reg, r_reg[in_window], r_reg])
+    ev_delta = np.concatenate([f_srv, r_srv[in_window], -r_srv])
+    order = np.lexsort((ev_kind, ev_when))
+    s_reg = ev_reg[order]
+    s_delta = ev_delta[order]
+    for region in range(n_regions):
+        if not clean[region]:
+            continue
+        mask = s_reg == region
+        if not mask.any():
+            continue
+        running = free[region] + np.cumsum(s_delta[mask])
+        if running.min() < 0:
+            clean[region] = False
+    return clean
+
+
+def _apply_clean(
+    queue: EventQueue,
+    limit: float,
+    r_when: np.ndarray,
+    r_slot: np.ndarray,
+    r_reg: np.ndarray,
+    f_when: np.ndarray,
+    f_seq: np.ndarray,
+    f_slot: np.ndarray,
+    f_reg: np.ndarray,
+    *,
+    servers: np.ndarray,
+    exec_real: np.ndarray,
+    start: np.ndarray,
+    finish: np.ndarray,
+    free: np.ndarray,
+    committed: np.ndarray,
+    busy_seconds: np.ndarray,
+    finished: list | None,
+) -> float:
+    """Vectorized window for the clean regions (every ready starts on time)."""
+    n_regions = len(free)
+    r_srv = servers[r_slot]
+    f_srv = servers[f_slot]
+    r_exec = exec_real[r_slot]
+
+    start[r_slot] = r_when
+    nr = len(r_slot)
+    new_seq = np.arange(queue.sequence, queue.sequence + nr, dtype=np.int64)
+    queue.sequence += nr
+    new_when = r_when + r_exec
+    in_window = new_when <= limit
+
+    started = np.bincount(r_reg, weights=r_srv, minlength=n_regions)
+    done_reg = np.concatenate([f_reg, r_reg[in_window]])
+    done_srv = np.concatenate([f_srv, r_srv[in_window]])
+    done_dur = np.concatenate([f_when - start[f_slot], r_exec[in_window]])
+    done_cnt = np.bincount(done_reg, weights=done_srv, minlength=n_regions)
+    free += (done_cnt - started).astype(np.int64)
+    committed += (started - done_cnt).astype(np.int64)
+    busy_seconds += np.bincount(
+        done_reg, weights=done_srv * done_dur, minlength=n_regions
+    )
+
+    nw = new_when[in_window]
+    finish[f_slot] = f_when
+    finish[r_slot[in_window]] = nw
+
+    makespan = -np.inf
+    if len(f_when):
+        makespan = float(f_when[-1])
+    if len(nw):
+        makespan = max(makespan, float(nw.max()))
+
+    if finished is not None and (len(f_when) or len(nw)):
+        done_when = np.concatenate([f_when, nw])
+        done_seq = np.concatenate([f_seq, new_seq[in_window]])
+        done_slot = np.concatenate([f_slot, r_slot[in_window]])
+        pop_order = np.lexsort((done_seq, done_when))
+        finished.extend(done_slot[pop_order].tolist())
+
+    out = ~in_window
+    if out.any():
+        queue._push_finish_arrays(new_when[out], new_seq[out], r_slot[out])
+    return makespan
+
+
+def _replay(
+    queue: EventQueue,
+    limit: float,
+    r_when: np.ndarray,
+    r_seq: np.ndarray,
+    r_slot: np.ndarray,
+    r_reg: np.ndarray,
+    f_when: np.ndarray,
+    f_seq: np.ndarray,
+    f_slot: np.ndarray,
+    f_reg: np.ndarray,
+    *,
+    servers: np.ndarray,
+    exec_real: np.ndarray,
+    start: np.ndarray,
+    finish: np.ndarray,
+    free: np.ndarray,
+    committed: np.ndarray,
+    busy_seconds: np.ndarray,
+    queues: list,
+    finished: list | None,
+) -> float:
+    """The classic heap loop over in-window events (the reference path).
+
+    Event tuples carry ``(when, kind, seq, slot, region, servers, started)``
+    — the per-slot payloads are gathered vectorized up front and the
+    per-region counters are mirrored into Python lists for the duration of
+    the window, so the loop never touches a NumPy scalar on its hot path.
+    FIFO queues hold ``(slot, servers)`` pairs for the same reason.
+    """
+    entries: list[tuple] = [
+        (when, KIND_FINISH, seq, slot, region, srv, began)
+        for when, seq, slot, region, srv, began in zip(
+            f_when.tolist(), f_seq.tolist(), f_slot.tolist(), f_reg.tolist(),
+            servers[f_slot].tolist(), start[f_slot].tolist(),
+        )
+    ]
+    entries.extend(
+        (when, KIND_READY, seq, slot, region, srv, 0.0)
+        for when, seq, slot, region, srv in zip(
+            r_when.tolist(), r_seq.tolist(), r_slot.tolist(), r_reg.tolist(),
+            servers[r_slot].tolist(),
+        )
+    )
+    heapq.heapify(entries)
+
+    free_l = free.tolist()
+    committed_l = committed.tolist()
+    busy_l = busy_seconds.tolist()
+    over_when: list[float] = []
+    over_seq: list[int] = []
+    over_slot: list[int] = []
+    makespan = -np.inf
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+
+    def start_job(slot: int, region: int, srv: int, when: float) -> None:
+        free_l[region] -= srv
+        start[slot] = when
+        finish_at = when + float(exec_real[slot])
+        seq = queue.sequence
+        queue.sequence = seq + 1
+        if finish_at <= limit:
+            heappush(entries, (finish_at, KIND_FINISH, seq, slot, region, srv, when))
+        else:
+            over_when.append(finish_at)
+            over_seq.append(seq)
+            over_slot.append(slot)
+
+    while entries:
+        when, kind, _seq, slot, region, srv, began = heappop(entries)
+        if kind == KIND_READY:
+            committed_l[region] += srv
+            if free_l[region] >= srv and not queues[region]:
+                start_job(slot, region, srv, when)
+            else:
+                queues[region].append((slot, srv))
+        else:  # KIND_FINISH
+            free_l[region] += srv
+            committed_l[region] -= srv
+            busy_l[region] += srv * (when - began)
+            finish[slot] = when
+            if when > makespan:
+                makespan = when
+            if finished is not None:
+                finished.append(slot)
+            fifo = queues[region]
+            while fifo and free_l[region] >= fifo[0][1]:
+                queued_slot, queued_srv = fifo.popleft()
+                start_job(queued_slot, region, queued_srv, when)
+
+    free[:] = free_l
+    committed[:] = committed_l
+    busy_seconds[:] = busy_l
+    if over_when:
+        queue._push_finish_arrays(
+            np.array(over_when), np.array(over_seq, dtype=np.int64),
+            np.array(over_slot, dtype=np.int64),
+        )
+    return makespan

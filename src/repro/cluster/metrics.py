@@ -4,7 +4,8 @@ Besides the object-world :class:`JobOutcome` / :class:`SimulationResult`
 pair, this module provides the *carry-over accumulators* of the streaming
 horizon engine: :class:`RunningJobStats` folds finished-job chunks into the
 aggregate figures of merit without retaining per-job columns, assisted by
-:class:`P2Quantile` (constant-memory quantile estimation) and
+:class:`StreamingQuantiles` / :class:`P2Quantile` (constant-memory
+quantile estimation) and
 :class:`ReservoirSample` (a seeded uniform sample of per-job rows for
 post-hoc inspection).  All three are picklable, so a checkpointed engine
 resumes mid-aggregation.
@@ -22,6 +23,7 @@ __all__ = [
     "JobOutcome",
     "SimulationResult",
     "P2Quantile",
+    "StreamingQuantiles",
     "ReservoirSample",
     "RunningJobStats",
 ]
@@ -361,6 +363,99 @@ class P2Quantile:
         return heights[2]
 
 
+class StreamingQuantiles:
+    """Vectorized streaming quantile estimates over a fixed log-spaced grid.
+
+    The P² estimator (:class:`P2Quantile`) updates five markers *per
+    observation* in Python — at a million jobs that inner loop dominates the
+    streaming engine's aggregation time.  This estimator instead folds whole
+    batches into a fixed histogram (``np.searchsorted`` + ``np.bincount``),
+    making the update cost one vectorized pass per flushed chunk.  Because
+    bin counts are order-independent, the estimates are *exactly* invariant
+    to chunking and flush batching (P² was only deterministic in insertion
+    order), and the histogram pickles for checkpoint/resume.
+
+    The grid spans ``[lo, hi]`` with geometrically spaced edges — with the
+    default 8192 bins over [1e-3, 1e7] the relative resolution is ~0.3%,
+    far inside the accuracy of any streaming estimate.  Values outside the
+    grid clamp into the edge bins; the exact running min/max bound the
+    returned estimates.  The exact order statistics are returned while fewer
+    than ``exact_limit`` observations have been seen (small runs stay exact).
+    """
+
+    def __init__(
+        self,
+        quantiles: Sequence[float] = (0.5, 0.95, 0.99),
+        lo: float = 1e-3,
+        hi: float = 1e7,
+        bins: int = 8192,
+        exact_limit: int = 512,
+    ) -> None:
+        for q in quantiles:
+            if not 0.0 < q < 1.0:
+                raise ValueError(f"quantiles must be in (0, 1), got {q}")
+        if not (0.0 < lo < hi):
+            raise ValueError("need 0 < lo < hi")
+        if bins < 2:
+            raise ValueError("bins must be >= 2")
+        self.qs = tuple(float(q) for q in quantiles)
+        self._log_lo = float(np.log(lo))
+        self._log_hi = float(np.log(hi))
+        self._edges = np.exp(np.linspace(self._log_lo, self._log_hi, int(bins) + 1))
+        self._counts = np.zeros(int(bins), dtype=np.int64)
+        self._exact: list[float] | None = []
+        self._exact_limit = int(exact_limit)
+        self.count = 0
+        self.min = np.inf
+        self.max = -np.inf
+
+    def _fold(self, values: np.ndarray) -> None:
+        cells = np.clip(
+            np.searchsorted(self._edges, values, side="right") - 1,
+            0,
+            len(self._counts) - 1,
+        )
+        self._counts += np.bincount(cells, minlength=len(self._counts))
+
+    def add_many(self, values) -> None:
+        values = np.asarray(values, dtype=float).ravel()
+        if len(values) == 0:
+            return
+        self.count += len(values)
+        self.min = min(self.min, float(values.min()))
+        self.max = max(self.max, float(values.max()))
+        if self._exact is not None:
+            self._exact.extend(values.tolist())
+            if len(self._exact) > self._exact_limit:
+                self._fold(np.asarray(self._exact))
+                self._exact = None
+            return
+        self._fold(values)
+
+    def add(self, value: float) -> None:
+        self.add_many(np.array([float(value)]))
+
+    def value(self, q: float) -> float:
+        """Estimate of quantile ``q`` (NaN before the first observation)."""
+        if self.count == 0:
+            return float("nan")
+        if self._exact is not None:
+            return float(np.quantile(np.asarray(self._exact), q))
+        # Rank-based read: first bin whose cumulative count reaches the
+        # target rank; the geometric bin midpoint is the estimate, clamped to
+        # the exact observed range.
+        target = q * (self.count - 1) + 1.0
+        cumulative = np.cumsum(self._counts)
+        cell = int(np.searchsorted(cumulative, target, side="left"))
+        cell = min(cell, len(self._counts) - 1)
+        estimate = float(np.sqrt(self._edges[cell] * self._edges[cell + 1]))
+        return float(min(max(estimate, self.min), self.max))
+
+    def values(self) -> dict[float, float]:
+        """All configured quantile estimates, keyed by quantile."""
+        return {q: self.value(q) for q in self.qs}
+
+
 class ReservoirSample:
     """Uniform fixed-size sample over a stream of per-job rows (algorithm R).
 
@@ -443,7 +538,7 @@ class RunningJobStats:
         self.violations = 0
         self.migrated = 0
         self.jobs_per_region = np.zeros(self.n_regions, dtype=np.int64)
-        self.quantiles = {q: P2Quantile(q) for q in quantiles}
+        self.quantiles = StreamingQuantiles(quantiles)
         self.reservoir = (
             ReservoirSample(reservoir_size, seed=seed) if reservoir_size else None
         )
@@ -479,8 +574,7 @@ class RunningJobStats:
         self.violations += int(np.count_nonzero(service > limit))
         self.migrated += int(np.count_nonzero(region_idx != home_idx))
         self.jobs_per_region += np.bincount(region_idx, minlength=self.n_regions)
-        for estimator in self.quantiles.values():
-            estimator.add_many(ratios)
+        self.quantiles.add_many(ratios)
         if self.reservoir is not None:
             self.reservoir.offer(
                 {
@@ -518,4 +612,4 @@ class RunningJobStats:
         return self.execution_sum / self.num_jobs if self.num_jobs else 0.0
 
     def service_ratio_quantiles(self) -> dict[float, float]:
-        return {q: estimator.value() for q, estimator in self.quantiles.items()}
+        return self.quantiles.values()

@@ -1,0 +1,115 @@
+"""Fused multi-policy runner: one trace pass, K policies in lockstep.
+
+Every figure in the paper's evaluation compares N sustainability-aware
+policies over the *same* workload, yet a per-cell sweep simulates each
+(workload × policy) pair independently — regenerating, re-columnizing and
+re-ingesting the identical trace N times.  :class:`MultiPolicyRunner` drives
+one chunked :class:`~repro.traces.stream.TraceSource` through K independent
+:class:`~repro.cluster.streaming.StreamingSimulator` engine states in
+lockstep:
+
+* trace generation / columnization happens **once per chunk** instead of
+  once per policy (each engine ingests the shared :class:`JobChunk` views —
+  chunk arrays are read-only from the engines' perspective);
+* the sustainability dataset, footprint prefix-integrals and transfer-model
+  propagation matrices are built **once** and shared by every engine (the
+  engines only read them);
+* every policy still owns its engine state and scheduler, so decisions,
+  results and digests are *identical* to running each policy through its own
+  :class:`StreamingSimulator` — the differential harness enforces digest
+  equality registry-wide.
+
+Memory stays O(K × (chunk + active jobs)) in ``collect="aggregate"`` mode,
+so a fused sweep inherits the streaming engine's bounded-memory guarantee.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.cluster.interface import Scheduler
+from repro.cluster.streaming import StreamingSimulator
+
+__all__ = ["MultiPolicyRunner"]
+
+
+class MultiPolicyRunner:
+    """Run several policies over one chunk stream, sharing the workload pass.
+
+    Parameters
+    ----------
+    source:
+        Chunked trace source (any object with ``iter_chunks`` /
+        ``horizon_s``; a materialized trace can be wrapped in
+        :class:`~repro.traces.stream.TraceView`).
+    schedulers:
+        ``{label: scheduler}`` mapping or ``[(label, scheduler)]`` sequence;
+        labels key the result dictionary (duplicate labels are rejected).
+    dataset / engine_kwargs:
+        Forwarded to every engine.  When ``dataset`` is omitted the first
+        engine's auto-built dataset is shared by all of them, so every policy
+        sees identical intensities — the paper's "identical conditions"
+        methodology.
+    chunk_size:
+        Jobs per shared chunk (results are chunk-size-invariant).
+    collect:
+        ``"full"`` (per-policy :class:`~repro.cluster.batch.BatchResult`) or
+        ``"aggregate"`` (bounded-memory
+        :class:`~repro.cluster.streaming.StreamResult`).
+    """
+
+    def __init__(
+        self,
+        source,
+        schedulers: Mapping[str, Scheduler] | Sequence[tuple[str, Scheduler]],
+        dataset=None,
+        chunk_size: int = 4096,
+        collect: str = "aggregate",
+        **engine_kwargs,
+    ) -> None:
+        if isinstance(schedulers, Mapping):
+            pairs = list(schedulers.items())
+        else:
+            pairs = [(str(label), scheduler) for label, scheduler in schedulers]
+        if not pairs:
+            raise ValueError("MultiPolicyRunner needs at least one scheduler")
+        labels = [label for label, _ in pairs]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate scheduler labels: {sorted(labels)}")
+        self.source = source
+        self.chunk_size = int(chunk_size)
+        self.engines: dict[str, StreamingSimulator] = {}
+        for label, scheduler in pairs:
+            engine = StreamingSimulator(
+                source,
+                scheduler,
+                dataset=dataset,
+                chunk_size=chunk_size,
+                collect=collect,
+                **engine_kwargs,
+            )
+            if dataset is None:
+                # Auto-built once; every subsequent engine shares it (and the
+                # footprint calculator's prefix-integral caches warm for all).
+                dataset = engine.dataset
+            self.engines[label] = engine
+
+    @property
+    def labels(self) -> list[str]:
+        return list(self.engines)
+
+    def run(self) -> dict[str, object]:
+        """Stream the source once, advancing every engine per chunk.
+
+        Returns ``{label: result}`` with the same result objects the
+        per-policy engines would produce (``BatchResult`` for
+        ``collect="full"``, ``StreamResult`` for ``"aggregate"``).
+        """
+        engines = list(self.engines.values())
+        for engine in engines:
+            if engine.state is None:
+                engine.init_state()
+        for chunk in self.source.iter_chunks(self.chunk_size):
+            for engine in engines:
+                engine.advance(chunk)
+        return {label: engine.finalize() for label, engine in self.engines.items()}

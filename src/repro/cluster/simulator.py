@@ -39,6 +39,7 @@ from repro.cluster.batch import (
     resolve_fast_decision,
 )
 from repro.cluster.datacenter import Datacenter
+from repro.cluster.events import EventQueue, process_until
 from repro.cluster.footprint import FootprintCalculator
 from repro.cluster.interface import Scheduler, SchedulingContext
 from repro.cluster.metrics import JobOutcome, SimulationResult
@@ -107,6 +108,14 @@ class _SimulatorBase:
     max_rounds:
         Safety limit on scheduling rounds (guards against policies that defer
         forever).
+    kernel:
+        Event-kernel flavour for the array engines: ``"vector"`` (default)
+        enables the batched uncontended-window path of
+        :mod:`repro.cluster.events`; ``"scalar"`` forces the classic
+        event-at-a-time reference loop everywhere.  Both are
+        decision-identical (the differential harness compares their digests);
+        the scalar kernel exists as the testing reference and benchmark
+        baseline.  The object-world :class:`Simulator` ignores it.
     """
 
     def __init__(
@@ -123,6 +132,7 @@ class _SimulatorBase:
         include_embodied: bool = True,
         seed_dataset_horizon_slack_h: int = 24,
         max_rounds: int = 1_000_000,
+        kernel: str = "vector",
     ) -> None:
         self.trace = trace
         self.scheduler = scheduler
@@ -150,6 +160,9 @@ class _SimulatorBase:
             dataset, server=server, include_embodied=include_embodied
         )
         self.max_rounds = int(max_rounds)
+        if kernel not in ("vector", "scalar"):
+            raise ValueError(f"kernel must be 'vector' or 'scalar', got {kernel!r}")
+        self.kernel = kernel
 
         if isinstance(servers_per_region, Mapping):
             missing = set(self.region_keys) - set(servers_per_region)
@@ -451,54 +464,56 @@ class BatchSimulator(_SimulatorBase):
         exec_real = arrays.exec_real
         arrival = arrays.arrival
 
-        events: list[tuple[float, int, int, int]] = []
-        sequence = itertools.count()
+        events = EventQueue()
         makespan = 0.0
-
-        def start_job(job: int, region: int, when: float) -> None:
-            free[region] -= job_servers[job]
-            start_t[job] = when
-            heapq.heappush(
-                events, (when + exec_real[job], _EVENT_FINISH, next(sequence), job)
-            )
+        use_fast = self.kernel == "vector"
 
         def process_events_until(limit: float) -> None:
             nonlocal makespan
-            while events and events[0][0] <= limit:
-                when, kind, _seq, job = heapq.heappop(events)
-                region = region_of[job]
-                if kind == _EVENT_READY:
-                    committed[region] += job_servers[job]
-                    if free[region] >= job_servers[job] and not queues[region]:
-                        start_job(job, region, when)
-                    else:
-                        queues[region].append(job)
-                else:  # _EVENT_FINISH
-                    free[region] += job_servers[job]
-                    committed[region] -= job_servers[job]
-                    busy_server_seconds[region] += job_servers[job] * (when - start_t[job])
-                    finish_t[job] = when
-                    if when > makespan:
-                        makespan = when
-                    queue = queues[region]
-                    while queue and free[region] >= job_servers[queue[0]]:
-                        start_job(queue.popleft(), region, when)
+            span = process_until(
+                events,
+                limit,
+                servers=job_servers,
+                exec_real=exec_real,
+                region_of=region_of,
+                start=start_t,
+                finish=finish_t,
+                free=free,
+                committed=committed,
+                busy_seconds=busy_server_seconds,
+                queues=queues,
+                finished=None,
+                use_fast=use_fast,
+            )
+            if span > makespan:
+                makespan = span
 
-        def commit_assignment(job: int, region: int, now: float) -> None:
-            home = arrays.home_idx[job]
-            if region == home:
-                transfer = 0.0
-            elif transfer_decomposes:
-                transfer = propagation[home, region] + serialization[job]
-            else:
-                transfer = self.latency.transfer_time(
-                    self.region_keys[home], self.region_keys[region], arrays.package_gb[job]
+        def commit_batch(jobs: np.ndarray, choice: np.ndarray, now: float) -> None:
+            if len(jobs) == 0:
+                return
+            home = arrays.home_idx[jobs]
+            if transfer_decomposes:
+                transfer = np.where(
+                    choice == home, 0.0, propagation[home, choice] + serialization[jobs]
                 )
-            region_of[job] = region
-            assigned_t[job] = now
-            transfer_s[job] = transfer
-            ready_t[job] = now + transfer
-            heapq.heappush(events, (now + transfer, _EVENT_READY, next(sequence), job))
+            else:
+                transfer = np.array(
+                    [
+                        0.0
+                        if choice[i] == home[i]
+                        else self.latency.transfer_time(
+                            self.region_keys[home[i]],
+                            self.region_keys[choice[i]],
+                            arrays.package_gb[jobs[i]],
+                        )
+                        for i in range(len(jobs))
+                    ]
+                )
+            region_of[jobs] = choice
+            assigned_t[jobs] = now
+            transfer_s[jobs] = transfer
+            ready_t[jobs] = now + transfer
+            events.push_ready_batch(now + transfer, jobs)
 
         pending: dict[int, None] = {}  # insertion-ordered set of trace indices
         decision_times: list[float] = []
@@ -515,10 +530,12 @@ class BatchSimulator(_SimulatorBase):
                 )
             process_events_until(round_time)
 
-            while trace_idx < n and arrival[trace_idx] <= round_time:
-                pending[trace_idx] = None
-                considered[trace_idx] = round_time
-                trace_idx += 1
+            stop = int(np.searchsorted(arrival, round_time, side="right"))
+            if stop > trace_idx:
+                considered[trace_idx:stop] = round_time
+                for job in range(trace_idx, stop):
+                    pending[job] = None
+                trace_idx = stop
 
             if pending:
                 rounds += 1
@@ -528,12 +545,12 @@ class BatchSimulator(_SimulatorBase):
                 if fast_path is not None:
                     decision_seconds = self._run_fast_round(
                         fast_path, round_time, batch, capacity, arrays,
-                        considered, pending, deferrals, commit_assignment,
+                        considered, pending, deferrals, commit_batch,
                     )
                 else:
                     decision_seconds = self._run_fallback_round(
                         round_time, batch, capacity, considered,
-                        pending, deferrals, commit_assignment,
+                        pending, deferrals, commit_batch,
                     )
                 decision_times.append(decision_seconds)
 
@@ -599,7 +616,7 @@ class BatchSimulator(_SimulatorBase):
         considered: np.ndarray,
         pending: dict[int, None],
         deferrals: np.ndarray,
-        commit_assignment,
+        commit_batch,
     ) -> float:
         context = BatchSchedulingContext(
             now=now,
@@ -622,13 +639,11 @@ class BatchSimulator(_SimulatorBase):
         choice, commit_positions = resolve_fast_decision(
             result, batch, len(arrays.region_keys)
         )
-        batch_list = batch.tolist()
-        for position in np.flatnonzero(choice < 0).tolist():
-            deferrals[batch_list[position]] += 1
-        for position in commit_positions.tolist():
-            job = batch_list[position]
+        deferrals[batch[choice < 0]] += 1
+        jobs = batch[commit_positions]
+        for job in jobs.tolist():
             del pending[job]
-            commit_assignment(job, int(choice[position]), now)
+        commit_batch(jobs, choice[commit_positions], now)
         return decision_seconds
 
     def _run_fallback_round(
@@ -639,7 +654,7 @@ class BatchSimulator(_SimulatorBase):
         considered: np.ndarray,
         pending: dict[int, None],
         deferrals: np.ndarray,
-        commit_assignment,
+        commit_batch,
     ) -> float:
         """Scalar-policy fallback: materialize Jobs and the classic context."""
         jobs = [self.trace[int(i)] for i in batch]
@@ -666,10 +681,16 @@ class BatchSimulator(_SimulatorBase):
 
         index_of = {job.job_id: int(i) for i, job in zip(batch, jobs)}
         region_index = {key: idx for idx, key in enumerate(self.region_keys)}
+        indices: list[int] = []
+        regions: list[int] = []
         for job_id, region_key in decision.assignments.items():
             job = index_of[job_id]
             del pending[job]
-            commit_assignment(job, region_index[region_key], now)
+            indices.append(job)
+            regions.append(region_index[region_key])
+        commit_batch(
+            np.array(indices, dtype=np.int64), np.array(regions, dtype=np.int64), now
+        )
         for job_id in decision.deferred:
             deferrals[index_of[job_id]] += 1
         return decision_seconds

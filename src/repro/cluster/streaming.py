@@ -37,7 +37,7 @@ Results come in two shapes, chosen with ``collect``:
   the *result* only; the simulation state stays bounded.
 * ``"aggregate"`` — finished jobs fold into
   :class:`~repro.cluster.metrics.RunningJobStats` (totals, means, streaming
-  P² quantiles, seeded reservoir sample) and
+  histogram quantiles, seeded reservoir sample) and
   :class:`~repro.cluster.footprint.RunningFootprintTotals`; :meth:`finalize`
   returns a :class:`StreamResult` and memory stays bounded end to end.
 """
@@ -45,7 +45,6 @@ Results come in two shapes, chosen with ``collect``:
 from __future__ import annotations
 
 import dataclasses
-import heapq
 import math
 import pickle
 import time as _time
@@ -60,10 +59,11 @@ from repro.cluster.batch import (
     JobArrays,
     resolve_fast_decision,
 )
+from repro.cluster.events import EventQueue, process_until
 from repro.cluster.footprint import RunningFootprintTotals
 from repro.cluster.interface import SchedulingContext
 from repro.cluster.metrics import RunningJobStats
-from repro.cluster.simulator import _EVENT_FINISH, _EVENT_READY, _SimulatorBase
+from repro.cluster.simulator import _SimulatorBase
 from repro.regions.latency import TransferLatencyModel
 from repro.traces.job import Job
 from repro.traces.stream import JobChunk
@@ -72,7 +72,11 @@ __all__ = ["EngineState", "StreamResult", "StreamingSimulator", "CHECKPOINT_FORM
 
 #: Version tag of the checkpoint payload; bumped on incompatible layout
 #: changes so stale checkpoints fail loudly instead of resuming garbage.
-CHECKPOINT_FORMAT = 1
+#: Format 2: the event heap became the sorted-array
+#: :class:`~repro.cluster.events.EventQueue`, the waiting queue became
+#: slot/arrival arrays, and FIFO queue entries became
+#: ``(slot, servers_required)`` pairs.
+CHECKPOINT_FORMAT = 2
 
 #: Per-job *data* columns of the slot pool (written once at ingest).
 _DATA_COLUMNS = (
@@ -115,11 +119,17 @@ class EngineState:
     region_keys: tuple[str, ...]
     pool: dict[str, np.ndarray]
     free_slots: list[int]
-    waiting: deque[int]
+    #: Ingested-but-not-yet-considered slots, arrival-sorted; ``waiting_head``
+    #: is the first live index (the prefix is already consumed).
+    waiting_slots: np.ndarray
+    waiting_arrival: np.ndarray
+    waiting_head: int
     pending: dict[int, None]
-    events: list[tuple[float, int, int, int]]
-    sequence: int
-    queues: list[deque[int]]
+    events: EventQueue
+    #: Per-region FIFO queues of ``(slot, servers_required)`` pairs — the
+    #: server demand rides along so the event kernel's admission checks stay
+    #: on plain Python ints (see ``events._replay``).
+    queues: list[deque[tuple[int, int]]]
     free: np.ndarray
     committed: np.ndarray
     busy_server_seconds: np.ndarray
@@ -138,6 +148,10 @@ class EngineState:
     @property
     def pool_capacity(self) -> int:
         return len(self.pool["job_id"])
+
+    @property
+    def waiting_count(self) -> int:
+        return len(self.waiting_slots) - self.waiting_head
 
     @property
     def active_jobs(self) -> int:
@@ -290,7 +304,7 @@ class StreamResult:
 
     Exposes the same figures of merit — and the same :meth:`summary` keys —
     as :class:`~repro.cluster.batch.BatchResult`, so reports and savings
-    tables accept either result type, plus the streaming extras: P² service
+    tables accept either result type, plus the streaming extras: streaming service
     -ratio quantiles and the seeded reservoir sample of per-job rows.
     """
 
@@ -366,7 +380,7 @@ class StreamResult:
         return self.stats.mean_transfer_latency_s
 
     def service_ratio_quantiles(self) -> dict[float, float]:
-        """Streaming P² estimates, keyed by quantile (0.5/0.95/0.99)."""
+        """Streaming histogram estimates, keyed by quantile (0.5/0.95/0.99)."""
         return self.stats.service_ratio_quantiles()
 
     def reservoir_rows(self) -> dict[str, np.ndarray]:
@@ -489,6 +503,7 @@ class StreamingSimulator(_SimulatorBase):
         collect: str = "full",
         reservoir_size: int = 256,
         reservoir_seed: int = 0,
+        kernel: str = "vector",
     ) -> None:
         base_kwargs = dict(
             dataset=dataset,
@@ -500,6 +515,7 @@ class StreamingSimulator(_SimulatorBase):
             include_embodied=include_embodied,
             seed_dataset_horizon_slack_h=seed_dataset_horizon_slack_h,
             max_rounds=max_rounds,
+            kernel=kernel,
         )
         if server is not None:
             base_kwargs["server"] = server
@@ -516,6 +532,22 @@ class StreamingSimulator(_SimulatorBase):
         self.state: EngineState | None = None
         self._region_index = {key: i for i, key in enumerate(self.region_keys)}
         self._keys_tuple = tuple(self.region_keys)
+        # Hoisted out of the drain loop: the per-region server-count array and
+        # the fast-path resolution used to be rebuilt on every `_drain` call
+        # (measurable at small chunk sizes).  Both are fixed at construction —
+        # the scheduler object and region set never change mid-run.
+        from repro.schedulers.vectorized import fast_path_for  # lazy: import cycle
+
+        self._servers_array = np.array(
+            [self._servers[key] for key in self.region_keys], dtype=np.int64
+        )
+        self._fast_path = fast_path_for(scheduler)
+        # Slot → materialized Job for the scalar-policy fallback rounds: a
+        # deferred job used to be rebuilt as a fresh ``Job`` every round it
+        # stayed pending.  Entries are dropped when the slot is flushed and
+        # recycled; the cache is derived state (a pure function of the pool
+        # columns), so it is deliberately not part of checkpoints.
+        self._job_cache: dict[int, Job] = {}
         # Transfer latency decomposition, as in BatchSimulator.
         self._transfer_decomposes = type(self.latency) is TransferLatencyModel
         if self._transfer_decomposes:
@@ -568,10 +600,11 @@ class StreamingSimulator(_SimulatorBase):
                 for name, dtype in (*_DATA_COLUMNS, *_STATE_COLUMNS)
             },
             free_slots=[],
-            waiting=deque(),
+            waiting_slots=np.zeros(0, dtype=np.int64),
+            waiting_arrival=np.zeros(0),
+            waiting_head=0,
             pending={},
-            events=[],
-            sequence=0,
+            events=EventQueue(),
             queues=[deque() for _ in range(n_regions)],
             free=servers.copy(),
             committed=np.zeros(n_regions, dtype=np.int64),
@@ -646,7 +679,13 @@ class StreamingSimulator(_SimulatorBase):
                 pool[name][slots] = -1 if name in ("region",) else 0
             pool["start"][slots] = -1.0
             pool["finish"][slots] = -1.0
-            state.waiting.extend(slots.tolist())
+            state.waiting_slots = np.concatenate(
+                [state.waiting_slots[state.waiting_head:], slots]
+            )
+            state.waiting_arrival = np.concatenate(
+                [state.waiting_arrival[state.waiting_head:], arrivals]
+            )
+            state.waiting_head = 0
             state.jobs_seen += n
             state.watermark = float(arrivals[-1])
         state.chunks_seen += 1
@@ -717,6 +756,7 @@ class StreamingSimulator(_SimulatorBase):
                 "collect": self.collect,
                 "reservoir_size": self.reservoir_size,
                 "reservoir_seed": self.reservoir_seed,
+                "kernel": self.kernel,
             },
             "extra": dict(extra or {}),
         }
@@ -748,13 +788,18 @@ class StreamingSimulator(_SimulatorBase):
         ``source`` and ``dataset`` must reproduce the original run's workload
         and intensities (checkpoints store neither); ``overrides`` may adjust
         non-semantic knobs only — ``chunk_size`` (results are chunk-size-
-        invariant, so resuming with a different chunking is legal) and
-        ``max_rounds``.  Semantic configuration (servers, tolerance, interval,
-        …) is pinned by the restored state: the pickled free/committed server
-        counts and round clock reflect the original settings, so changing
-        them mid-run would silently corrupt the simulation.
+        invariant, so resuming with a different chunking is legal),
+        ``max_rounds`` and ``kernel`` (the vector and scalar event kernels
+        are decision-identical — same per-job digests; only aggregate-mode
+        extras that depend on cross-region flush interleaving, i.e. the
+        reservoir sample and last-ulp float-sum rounding, can differ between
+        them).  Semantic configuration (servers, tolerance,
+        interval, …) is pinned by the restored state: the pickled
+        free/committed server counts and round clock reflect the original
+        settings, so changing them mid-run would silently corrupt the
+        simulation.
         """
-        allowed = {"chunk_size", "max_rounds"}
+        allowed = {"chunk_size", "max_rounds", "kernel"}
         refused = set(overrides) - allowed
         if refused:
             raise ValueError(
@@ -786,85 +831,68 @@ class StreamingSimulator(_SimulatorBase):
     def _process_events_until(self, limit: float) -> None:
         state = self.state
         pool = state.pool
-        events = state.events
-        servers_col = pool["servers"]
-        start_col = pool["start"]
-        region_col = pool["region"]
-        while events and events[0][0] <= limit:
-            when, kind, _seq, slot = heapq.heappop(events)
-            region = region_col[slot]
-            if kind == _EVENT_READY:
-                state.committed[region] += servers_col[slot]
-                if (
-                    state.free[region] >= servers_col[slot]
-                    and not state.queues[region]
-                ):
-                    self._start_job(slot, region, when)
-                else:
-                    state.queues[region].append(slot)
-            else:  # _EVENT_FINISH
-                state.free[region] += servers_col[slot]
-                state.committed[region] -= servers_col[slot]
-                state.busy_server_seconds[region] += servers_col[slot] * (
-                    when - start_col[slot]
-                )
-                pool["finish"][slot] = when
-                if when > state.makespan:
-                    state.makespan = when
-                state.finished.append(slot)
-                queue = state.queues[region]
-                while queue and state.free[region] >= servers_col[queue[0]]:
-                    self._start_job(queue.popleft(), region, when)
-
-    def _start_job(self, slot: int, region: int, when: float) -> None:
-        state = self.state
-        pool = state.pool
-        state.free[region] -= pool["servers"][slot]
-        pool["start"][slot] = when
-        heapq.heappush(
+        makespan = process_until(
             state.events,
-            (when + pool["exec_real"][slot], _EVENT_FINISH, state.sequence, slot),
+            limit,
+            servers=pool["servers"],
+            exec_real=pool["exec_real"],
+            region_of=pool["region"],
+            start=pool["start"],
+            finish=pool["finish"],
+            free=state.free,
+            committed=state.committed,
+            busy_seconds=state.busy_server_seconds,
+            queues=state.queues,
+            finished=state.finished,
+            use_fast=self.kernel == "vector",
         )
-        state.sequence += 1
+        if makespan > state.makespan:
+            state.makespan = makespan
 
-    def _commit_assignment(self, slot: int, region: int, now: float) -> None:
+    def _commit_batch(self, slots: np.ndarray, regions: np.ndarray, now: float) -> None:
+        """Commit assignments (in the given order, which fixes FIFO ties)."""
+        if len(slots) == 0:
+            return
         state = self.state
         pool = state.pool
-        home = pool["home"][slot]
-        if region == home:
-            transfer = 0.0
-        elif self._transfer_decomposes:
-            transfer = (
-                self._propagation[home, region]
-                + pool["package"][slot] * 8.0 / self.latency.bandwidth_gbps
+        home = pool["home"][slots]
+        if self._transfer_decomposes:
+            transfer = np.where(
+                regions == home,
+                0.0,
+                self._propagation[home, regions]
+                + pool["package"][slots] * 8.0 / self.latency.bandwidth_gbps,
             )
         else:
-            transfer = self.latency.transfer_time(
-                self.region_keys[home], self.region_keys[region], pool["package"][slot]
+            keys = self.region_keys
+            package = pool["package"][slots]
+            transfer = np.array(
+                [
+                    0.0
+                    if regions[i] == home[i]
+                    else self.latency.transfer_time(
+                        keys[home[i]], keys[regions[i]], package[i]
+                    )
+                    for i in range(len(slots))
+                ]
             )
-        pool["region"][slot] = region
-        pool["assigned"][slot] = now
-        pool["transfer"][slot] = transfer
-        pool["ready"][slot] = now + transfer
-        heapq.heappush(
-            state.events, (now + transfer, _EVENT_READY, state.sequence, slot)
-        )
-        state.sequence += 1
+        pool["region"][slots] = regions
+        pool["assigned"][slots] = now
+        pool["transfer"][slots] = transfer
+        pool["ready"][slots] = now + transfer
+        state.events.push_ready_batch(now + transfer, slots)
 
     def _drain(self, final: bool) -> None:
-        from repro.schedulers.vectorized import fast_path_for  # lazy: import cycle
-
         state = self.state
         pool = state.pool
-        arrival_col = pool["arrival"]
-        fast_path = fast_path_for(self.scheduler)
-        servers = np.array(
-            [self._servers[key] for key in self.region_keys], dtype=np.int64
-        )
+        fast_path = self._fast_path
+        servers = self._servers_array
+        waiting_arrival = state.waiting_arrival
+        waiting_slots = state.waiting_slots
         while True:
             if not final and not (state.round_time < state.watermark):
                 break
-            if final and not state.waiting and not state.pending:
+            if final and not state.waiting_count and not state.pending:
                 break
             if state.rounds > self.max_rounds:
                 raise RuntimeError(
@@ -873,10 +901,15 @@ class StreamingSimulator(_SimulatorBase):
                 )
             self._process_events_until(state.round_time)
 
-            while state.waiting and arrival_col[state.waiting[0]] <= state.round_time:
-                slot = state.waiting.popleft()
-                state.pending[slot] = None
-                pool["considered"][slot] = state.round_time
+            stop = int(
+                np.searchsorted(waiting_arrival, state.round_time, side="right")
+            )
+            if stop > state.waiting_head:
+                newly = waiting_slots[state.waiting_head:stop]
+                pool["considered"][newly] = state.round_time
+                for slot in newly.tolist():
+                    state.pending[slot] = None
+                state.waiting_head = stop
 
             if state.pending:
                 state.rounds += 1
@@ -895,15 +928,15 @@ class StreamingSimulator(_SimulatorBase):
                     )
                 state.decision_times.append(decision_seconds)
 
-            if not state.pending and not state.waiting:
+            if not state.pending and not state.waiting_count:
                 # Only reachable when finalizing: in a non-final drain the
                 # watermark job itself (arrival == watermark) can never leave
-                # ``waiting``, because rounds are gated on
+                # the waiting queue, because rounds are gated on
                 # ``round_time < watermark``.
                 break
             next_arrival = (
-                float(arrival_col[state.waiting[0]])
-                if not state.pending and state.waiting
+                float(waiting_arrival[state.waiting_head])
+                if not state.pending and state.waiting_count
                 else None
             )
             state.round_time = self._next_round_time(state.round_time, next_arrival)
@@ -940,6 +973,9 @@ class StreamingSimulator(_SimulatorBase):
                 "water": water,
             }
         )
+        if self._job_cache:
+            for slot in state.finished:
+                self._job_cache.pop(slot, None)
         state.free_slots.extend(state.finished)
         state.finished = []
 
@@ -987,13 +1023,12 @@ class StreamingSimulator(_SimulatorBase):
         choice, commit_positions = resolve_fast_decision(
             result, batch, len(self._keys_tuple)
         )
-        batch_list = batch.tolist()
-        for position in np.flatnonzero(choice < 0).tolist():
-            pool["deferrals"][batch_list[position]] += 1
-        for position in commit_positions.tolist():
-            slot = batch_list[position]
+        deferred = batch[choice < 0]
+        pool["deferrals"][deferred] += 1
+        slots = batch[commit_positions]
+        for slot in slots.tolist():
             del state.pending[slot]
-            self._commit_assignment(slot, int(choice[position]), now)
+        self._commit_batch(slots, choice[commit_positions], now)
         return decision_seconds
 
     def _run_fallback_round(
@@ -1002,21 +1037,25 @@ class StreamingSimulator(_SimulatorBase):
         """Scalar-policy fallback: materialize the round's Jobs from the pool."""
         state = self.state
         pool = state.pool
-        jobs = [
-            Job(
-                job_id=int(pool["job_id"][slot]),
-                workload=state.workload_names[pool["workload"][slot]],
-                arrival_time=float(pool["arrival"][slot]),
-                execution_time=float(pool["exec_est"][slot]),
-                energy_kwh=float(pool["energy_est"][slot]),
-                home_region=self.region_keys[pool["home"][slot]],
-                package_gb=float(pool["package"][slot]),
-                servers_required=int(pool["servers"][slot]),
-                true_execution_time=float(pool["exec_real"][slot]),
-                true_energy_kwh=float(pool["energy_real"][slot]),
-            )
-            for slot in batch.tolist()
-        ]
+        cache = self._job_cache
+        jobs = []
+        for slot in batch.tolist():
+            job = cache.get(slot)
+            if job is None:
+                job = Job(
+                    job_id=int(pool["job_id"][slot]),
+                    workload=state.workload_names[pool["workload"][slot]],
+                    arrival_time=float(pool["arrival"][slot]),
+                    execution_time=float(pool["exec_est"][slot]),
+                    energy_kwh=float(pool["energy_est"][slot]),
+                    home_region=self.region_keys[pool["home"][slot]],
+                    package_gb=float(pool["package"][slot]),
+                    servers_required=int(pool["servers"][slot]),
+                    true_execution_time=float(pool["exec_real"][slot]),
+                    true_energy_kwh=float(pool["energy_real"][slot]),
+                )
+                cache[slot] = job
+            jobs.append(job)
         wait_times = {
             job.job_id: now - pool["considered"][slot]
             for slot, job in zip(batch.tolist(), jobs)
@@ -1040,10 +1079,16 @@ class StreamingSimulator(_SimulatorBase):
         decision.validate_for(jobs, self.region_keys)
 
         slot_of = {job.job_id: slot for slot, job in zip(batch.tolist(), jobs)}
+        slots: list[int] = []
+        regions: list[int] = []
         for job_id, region_key in decision.assignments.items():
             slot = slot_of[job_id]
             del state.pending[slot]
-            self._commit_assignment(slot, self._region_index[region_key], now)
+            slots.append(slot)
+            regions.append(self._region_index[region_key])
+        self._commit_batch(
+            np.array(slots, dtype=np.int64), np.array(regions, dtype=np.int64), now
+        )
         for job_id in decision.deferred:
             pool["deferrals"][slot_of[job_id]] += 1
         return decision_seconds

@@ -90,13 +90,54 @@ class CostModel:
             egress_cost = self.prices.egress(job.home_region, region_key, job.package_gb)
         return energy_cost + egress_cost
 
+    def cost_matrix_arrays(
+        self,
+        energy_kwh: np.ndarray,
+        package_gb: np.ndarray,
+        home_idx: np.ndarray,
+        region_keys: Sequence[str],
+    ) -> np.ndarray:
+        """Array-world :meth:`cost_matrix`: per-job columns in, (M × N) out.
+
+        ``home_idx`` codes each job's home into ``region_keys`` (``-1`` for a
+        home outside the listed regions — egress then applies everywhere).
+        Elementwise-identical to per-pair :meth:`job_cost` calls: the energy
+        term is ``(pue · energy) · price`` in the same operation order, and
+        the egress term applies wherever the region is not the job's home.
+        """
+        keys = tuple(region_keys)
+        energy = np.asarray(energy_kwh, dtype=float)
+        package = np.asarray(package_gb, dtype=float)
+        m = len(energy)
+        if m == 0 or not keys:
+            return np.zeros((m, len(keys)))
+        valid = np.isfinite(package) & (package >= 0.0)
+        if not valid.all():
+            bad = package[~valid][0]
+            raise ValueError(f"package_gb must be a non-negative finite number, got {bad}")
+        prices = np.array([self.prices.price(key) for key in keys])
+        matrix = (self.pue * energy)[:, None] * prices[None, :]
+        away = np.asarray(home_idx, dtype=np.int64)[:, None] != np.arange(
+            len(keys), dtype=np.int64
+        )[None, :]
+        egress = self.prices.egress_usd_per_gb * package
+        return matrix + np.where(away, egress[:, None], 0.0)
+
     def cost_matrix(self, jobs: Sequence[Job], region_keys: Sequence[str]) -> np.ndarray:
-        """(M × N) cost matrix in USD."""
-        matrix = np.zeros((len(jobs), len(region_keys)))
-        for m, job in enumerate(jobs):
-            for n, region in enumerate(region_keys):
-                matrix[m, n] = self.job_cost(job, region)
-        return matrix
+        """(M × N) cost matrix in USD (columns gathered from the ``Job``\\ s)."""
+        keys = tuple(region_keys)
+        m = len(jobs)
+        code_of = {key: idx for idx, key in enumerate(keys)}
+        return self.cost_matrix_arrays(
+            np.fromiter((j.energy_kwh for j in jobs), dtype=float, count=m),
+            np.fromiter((j.package_gb for j in jobs), dtype=float, count=m),
+            np.fromiter(
+                (code_of.get(j.home_region, -1) for j in jobs),
+                dtype=np.int64,
+                count=m,
+            ),
+            keys,
+        )
 
 
 class CostAwareWaterWiseScheduler(WaterWiseScheduler):
@@ -125,10 +166,46 @@ class CostAwareWaterWiseScheduler(WaterWiseScheduler):
         self.lambda_cost = ensure_non_negative(lambda_cost, "lambda_cost")
         self.cost_model = CostModel(prices=prices)
 
-    def _extra_cost(self, jobs: Sequence[Job], context: SchedulingContext):
-        if not jobs or self.lambda_cost == 0.0:
-            return None
-        matrix = self.cost_model.cost_matrix(jobs, context.region_keys)
+    def _weighted(self, matrix: np.ndarray):
+        """Per-job max-normalization + ``lambda_cost`` weighting (Eq. 7 style)."""
         maxima = matrix.max(axis=1, keepdims=True)
         maxima[maxima <= 0.0] = 1.0
         return self.lambda_cost * (matrix / maxima)
+
+    def _extra_cost(self, jobs: Sequence[Job], context: SchedulingContext):
+        if not jobs or self.lambda_cost == 0.0:
+            return None
+        return self._weighted(self.cost_model.cost_matrix(jobs, context.region_keys))
+
+    def _extra_cost_arrays(self, context, batch):
+        """Array mirror of :meth:`_extra_cost` for the WaterWise fast path.
+
+        Reads the batch columns straight from the
+        :class:`~repro.cluster.batch.BatchSchedulingContext` and runs the
+        same :meth:`CostModel.cost_matrix_arrays` + normalization the scalar
+        hook uses, so both produce bit-identical objective terms — the
+        differential harness compares the resulting decisions.
+        """
+        if len(batch) == 0 or self.lambda_cost == 0.0:
+            return None
+        jobs = context.jobs
+        return self._weighted(
+            self.cost_model.cost_matrix_arrays(
+                jobs.energy_est[batch],
+                jobs.package_gb[batch],
+                jobs.home_idx[batch],
+                context.region_keys,
+            )
+        )
+
+
+# The cost-aware extension mirrors its `_extra_cost` hook with a bit-identical
+# `_extra_cost_arrays`, so the shared WaterWise fast path is exact for it too.
+# Registered here (not in repro.core.fastpath) to keep the import graph
+# acyclic; `exact=True` means a further subclass tweaking `_extra_cost` (or
+# any other hook) falls back to the scalar path until it registers its own
+# mirrored implementation.
+from repro.core.fastpath import waterwise_fast_path  # noqa: E402  (tail import)
+from repro.schedulers.vectorized import register_fast_path  # noqa: E402
+
+register_fast_path(CostAwareWaterWiseScheduler, waterwise_fast_path, exact=True)

@@ -32,6 +32,49 @@ from repro.traces.job import Job
 __all__ = ["ControllerResult", "DecisionController"]
 
 
+def _transfer_matrix(
+    jobs: Sequence[Job],
+    region_keys: tuple[str, ...],
+    context: SchedulingContext,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(M × N) transfer latencies + home-region codes for the array pipeline.
+
+    For the standard :class:`~repro.regions.latency.TransferLatencyModel`
+    (with every home region inside the simulated cluster) the matrix is
+    assembled from the cached propagation term plus the per-job serialization
+    term — the same decomposition
+    :func:`repro.schedulers.vectorized.batch_transfer_matrix` uses, which
+    reproduces ``context.transfer_time`` bit for bit.  Latency subclasses,
+    duck-typed models and out-of-cluster homes fall back to the per-pair
+    calls :func:`build_placement_problem` makes.
+
+    Home codes are resolved against ``region_keys`` with ``0`` for homes
+    outside the cluster — the code the greedy fallback's
+    "``region_keys[0]`` when the home is unknown" rule expects.
+    """
+    from repro.regions.latency import TransferLatencyModel
+
+    m = len(jobs)
+    code_of = {key: idx for idx, key in enumerate(region_keys)}
+    home_idx = np.fromiter(
+        (code_of.get(job.home_region, -1) for job in jobs), dtype=np.int64, count=m
+    )
+    latency = context.latency
+    if type(latency) is TransferLatencyModel and not np.any(home_idx < 0):
+        from repro.schedulers.vectorized import _propagation_for  # lazy: import cycle
+
+        propagation = _propagation_for(latency, region_keys)
+        package = np.fromiter((j.package_gb for j in jobs), dtype=float, count=m)
+        serialization = package * 8.0 / latency.bandwidth_gbps
+        transfer = serialization[:, None] + propagation[home_idx]
+        transfer[np.arange(m), home_idx] = 0.0
+        return transfer, home_idx
+    transfer = np.array(
+        [[context.transfer_time(job, region) for region in region_keys] for job in jobs]
+    )
+    return transfer, np.maximum(home_idx, 0)
+
+
 @dataclasses.dataclass(frozen=True)
 class ControllerResult:
     """Assignments produced by the decision controller for one round."""
@@ -41,10 +84,15 @@ class ControllerResult:
     used_fallback: bool
     solve_result: SolveResult | None
     model: PlacementModel | None
+    #: MILP objective when the array pipeline solved the round (the object
+    #: pipeline carries it inside ``solve_result`` instead).
+    objective: float | None = None
 
     @property
     def objective_value(self) -> float:
-        return float("nan") if self.solve_result is None else self.solve_result.objective
+        if self.solve_result is not None:
+            return float(self.solve_result.objective)
+        return float("nan") if self.objective is None else float(self.objective)
 
 
 class DecisionController:
@@ -106,7 +154,15 @@ class DecisionController:
         ``force_soft`` skips the hard-constraint attempt (Algorithm 1 uses the
         soft controller directly when the slack manager had to shed load).
         ``extra_cost`` is an optional pre-weighted (M × N) additive objective
-        term forwarded to :func:`build_placement_problem` (extension hook).
+        term forwarded to the MILP objective (extension hook).
+
+        With ``config.decision_pipeline == "array"`` (the default) the round
+        matrices are computed vectorized and the MILP is built directly in
+        standard form through :meth:`decide_arrays` — the exact code path the
+        batch engines' WaterWise fast path takes, on the same floats.
+        ``"object"`` keeps the original ``Variable``/``Constraint`` model
+        (:func:`build_placement_problem`); the differential tests hold the
+        two pipelines to identical decisions.
         """
         if not jobs:
             return ControllerResult(
@@ -118,6 +174,11 @@ class DecisionController:
             co2_ref, h2o_ref = history.reference(region_keys)
         else:
             co2_ref = h2o_ref = None
+
+        if self.config.decision_pipeline == "array":
+            return self._decide_via_arrays(
+                jobs, context, co2_ref, h2o_ref, force_soft, extra_cost
+            )
 
         attempts: list[bool] = []
         if not force_soft:
@@ -166,6 +227,71 @@ class DecisionController:
             model=model,
         )
 
+    # -- array pipeline (scalar entry point, vectorized internals) ----------------------
+    def _decide_via_arrays(
+        self,
+        jobs: Sequence[Job],
+        context: SchedulingContext,
+        co2_ref,
+        h2o_ref,
+        force_soft: bool,
+        extra_cost,
+    ) -> ControllerResult:
+        """Object-world :meth:`decide` on the vectorized round matrices.
+
+        Gathers the per-job columns once, computes the cost / latency-ratio /
+        tolerance matrices with the same whole-batch operations the batch
+        fast path uses (:mod:`repro.core.fastpath`), and routes the solve
+        through :meth:`decide_arrays`.  Every formula matches
+        :func:`build_placement_problem` bit for bit, so the pipelines make
+        identical decisions.
+        """
+        from repro.core.objective import placement_cost
+
+        jobs = tuple(jobs)
+        region_keys = tuple(context.region_keys)
+        m = len(jobs)
+        energy = np.fromiter((j.energy_kwh for j in jobs), dtype=float, count=m)
+        exec_times = np.fromiter((j.execution_time for j in jobs), dtype=float, count=m)
+        servers = np.fromiter((j.servers_required for j in jobs), dtype=np.int64, count=m)
+
+        carbon, water = context.footprints.footprint_matrices_arrays(
+            energy, exec_times, region_keys, context.now
+        )
+        cost = placement_cost(
+            carbon, water, self.config, co2_ref=co2_ref, h2o_ref=h2o_ref,
+            extra_cost=extra_cost,
+        )
+
+        transfer, home_idx = _transfer_matrix(jobs, region_keys, context)
+        latency_ratio = transfer / exec_times[:, None]
+        waited = np.fromiter(
+            (context.wait_time(j) for j in jobs), dtype=float, count=m
+        )
+        tolerance = np.maximum(0.0, context.delay_tolerance - waited / exec_times)
+        capacity = np.fromiter(
+            (int(context.capacity.get(key, 0)) for key in region_keys),
+            dtype=np.int64,
+            count=len(region_keys),
+        )
+
+        codes, used_soft, used_fallback, objective = self._decide_arrays_full(
+            cost, latency_ratio, tolerance, servers, capacity, home_idx,
+            force_soft=force_soft,
+        )
+        assignments = {
+            job.job_id: region_keys[code]
+            for job, code in zip(jobs, codes.tolist())
+        }
+        return ControllerResult(
+            assignments=assignments,
+            used_soft_constraints=used_soft,
+            used_fallback=used_fallback,
+            solve_result=None,
+            model=None,
+            objective=objective,
+        )
+
     # -- array-world entry point (batch engine fast path) -------------------------------
     def decide_arrays(
         self,
@@ -187,6 +313,23 @@ class DecisionController:
         exactly like the object path.  Returns ``(region codes in job order,
         used_soft_constraints, used_fallback)``.
         """
+        codes, used_soft, used_fallback, _objective = self._decide_arrays_full(
+            cost, latency_ratio, tolerance, servers_required, capacity, home_idx,
+            force_soft=force_soft,
+        )
+        return codes, used_soft, used_fallback
+
+    def _decide_arrays_full(
+        self,
+        cost: np.ndarray,
+        latency_ratio: np.ndarray,
+        tolerance: np.ndarray,
+        servers_required: np.ndarray,
+        capacity: np.ndarray,
+        home_idx: np.ndarray,
+        force_soft: bool = False,
+    ) -> tuple[np.ndarray, bool, bool, float | None]:
+        """:meth:`decide_arrays` plus the solved MILP objective (or ``None``)."""
         m_jobs, n_regions = cost.shape
         attempts: list[bool] = []
         if not force_soft:
@@ -201,7 +344,7 @@ class DecisionController:
                 cost, latency_ratio, tolerance, servers_required, capacity,
                 self.config, soft=soft,
             )
-            status, x, _objective, _iterations, _nodes, _solver, _seconds = (
+            status, x, objective, _iterations, _nodes, _solver, _seconds = (
                 solve_standard_form(
                     form,
                     solver=self.config.solver,
@@ -213,13 +356,19 @@ class DecisionController:
                 self.rounds_solved += 1
                 if soft:
                     self.rounds_softened += 1
-                return self._assignments_from_x(x, m_jobs, n_regions), soft, False
+                return (
+                    self._assignments_from_x(x, m_jobs, n_regions),
+                    soft,
+                    False,
+                    float(objective),
+                )
 
         self.rounds_fallback += 1
         return (
             self._greedy_assignment_arrays(cost, servers_required, capacity, home_idx),
             True,
             True,
+            None,
         )
 
     @staticmethod

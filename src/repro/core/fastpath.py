@@ -27,11 +27,15 @@ fast path returns ``(choice, commit_order)`` so the batch engine commits
 placements in exactly the order the scalar engine would — commit order
 decides FIFO tie-breaking in saturated data centers.
 
-The registration is ``exact=True``: WaterWise subclasses customize decisions
-through hooks other than ``schedule`` (e.g.
+The registrations are ``exact=True``: WaterWise subclasses customize
+decisions through hooks other than ``schedule`` (e.g.
 :class:`~repro.core.cost.CostAwareWaterWiseScheduler` overrides
 ``_extra_cost``), which the registry's overridden-``schedule`` guard cannot
-see, so they must always fall back to the scalar path.
+see, so a subclass only rides this fast path when it registers *its own*
+exact entry after mirroring its hooks in the array world — the cost-aware
+scheduler does exactly that (``_extra_cost_arrays`` + a registration at the
+bottom of :mod:`repro.core.cost`); any further subclass falls back to the
+scalar path until it does the same.
 """
 
 from __future__ import annotations
@@ -40,6 +44,7 @@ import numpy as np
 
 from repro.cluster.batch import DEFER, BatchSchedulingContext
 from repro.core.objective import placement_cost
+from repro.core.slack import admit_ranked, cached_average_from
 from repro.core.waterwise import WaterWiseScheduler, record_round_intensities
 from repro.schedulers.vectorized import batch_transfer_matrix, register_fast_path
 
@@ -55,35 +60,31 @@ def _slack_selection(
     """Batch positions the slack manager keeps, in urgency (Eq. 14) order.
 
     Mirrors :meth:`repro.core.slack.SlackManager.select`: jobs ranked by
-    ascending ``TOL% · t_m − L_avg_m − waited_m`` (job id breaking ties), then
-    greedily admitted while their server demand fits.
+    ascending ``TOL% · t_m − L_avg_m − waited_m`` (job id breaking ties),
+    then greedily admitted through the shared
+    :func:`repro.core.slack.admit_ranked` core while their server demand
+    fits.  ``average_from`` is evaluated once per distinct
+    ``(home, package)`` pair, so the scores are bit-identical to the scalar
+    manager's.
     """
     jobs = context.jobs
     keys = context.region_keys
-    home = jobs.home_idx[batch]
-    package = jobs.package_gb[batch]
+    home = jobs.home_idx[batch].tolist()
+    package = jobs.package_gb[batch].tolist()
     job_ids = jobs.job_id[batch]
     allowance = context.delay_tolerance * jobs.exec_est[batch]
     latency = context.latency
 
-    average_cache: dict[tuple[int, float], float] = {}
-    scores = np.empty(len(batch))
-    for i in range(len(batch)):
-        cache_key = (int(home[i]), float(package[i]))
-        average = average_cache.get(cache_key)
-        if average is None:
-            average = latency.average_from(keys[home[i]], float(package[i]))
-            average_cache[cache_key] = average
-        scores[i] = allowance[i] - average - context.wait_times[i]
+    average = np.fromiter(
+        (cached_average_from(latency, keys[h], p) for h, p in zip(home, package)),
+        dtype=float,
+        count=len(batch),
+    )
+    scores = allowance - average - context.wait_times
 
-    ranked = sorted(range(len(batch)), key=lambda i: (scores[i], job_ids[i]))
-    servers = jobs.servers[batch]
-    remaining = int(capacity_slots)
-    selected: list[int] = []
-    for i in ranked:
-        if int(servers[i]) <= remaining:
-            selected.append(i)
-            remaining -= int(servers[i])
+    ranked = np.lexsort((job_ids, scores)).tolist()
+    servers_ranked = jobs.servers[batch][ranked].tolist()
+    selected, _deferred = admit_ranked(ranked, servers_ranked, capacity_slots)
     return np.array(selected, dtype=np.int64)
 
 
@@ -129,7 +130,10 @@ def waterwise_fast_path(
         co2_ref, h2o_ref = scheduler.history.reference(keys)
     else:
         co2_ref = h2o_ref = None
-    cost = placement_cost(carbon, water, config, co2_ref=co2_ref, h2o_ref=h2o_ref)
+    extra_cost = scheduler._extra_cost_arrays(context, selected_jobs)
+    cost = placement_cost(
+        carbon, water, config, co2_ref=co2_ref, h2o_ref=h2o_ref, extra_cost=extra_cost
+    )
 
     transfer = batch_transfer_matrix(context, selected_jobs)
     latency_ratio = transfer / exec_est[:, None]

@@ -17,12 +17,69 @@ scheduled first.
 from __future__ import annotations
 
 import dataclasses
+import weakref
 from collections.abc import Sequence
+
+import numpy as np
 
 from repro.cluster.interface import SchedulingContext
 from repro.traces.job import Job
 
-__all__ = ["SlackManager", "SlackSelection"]
+__all__ = ["SlackManager", "SlackSelection", "admit_ranked", "cached_average_from"]
+
+#: Per-latency-model memo of ``average_from`` results, keyed by
+#: ``(source, package_gb)``.  The model's distances and rates are fixed at
+#: construction, and traces draw packages from a handful of workload
+#: profiles, so the array pipeline's urgency scoring collapses to dictionary
+#: hits.  Bounded per model; the reference pipeline deliberately does not use
+#: it (it mirrors the paper's per-job evaluation).
+_AVERAGE_CACHE: "weakref.WeakKeyDictionary[object, dict]" = weakref.WeakKeyDictionary()
+_AVERAGE_CACHE_LIMIT = 8192
+
+
+def cached_average_from(latency, source: str, package_gb: float) -> float:
+    """Memoized ``latency.average_from(source, package_gb)`` (same floats)."""
+    per_model = _AVERAGE_CACHE.get(latency)
+    if per_model is None:
+        per_model = {}
+        _AVERAGE_CACHE[latency] = per_model
+    key = (source, package_gb)
+    value = per_model.get(key)
+    if value is None:
+        value = latency.average_from(source, package_gb)
+        if len(per_model) < _AVERAGE_CACHE_LIMIT:
+            per_model[key] = value
+    return value
+
+
+def admit_ranked(
+    ranked: Sequence[int], servers: Sequence[int], capacity_slots: int
+) -> tuple[list[int], list[int]]:
+    """Greedy admission over urgency-ranked positions (shared Eq. 14 core).
+
+    ``ranked`` lists batch positions most-urgent-first and ``servers`` the
+    server demand *aligned with that ranking*.  Walks the ranking admitting
+    every position whose demand still fits, exactly like
+    :meth:`SlackManager.select`; once remaining capacity reaches zero
+    nothing else can fit (jobs require at least one server), so the rest of
+    the ranking defers wholesale.  Returns ``(selected, deferred)``, both in
+    rank order.  Shared by the object-world :meth:`SlackManager.select_arrays`
+    and the batch fast path (:mod:`repro.core.fastpath`), which keeps their
+    tie-breaking identical.
+    """
+    remaining = int(capacity_slots)
+    selected: list[int] = []
+    deferred: list[int] = []
+    for index, (position, srv) in enumerate(zip(ranked, servers)):
+        if srv <= remaining:
+            selected.append(position)
+            remaining -= srv
+            if remaining <= 0:
+                deferred.extend(ranked[index + 1:])
+                break
+        else:
+            deferred.append(position)
+    return selected, deferred
 
 
 @dataclasses.dataclass(frozen=True)
@@ -72,3 +129,40 @@ class SlackManager:
             else:
                 deferred.append(job)
         return SlackSelection(selected=tuple(selected), deferred=tuple(deferred), scores=scores)
+
+    def select_arrays(
+        self, jobs: Sequence[Job], context: SchedulingContext, capacity_slots: int
+    ) -> SlackSelection:
+        """Vectorized :meth:`select`: same ranking, same floats, same ties.
+
+        Urgency scores are computed with one ``average_from`` call per
+        distinct ``(home, package)`` pair instead of one per job (the call
+        itself is unchanged, so the scores are bit-identical), the ranking is
+        one ``np.lexsort`` over ``(score, job_id)`` — the stable counterpart
+        of :meth:`select`'s ``sorted`` key — and admission runs through the
+        shared :func:`admit_ranked` core.  The array decision pipeline uses
+        this; ``decision_pipeline="object"`` keeps :meth:`select`.
+        """
+        if capacity_slots < 0:
+            raise ValueError("capacity_slots must be >= 0")
+        jobs = tuple(jobs)
+        n = len(jobs)
+        exec_times = np.fromiter((j.execution_time for j in jobs), dtype=float, count=n)
+        allowance = context.delay_tolerance * exec_times
+        waited = np.fromiter((context.wait_time(j) for j in jobs), dtype=float, count=n)
+        latency = context.latency
+        average = np.fromiter(
+            (cached_average_from(latency, j.home_region, j.package_gb) for j in jobs),
+            dtype=float,
+            count=n,
+        )
+        scores = allowance - average - waited
+        job_ids = np.fromiter((j.job_id for j in jobs), dtype=np.int64, count=n)
+        ranked = np.lexsort((job_ids, scores)).tolist()
+        servers_ranked = [jobs[i].servers_required for i in ranked]
+        selected, deferred = admit_ranked(ranked, servers_ranked, capacity_slots)
+        return SlackSelection(
+            selected=tuple(jobs[i] for i in selected),
+            deferred=tuple(jobs[i] for i in deferred),
+            scores={int(job_ids[i]): float(scores[i]) for i in range(n)},
+        )

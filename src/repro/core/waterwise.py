@@ -84,7 +84,10 @@ class WaterWiseScheduler(Scheduler):
             # Nothing can start this round anywhere; wait for capacity.
             return SchedulerDecision(deferred=[job.job_id for job in jobs])
         if required_slots > total_capacity and self.config.use_slack_manager:
-            selection = self.slack_manager.select(jobs, context, total_capacity)
+            if self.config.decision_pipeline == "array":
+                selection = self.slack_manager.select_arrays(jobs, context, total_capacity)
+            else:
+                selection = self.slack_manager.select(jobs, context, total_capacity)
             batch = selection.selected
             deferred = [job.job_id for job in selection.deferred]
             force_soft = self.config.use_soft_constraints
@@ -107,6 +110,20 @@ class WaterWiseScheduler(Scheduler):
         The base scheduler returns ``None``; extensions such as the
         cost-aware variant (:mod:`repro.core.cost`) override this to add
         further objectives without touching the MILP construction.
+        """
+        return None
+
+    def _extra_cost_arrays(self, context, batch):
+        """Array-world mirror of :meth:`_extra_cost` for the fast path.
+
+        ``context`` is a :class:`~repro.cluster.batch.BatchSchedulingContext`
+        and ``batch`` the indices of the round's (slack-selected) jobs.  An
+        extension that overrides :meth:`_extra_cost` must either override
+        this with a bit-identical array implementation *and* register the
+        fast path for its own class, or leave it alone — subclasses without
+        their own registration always fall back to the scalar path (the
+        registrations are ``exact=True``), so the two hooks can never drift
+        apart silently.
         """
         return None
 

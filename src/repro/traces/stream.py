@@ -44,8 +44,24 @@ __all__ = [
     "TraceSource",
     "StreamingTraceGenerator",
     "TraceView",
+    "ColumnSource",
     "BlockGather",
 ]
+
+#: Chunk-format column names a :class:`ColumnSource` carries (the
+#: :class:`JobChunk` array fields, in field order).
+CHUNK_COLUMNS = (
+    "job_id",
+    "arrival",
+    "exec_est",
+    "exec_real",
+    "energy_est",
+    "energy_real",
+    "home_idx",
+    "workload_idx",
+    "package_gb",
+    "servers",
+)
 
 #: Size of the job-index blocks attribute generation is keyed on.  Part of a
 #: generator's deterministic output contract: changing it changes every
@@ -286,6 +302,70 @@ class TraceView(TraceSource):
                 workload_idx=workload_idx[start:stop],
                 package_gb=columns["package_gb"][start:stop],
                 servers=np.asarray(columns["servers_required"][start:stop], dtype=np.int64),
+            )
+            start = stop
+
+
+class ColumnSource(TraceSource):
+    """A :class:`TraceSource` over pre-assembled chunk-format column arrays.
+
+    The arrays are used as-is — no copies — so the columns may be views into
+    a ``multiprocessing.shared_memory`` segment: the parallel sweep fabric
+    packs a workload's columns once and every worker process streams
+    zero-copy slices of the shared buffer instead of regenerating the trace.
+    ``trace_name`` metadata is carried explicitly so results are labelled
+    exactly like the originating generator's.
+
+    The caller must keep the backing buffer alive (and, for shared memory,
+    attached) for as long as chunks from this source are in use.
+    """
+
+    def __init__(
+        self,
+        columns: dict[str, np.ndarray],
+        region_keys: tuple[str, ...],
+        workload_names: tuple[str, ...],
+        name: str = "columns",
+        seed: int = 0,
+        horizon_s: float = 0.0,
+        label: str | None = None,
+    ) -> None:
+        missing = set(CHUNK_COLUMNS) - set(columns)
+        if missing:
+            raise ValueError(f"columns missing chunk fields: {sorted(missing)}")
+        n = len(columns["job_id"])
+        for field in CHUNK_COLUMNS:
+            if len(columns[field]) != n:
+                raise ValueError(f"column {field!r} length differs from job_id's")
+        self._columns = columns
+        self._n = n
+        self.region_keys = tuple(region_keys)
+        self.workload_names = tuple(workload_names)
+        self.name = name
+        self.seed = int(seed)
+        self.horizon_s = float(horizon_s)
+        self.label = label
+
+    def count_jobs(self) -> int:
+        return self._n
+
+    def iter_chunks(
+        self, chunk_size: int | None = None, skip_jobs: int = 0
+    ) -> Iterator[JobChunk]:
+        start = int(skip_jobs)
+        if start < 0:
+            raise ValueError("skip_jobs must be >= 0")
+        if chunk_size is not None and int(chunk_size) < 1:
+            raise ValueError("chunk_size must be >= 1")
+        n = self._n
+        size = n - start if chunk_size is None else int(chunk_size)
+        columns = self._columns
+        while start < n:
+            stop = n if chunk_size is None else min(start + size, n)
+            yield JobChunk(
+                region_keys=self.region_keys,
+                workload_names=self.workload_names,
+                **{field: columns[field][start:stop] for field in CHUNK_COLUMNS},
             )
             start = stop
 

@@ -219,3 +219,24 @@ class TestWorkloadCacheSafety:
             assert [stable_summary(o) for o in threaded] == [
                 stable_summary(o) for o in serial
             ]
+
+    def test_workload_cache_is_bounded_lru(self):
+        # A long sweep over many workloads must not grow the per-worker
+        # cache without limit: it is an LRU bounded to a few workloads.
+        from repro.analysis import parallel
+
+        points = expand_grid(
+            scheduler=["baseline"],
+            trace_kind="borg",
+            rate_per_hour=[5.0 + i for i in range(10)],
+            duration_days=0.02,
+            servers_per_region=4,
+        )
+        assert len(points) == 10
+        run_sweep(points, executor="serial")
+        entries = parallel._workload_entries()
+        assert len(entries) <= parallel._WORKLOAD_CACHE_SIZE
+        # Most-recently-used workload is retained (cache hit on re-run).
+        last_key = parallel._workload_key(points[-1])
+        cached_source = entries[last_key]["source"]
+        assert parallel._point_source(points[-1]) is cached_source

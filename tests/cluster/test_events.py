@@ -1,0 +1,151 @@
+"""Unit tests of the array-batched event kernel (repro.cluster.events).
+
+The engine-level differential harness already proves digest equality of the
+vector and scalar kernels through whole simulations; these tests drive the
+kernel directly with randomized event schedules — including saturation,
+FIFO queuing and equal-time ties — and compare the two kernels' cluster
+state transition by transition.
+
+Sequence numbers and the cross-region interleaving of the finished list are
+*not* part of the kernel's contract (regions are independent; only
+per-region order matters), so the comparison checks per-job columns exactly,
+per-region finished order exactly, and the pending event sets by
+``(when, slot)``.
+"""
+
+import pickle
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.cluster.events import EventQueue, process_until
+
+
+def _mk_jobs(rng, n_jobs, n_regions, max_servers):
+    return {
+        "servers": rng.integers(1, max_servers + 1, size=n_jobs).astype(np.int64),
+        "exec_real": np.round(rng.uniform(5.0, 400.0, size=n_jobs), 1),
+        "region": rng.integers(0, n_regions, size=n_jobs).astype(np.int64),
+    }
+
+
+class _Cluster:
+    def __init__(self, jobs, n_regions, servers_per_region):
+        n = len(jobs["servers"])
+        self.servers = jobs["servers"]
+        self.exec_real = jobs["exec_real"]
+        self.region_of = jobs["region"].copy()
+        self.start = np.full(n, -1.0)
+        self.finish = np.full(n, -1.0)
+        self.free = np.full(n_regions, servers_per_region, dtype=np.int64)
+        self.committed = np.zeros(n_regions, dtype=np.int64)
+        self.busy = np.zeros(n_regions)
+        self.queues = [deque() for _ in range(n_regions)]
+        self.finished: list[int] = []
+        self.queue = EventQueue()
+
+    def process(self, limit, use_fast):
+        return process_until(
+            self.queue, limit,
+            servers=self.servers, exec_real=self.exec_real,
+            region_of=self.region_of, start=self.start, finish=self.finish,
+            free=self.free, committed=self.committed, busy_seconds=self.busy,
+            queues=self.queues, finished=self.finished, use_fast=use_fast,
+        )
+
+
+def _assert_equivalent(vector: _Cluster, scalar: _Cluster):
+    np.testing.assert_array_equal(vector.start, scalar.start)
+    np.testing.assert_array_equal(vector.finish, scalar.finish)
+    np.testing.assert_array_equal(vector.free, scalar.free)
+    np.testing.assert_array_equal(vector.committed, scalar.committed)
+    np.testing.assert_allclose(vector.busy, scalar.busy, rtol=1e-12)
+    # FIFO queues must match exactly (slots, in order) per region.
+    for fast_q, slow_q in zip(vector.queues, scalar.queues):
+        assert [entry[0] if isinstance(entry, tuple) else entry for entry in fast_q] == \
+               [entry[0] if isinstance(entry, tuple) else entry for entry in slow_q]
+    # Finished: same multiset globally, same order per region.
+    assert sorted(vector.finished) == sorted(scalar.finished)
+    for region in range(len(vector.free)):
+        fast_r = [s for s in vector.finished if vector.region_of[s] == region]
+        slow_r = [s for s in scalar.finished if scalar.region_of[s] == region]
+        assert fast_r == slow_r
+    # Pending events agree as (when, slot) sets.
+    for attr in ("ready", "finish"):
+        fast_set = sorted(zip(
+            getattr(vector.queue, f"{attr}_when").tolist(),
+            getattr(vector.queue, f"{attr}_slot").tolist(),
+        ))
+        slow_set = sorted(zip(
+            getattr(scalar.queue, f"{attr}_when").tolist(),
+            getattr(scalar.queue, f"{attr}_slot").tolist(),
+        ))
+        assert fast_set == slow_set
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("servers_per_region", [2, 5, 50])
+    def test_random_schedules_match_reference(self, seed, servers_per_region):
+        rng = np.random.default_rng(seed)
+        n_regions = 3
+        n_jobs = 120
+        jobs = _mk_jobs(rng, n_jobs, n_regions, max_servers=min(3, servers_per_region))
+        vector = _Cluster(jobs, n_regions, servers_per_region)
+        scalar = _Cluster(jobs, n_regions, servers_per_region)
+
+        # Ready times arrive in round batches; windows advance in fixed steps
+        # so events straddle window boundaries.
+        now = 0.0
+        cursor = 0
+        while cursor < n_jobs or len(vector.queue):
+            batch = min(n_jobs - cursor, int(rng.integers(0, 25)))
+            if batch:
+                slots = np.arange(cursor, cursor + batch, dtype=np.int64)
+                whens = now + np.round(rng.uniform(0.0, 300.0, size=batch), 1)
+                for cluster in (vector, scalar):
+                    cluster.queue.push_ready_batch(whens, slots)
+                cursor += batch
+            now += 150.0
+            span_fast = vector.process(now, use_fast=True)
+            span_slow = scalar.process(now, use_fast=False)
+            assert span_fast == span_slow
+            _assert_equivalent(vector, scalar)
+        # Drain everything.
+        assert vector.process(np.inf, True) == scalar.process(np.inf, False)
+        _assert_equivalent(vector, scalar)
+        assert np.all(vector.finish[: n_jobs] >= 0.0)
+
+    def test_equal_time_commit_order_breaks_fifo_ties(self):
+        # Two jobs become ready at the same instant in a one-server region:
+        # the commit (push) order decides who runs first.
+        jobs = {
+            "servers": np.array([1, 1], dtype=np.int64),
+            "exec_real": np.array([10.0, 10.0]),
+            "region": np.array([0, 0], dtype=np.int64),
+        }
+        first = _Cluster(jobs, 1, 1)
+        first.queue.push_ready_batch(np.array([5.0, 5.0]), np.array([1, 0]))
+        first.process(np.inf, True)
+        assert first.start[1] == 5.0 and first.start[0] == 15.0
+
+        second = _Cluster(jobs, 1, 1)
+        second.queue.push_ready_batch(np.array([5.0, 5.0]), np.array([0, 1]))
+        second.process(np.inf, True)
+        assert second.start[0] == 5.0 and second.start[1] == 15.0
+
+    def test_empty_queue_returns_minus_inf(self):
+        cluster = _Cluster(
+            {"servers": np.zeros(0, dtype=np.int64), "exec_real": np.zeros(0),
+             "region": np.zeros(0, dtype=np.int64)}, 2, 4,
+        )
+        assert cluster.process(1e9, True) == -np.inf
+
+    def test_event_queue_pickles(self):
+        queue = EventQueue()
+        queue.push_ready_batch(np.array([3.0, 1.0]), np.array([0, 1]))
+        restored = pickle.loads(pickle.dumps(queue))
+        assert restored.sequence == queue.sequence
+        np.testing.assert_array_equal(restored.ready_when, queue.ready_when)
+        np.testing.assert_array_equal(restored.ready_slot, queue.ready_slot)

@@ -23,9 +23,10 @@ fails here immediately.
 
 import math
 
+import numpy as np
 import pytest
 
-from repro.cluster import BatchSimulator, StreamingSimulator
+from repro.cluster import BatchSimulator, MultiPolicyRunner, Simulator, StreamingSimulator
 from repro.schedulers import available_schedulers, has_fast_path, make_scheduler
 from repro.sustainability import ElectricityMapsLikeProvider
 from repro.traces.scenarios import available_scenarios, get_scenario
@@ -180,11 +181,155 @@ class TestRegistryWideEquivalence:
                 result = resumed.run()
                 assert result.digest() == oneshot.digest(), (policy, stop)
 
+    def test_fused_runner_digest_equality_registry_wide(self, policy_sources, dataset):
+        # Acceptance gate of the fused tentpole: one MultiPolicyRunner pass
+        # over the whole registry produces, for every policy, a BatchResult
+        # byte-identical (digest) to that policy's own streaming run and to
+        # the one-shot batch engine — at ≥ 2 distinct chunk sizes.
+        policies = available_schedulers()
+        source, _ = policy_sources(policies[0])
+        for chunk_size in (37, 512):
+            runner = MultiPolicyRunner(
+                source,
+                {policy: _policy_factory(policy)() for policy in policies},
+                dataset=dataset,
+                servers_per_region=_STREAM_SERVERS,
+                chunk_size=chunk_size,
+                collect="full",
+            )
+            results = runner.run()
+            for policy in policies:
+                _, oneshot = policy_sources(policy)
+                assert results[policy].digest() == oneshot.digest(), (policy, chunk_size)
+
+    @pytest.mark.parametrize("servers", [24, 2])
+    @pytest.mark.parametrize("policy", available_schedulers())
+    def test_event_kernels_are_digest_identical(self, policy, servers, dataset,
+                                                scenario_traces):
+        # The vectorized window kernel vs the classic event-at-a-time
+        # reference loop, uncontended (24 servers) and saturated (2 servers —
+        # FIFO queues and equal-time tie-breaking in play).
+        trace = scenario_traces["bursty"]
+        scalar = BatchSimulator(
+            trace, _policy_factory(policy)(), dataset=dataset,
+            servers_per_region=servers, kernel="scalar",
+        ).run()
+        vector = BatchSimulator(
+            trace, _policy_factory(policy)(), dataset=dataset,
+            servers_per_region=servers, kernel="vector",
+        ).run()
+        assert scalar.digest() == vector.digest()
+
+    @pytest.mark.parametrize("policy", ["waterwise", "waterwise-cost-aware"])
+    def test_decision_pipelines_are_decision_identical(self, policy, dataset,
+                                                       scenario_traces):
+        # The array decision pipeline (vectorized slack + standard-form MILP,
+        # the default) against the object reference pipeline (per-job slack
+        # scoring + Variable/Constraint model), through the scalar engine
+        # where both are reachable.
+        from repro.core.config import WaterWiseConfig
+
+        trace = scenario_traces["bursty"]
+        for servers in (24, 2):
+            reference = Simulator(
+                trace,
+                make_scheduler(policy, config=WaterWiseConfig(decision_pipeline="object")),
+                dataset=dataset, servers_per_region=servers,
+            ).run()
+            array = Simulator(
+                trace, make_scheduler(policy), dataset=dataset,
+                servers_per_region=servers,
+            ).run()
+            ref, arr = reference.outcomes, array.outcomes
+            assert [o.executed_region for o in ref] == [o.executed_region for o in arr]
+            assert [o.start_time for o in ref] == [o.start_time for o in arr]
+            assert [o.finish_time for o in ref] == [o.finish_time for o in arr]
+            assert [o.deferrals for o in ref] == [o.deferrals for o in arr]
+
+    def test_fused_sweep_matches_per_cell_at_multiple_worker_counts(self):
+        # run_sweep(fused=True) must return outcomes element-wise equivalent
+        # to the per-cell fabric, for every executor/worker-count combination
+        # (including the shared-memory process path).
+        from repro.analysis.parallel import expand_grid, run_sweep
+
+        points = expand_grid(
+            scheduler=["baseline", "least-load", "waterwise"],
+            delay_tolerance=[0.25, 0.5],
+            trace_kind="bursty",
+            rate_per_hour=30.0,
+            duration_days=0.05,
+        )
+        reference = run_sweep(points, executor="serial")
+        for workers, executor in ((1, "serial"), (2, "thread"), (2, "process")):
+            fused = run_sweep(points, workers=workers, executor=executor, fused=True)
+            assert [o.point for o in fused] == [o.point for o in reference]
+            for ours, theirs in zip(fused, reference):
+                assert ours.num_jobs == theirs.num_jobs
+                assert ours.summary["trace"] == theirs.summary["trace"]
+                assert ours.total_carbon_g == pytest.approx(
+                    theirs.total_carbon_g, rel=1e-9
+                )
+                assert ours.total_water_l == pytest.approx(
+                    theirs.total_water_l, rel=1e-9
+                )
+                assert ours.violation_fraction == theirs.violation_fraction
+
+    def test_shared_memory_chunks_roundtrip_byte_identical(self):
+        # Property test over chunk sizes: a workload packed into shared
+        # memory and re-streamed by an attached ColumnSource yields chunks
+        # whose every column is byte-identical to the generator's.
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.analysis.parallel import (
+            _close_all_shared_attachments,
+            attach_shared_workload,
+            pack_shared_workload,
+        )
+        from repro.traces.stream import CHUNK_COLUMNS
+
+        source = get_scenario("bursty").source(
+            seed=13, rate_per_hour=_SCENARIO_RATES["bursty"], duration_days=0.05
+        )
+        shm, handle = pack_shared_workload(source)
+        try:
+            attached = attach_shared_workload(handle)
+
+            @settings(max_examples=12, deadline=None)
+            @given(chunk_size=st.integers(min_value=1, max_value=80))
+            def roundtrip(chunk_size):
+                originals = list(source.iter_chunks(chunk_size))
+                copies = list(attached.iter_chunks(chunk_size))
+                assert len(originals) == len(copies)
+                for original, copy in zip(originals, copies):
+                    assert original.region_keys == copy.region_keys
+                    assert original.workload_names == copy.workload_names
+                    for field in CHUNK_COLUMNS:
+                        ours = np.asarray(getattr(copy, field))
+                        theirs = np.asarray(getattr(original, field))
+                        assert ours.dtype == theirs.dtype, field
+                        assert ours.tobytes() == theirs.tobytes(), field
+
+            roundtrip()
+            assert attached.trace_name == source.trace_name
+        finally:
+            _close_all_shared_attachments()
+            shm.close()
+            shm.unlink()
+
     def test_sustainability_policies_use_fast_paths(self):
         # Guard the point of this PR: the paper's core policies no longer
         # fall back to the scalar path inside the batch engine.
-        for name in ("waterwise", "ecovisor-like", "carbon-greedy-opt", "water-greedy-opt"):
+        for name in ("waterwise", "ecovisor-like", "carbon-greedy-opt",
+                     "water-greedy-opt", "waterwise-cost-aware"):
             assert has_fast_path(make_scheduler(name)), name
-        # The cost-aware subclass customizes decisions through `_extra_cost`,
-        # which no fast path mirrors — it must keep using the fallback.
-        assert not has_fast_path(make_scheduler("waterwise-cost-aware"))
+        # A subclass that tweaks a decision hook without registering its own
+        # mirrored fast path must fall back to the scalar path — the
+        # registrations are exact, so nothing is inherited silently.
+        from repro.core.cost import CostAwareWaterWiseScheduler
+
+        class TweakedCost(CostAwareWaterWiseScheduler):
+            def _extra_cost(self, jobs, context):
+                return None
+
+        assert not has_fast_path(TweakedCost())

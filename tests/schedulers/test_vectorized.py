@@ -152,14 +152,24 @@ class TestRegistry:
         finally:
             unregister_fast_path(TemplatePolicy)
 
-    def test_waterwise_is_exact_and_cost_aware_subclass_falls_back(self):
-        # CostAwareWaterWiseScheduler overrides only `_extra_cost` — the MRO
-        # guard cannot see that, so the WaterWise registration is exact and
-        # the subclass must use the scalar fallback.
+    def test_waterwise_registrations_are_exact(self):
+        # Both WaterWise registrations are exact: the cost-aware subclass has
+        # its own (its `_extra_cost` hook is mirrored by a bit-identical
+        # `_extra_cost_arrays`), while any further subclass tweaking a hook
+        # the MRO guard cannot see must fall back to the scalar path until it
+        # registers its own mirrored implementation.
         from repro.core import CostAwareWaterWiseScheduler, WaterWiseScheduler
 
         assert has_fast_path(WaterWiseScheduler())
-        assert fast_path_for(CostAwareWaterWiseScheduler()) is None
+        assert has_fast_path(CostAwareWaterWiseScheduler())
+
+        class RetunedCostAware(CostAwareWaterWiseScheduler):
+            name = "retuned-cost-aware"
+
+            def _extra_cost(self, jobs, context):
+                return None
+
+        assert fast_path_for(RetunedCostAware()) is None
 
         class RetunedWaterWise(WaterWiseScheduler):
             name = "retuned-waterwise"

@@ -100,6 +100,35 @@ class TestStreamingCli:
         assert stream_out.splitlines()[1:] == batch_out.splitlines()[1:]
         assert "streaming, 64 jobs/chunk" in stream_out
 
+    def test_simulate_fused_matches_stream_tables(self, capsys, tmp_path):
+        profile_path = tmp_path / "profile.txt"
+        common = [
+            "simulate", "--policies", "baseline", "waterwise", "--scenario",
+            "bursty", "--jobs-per-hour", "30", "--hours", "3", "--seed", "4",
+        ]
+        assert main(common + ["--engine", "stream"]) == 0
+        stream_out = capsys.readouterr().out
+        assert main(
+            common + ["--engine", "fused", "--chunk-size", "64",
+                      "--profile", str(profile_path)]
+        ) == 0
+        fused_out = capsys.readouterr().out
+        # One fused pass produces the same totals/savings tables as the
+        # per-policy streaming engine; only the trace header (first line)
+        # differs and the profile note trails the tables.
+        stream_tables = stream_out.splitlines()[1:]
+        fused_tables = [
+            line for line in fused_out.splitlines()[1:]
+            if not line.startswith("profile")
+        ]
+        while fused_tables and not fused_tables[-1]:
+            fused_tables.pop()
+        while stream_tables and not stream_tables[-1]:
+            stream_tables.pop()
+        assert fused_tables == stream_tables
+        assert "fused multi-policy streaming, 64 jobs/chunk" in fused_out
+        assert "cumulative" in profile_path.read_text()
+
     def test_checkpoint_then_resume_to_completion(self, capsys, tmp_path):
         path = tmp_path / "run.ckpt"
         assert main([

@@ -41,9 +41,14 @@ RATE_PER_HOUR = 1400.0
 #: Soft regression threshold vs the checked-in baseline.
 REGRESSION_FACTOR = 1.5
 
+#: Fault-injection tier: the region-outage chaos family (whole-region
+#: outages, evict-and-requeue) at the benchmark seed.
+CHAOS_SPEC = "region-outage"
+
 _HEADLINE_HIGHER_IS_WORSE = (
     "stream_peak_rss_mb_max",
     "stream_wall_s_per_100k",
+    "chaos_stream_wall_s_per_100k",
 )
 
 
@@ -71,12 +76,14 @@ def _case_parameters(jobs: int) -> dict:
     }
 
 
-def _run_child(jobs: int, mode: str, policy: str) -> dict:
+def _run_child(jobs: int, mode: str, policy: str, chaos: bool = False) -> dict:
     """One measured case in a fresh interpreter; returns its JSON report."""
     command = [
         sys.executable, os.path.abspath(__file__), "--child",
         "--child-jobs", str(jobs), "--child-mode", mode, "--policy", policy,
     ]
+    if chaos:
+        command.append("--child-chaos")
     env = dict(os.environ)
     src = str(pathlib.Path(__file__).resolve().parent.parent / "src")
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
@@ -106,6 +113,11 @@ def _child_main(args: argparse.Namespace) -> int:
         seed=params["seed"],
     )
     scheduler = make_scheduler(args.policy)
+    chaos_kwargs = (
+        {"chaos": CHAOS_SPEC, "chaos_seed": params["seed"]}
+        if args.child_chaos
+        else {}
+    )
     started = time.perf_counter()
     if args.child_mode == "stream":
         result = StreamingSimulator(
@@ -115,6 +127,7 @@ def _child_main(args: argparse.Namespace) -> int:
             servers_per_region=params["servers_per_region"],
             chunk_size=params["chunk_size"],
             collect="aggregate",
+            **chaos_kwargs,
         ).run()
     else:
         trace = source.materialize()
@@ -123,11 +136,13 @@ def _child_main(args: argparse.Namespace) -> int:
             scheduler,
             dataset=dataset,
             servers_per_region=params["servers_per_region"],
+            **chaos_kwargs,
         ).run()
     wall_s = time.perf_counter() - started
     peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss  # kB on Linux
     print(json.dumps({
         "mode": args.child_mode,
+        "chaos": bool(args.child_chaos),
         "requested_jobs": args.child_jobs,
         "jobs": result.num_jobs,
         "rounds": len(result.round_times_s),
@@ -136,6 +151,7 @@ def _child_main(args: argparse.Namespace) -> int:
         "carbon_kg": result.total_carbon_kg,
         "water_m3": result.total_water_m3,
         "mean_service_ratio": result.mean_service_ratio,
+        "evictions": int(getattr(result, "total_evictions", 0)),
     }))
     return 0
 
@@ -171,6 +187,10 @@ def main(argv=None) -> int:
                         help="measure only the streaming engine")
     parser.add_argument("--rss-limit-mb", type=float, default=1500.0,
                         help="hard bound every streaming case must stay under")
+    parser.add_argument("--chaos-sizes", type=int, nargs="*", default=[],
+                        help="additionally measure these sizes under the "
+                             f"{CHAOS_SPEC!r} fault-injection timeline "
+                             "(stream + one-shot; same RSS/totals gates)")
     parser.add_argument("--output", default="BENCH_stream.json")
     parser.add_argument(
         "--baseline",
@@ -184,6 +204,7 @@ def main(argv=None) -> int:
     parser.add_argument("--child-jobs", type=int, help=argparse.SUPPRESS)
     parser.add_argument("--child-mode", choices=["stream", "oneshot"],
                         help=argparse.SUPPRESS)
+    parser.add_argument("--child-chaos", action="store_true", help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
     if args.child:
         return _child_main(args)
@@ -218,13 +239,58 @@ def main(argv=None) -> int:
                     f"stream {stream[key]!r} vs oneshot {oneshot[key]!r}"
                 )
 
-    stream_cases = [case for case in cases if case["mode"] == "stream"]
+    for jobs in args.chaos_sizes:
+        stream = _run_child(jobs, "stream", args.policy, chaos=True)
+        cases.append(stream)
+        print(
+            f"chaos   {jobs:>9,} jobs: {stream['wall_s']:8.1f} s, "
+            f"peak RSS {stream['peak_rss_mb']:8.1f} MB "
+            f"({stream['jobs']} simulated, {stream['evictions']} evictions)"
+        )
+        if stream["peak_rss_mb"] > args.rss_limit_mb:
+            failures.append(
+                f"chaotic streaming at {jobs} jobs used {stream['peak_rss_mb']:.1f} MB "
+                f"(> hard limit {args.rss_limit_mb:.0f} MB)"
+            )
+        if args.stream_only or jobs > args.max_oneshot_jobs:
+            continue
+        oneshot = _run_child(jobs, "oneshot", args.policy, chaos=True)
+        cases.append(oneshot)
+        print(
+            f"chaos-1s{jobs:>9,} jobs: {oneshot['wall_s']:8.1f} s, "
+            f"peak RSS {oneshot['peak_rss_mb']:8.1f} MB"
+        )
+        # Under chaos the engines must *still* agree — evictions included.
+        if stream["evictions"] != oneshot["evictions"]:
+            failures.append(
+                f"evictions diverge at {jobs} chaotic jobs: "
+                f"stream {stream['evictions']} vs oneshot {oneshot['evictions']}"
+            )
+        for key in ("carbon_kg", "water_m3", "mean_service_ratio"):
+            if abs(stream[key] - oneshot[key]) > 1e-9 * max(1.0, abs(oneshot[key])):
+                failures.append(
+                    f"{key} diverges at {jobs} chaotic jobs: "
+                    f"stream {stream[key]!r} vs oneshot {oneshot[key]!r}"
+                )
+
+    stream_cases = [
+        case for case in cases
+        if case["mode"] == "stream" and not case.get("chaos")
+    ]
+    chaos_stream_cases = [
+        case for case in cases
+        if case["mode"] == "stream" and case.get("chaos")
+    ]
     head = {
         "stream_peak_rss_mb_max": max(c["peak_rss_mb"] for c in stream_cases),
         "stream_wall_s_per_100k": max(
             c["wall_s"] * 100_000.0 / max(c["jobs"], 1) for c in stream_cases
         ),
     }
+    if chaos_stream_cases:
+        head["chaos_stream_wall_s_per_100k"] = max(
+            c["wall_s"] * 100_000.0 / max(c["jobs"], 1) for c in chaos_stream_cases
+        )
     report = {
         "benchmark": "stream_engine",
         "policy": args.policy,

@@ -395,6 +395,15 @@ def _point_dataset(point: SweepPoint, source):
     return ElectricityMapsLikeProvider(horizon_hours=horizon_hours, seed=point.seed)
 
 
+def _point_chaos(point: SweepPoint) -> str | None:
+    """The chaos spec attached to the point's scenario family (if any)."""
+    if point.trace_kind in _TRACE_KINDS:
+        return None
+    from repro.traces.scenarios import get_scenario
+
+    return get_scenario(point.trace_kind).chaos
+
+
 def _run_point(point: SweepPoint) -> SweepOutcome:
     """Simulate one sweep point (module-level so process pools can pickle it)."""
     from repro.cluster.simulator import BatchSimulator, Simulator
@@ -404,6 +413,7 @@ def _run_point(point: SweepPoint) -> SweepOutcome:
     source = _point_source(point)
     dataset = _point_dataset(point, source)
     scheduler = make_scheduler(point.scheduler, **dict(point.scheduler_kwargs))
+    chaos = _point_chaos(point)
     if point.engine == "stream":
         # Bounded memory: the policy cell replays the shared chunked source
         # without ever materializing the trace.
@@ -416,6 +426,8 @@ def _run_point(point: SweepPoint) -> SweepOutcome:
             delay_tolerance=point.delay_tolerance,
             include_embodied=point.include_embodied,
             collect="aggregate",
+            chaos=chaos,
+            chaos_seed=point.seed,
         ).run()
     else:
         engine_cls = BatchSimulator if point.engine == "batch" else Simulator
@@ -427,6 +439,8 @@ def _run_point(point: SweepPoint) -> SweepOutcome:
             scheduling_interval_s=point.scheduling_interval_s,
             delay_tolerance=point.delay_tolerance,
             include_embodied=point.include_embodied,
+            chaos=chaos,
+            chaos_seed=point.seed,
         ).run()
     return _outcome_from_result(point, result)
 
@@ -487,6 +501,8 @@ def _run_fused_group(
         scheduling_interval_s=first.scheduling_interval_s,
         delay_tolerance=first.delay_tolerance,
         include_embodied=first.include_embodied,
+        chaos=_point_chaos(first),
+        chaos_seed=first.seed,
     ).run()
     return [
         _outcome_from_result(point, results[str(i)])

@@ -133,6 +133,8 @@ def simulate(
     include_embodied: bool = True,
     engine: str = "scalar",
     chunk_size: int = 4096,
+    chaos=None,
+    chaos_seed: int = 0,
 ) -> SimulationResult:
     """Run one policy over one trace (thin wrapper around the simulators).
 
@@ -150,6 +152,11 @@ def simulate(
         raise ValueError(
             f"engine must be 'scalar', 'batch' or 'stream', got {engine!r}"
         )
+    if chaos is not None and engine == "scalar":
+        raise ValueError(
+            "chaos timelines need the array engines: use engine='batch' or "
+            "'stream' (BatchSimulator(kernel='scalar') is the chaos reference)"
+        )
     if engine == "stream":
         source = trace if isinstance(trace, TraceSource) else TraceView(trace)
         return StreamingSimulator(
@@ -163,6 +170,8 @@ def simulate(
             include_embodied=include_embodied,
             chunk_size=chunk_size,
             collect="aggregate",
+            chaos=chaos,
+            chaos_seed=chaos_seed,
         ).run()
     if isinstance(trace, TraceSource):
         trace = trace.materialize()
@@ -176,6 +185,8 @@ def simulate(
         scheduling_interval_s=scheduling_interval_s,
         delay_tolerance=delay_tolerance,
         include_embodied=include_embodied,
+        chaos=chaos,
+        chaos_seed=chaos_seed,
     ).run()
     return result.to_simulation_result() if engine == "batch" else result
 
@@ -201,6 +212,8 @@ def run_policies(
     include_embodied: bool = True,
     engine: str = "scalar",
     chunk_size: int = 4096,
+    chaos=None,
+    chaos_seed: int = 0,
 ) -> dict[str, SimulationResult]:
     """Simulate every policy in ``policies`` under identical conditions.
 
@@ -228,6 +241,8 @@ def run_policies(
             scheduling_interval_s=scheduling_interval_s,
             delay_tolerance=delay_tolerance,
             include_embodied=include_embodied,
+            chaos=chaos,
+            chaos_seed=chaos_seed,
         )
         return runner.run()
     if engine != "stream" and isinstance(trace, TraceSource):
@@ -246,6 +261,8 @@ def run_policies(
             include_embodied=include_embodied,
             engine=engine,
             chunk_size=chunk_size,
+            chaos=chaos,
+            chaos_seed=chaos_seed,
         )
     return results
 
@@ -291,6 +308,9 @@ def scenario_suite(
     The scenario-diversity counterpart of :func:`delay_tolerance_sweep`: one
     result group per scenario, one result per policy.  Server counts are
     sized per scenario for the scale's target utilization unless given.
+    Chaos scenarios (``Scenario.chaos``) automatically run their engines
+    under the scenario's fault-injection timeline, seeded with the scale's
+    seed.
     """
     scale = scale if scale is not None else ExperimentScale()
     names = tuple(scenario_names) if scenario_names is not None else available_scenarios()
@@ -299,6 +319,7 @@ def scenario_suite(
     dataset = scale.dataset()
     suite: dict[str, dict[str, SimulationResult]] = {}
     for name in names:
+        scenario = get_scenario(name)
         trace = scale.scenario_trace(name)
         servers = (
             servers_per_region
@@ -313,6 +334,8 @@ def scenario_suite(
             delay_tolerance=delay_tolerance,
             scheduling_interval_s=scale.scheduling_interval_s,
             engine=engine,
+            chaos=scenario.chaos,
+            chaos_seed=scale.seed,
         )
     return suite
 

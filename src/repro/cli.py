@@ -15,6 +15,10 @@ Sub-commands
     under identical conditions and print totals and savings versus the
     baseline.  ``--stream`` runs the bounded-memory streaming engine
     (``--chunk-size`` jobs at a time) instead of materializing the trace.
+    ``--chaos`` injects a deterministic fault timeline (region outages,
+    autoscaling, capacity flaps, carbon/water spikes, forecast error) — a
+    named family or a ``key=value,...`` spec; chaos scenarios carry their
+    own spec.
 ``checkpoint``
     Run the first ``--chunks`` chunks of a streaming simulation and save the
     engine state (plus everything needed to rebuild the run) to a file.
@@ -81,6 +85,17 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("--interval", type=float, default=300.0, help="scheduling interval (s)")
         command.add_argument("--data-source", choices=["electricity-maps", "wri"], default="electricity-maps")
         command.add_argument("--seed", type=int, default=0)
+        command.add_argument(
+            "--chaos", default=None,
+            help="fault-injection timeline: a named chaos family (see `repro "
+                 "scenarios`) or a 'key=value,...' spec, e.g. "
+                 "'outage_rate_per_day=4,outage_duration_s=1800,eviction=drain'; "
+                 "chaos scenarios apply their own spec automatically",
+        )
+        command.add_argument(
+            "--chaos-seed", type=int, default=None,
+            help="seed of the chaos timeline (default: --seed)",
+        )
 
     simulate = sub.add_parser("simulate", help="run one or more policies over a synthetic trace")
     simulate.add_argument(
@@ -179,17 +194,36 @@ def _build_dataset(args: argparse.Namespace):
 #: the identical source and dataset.
 _WORKLOAD_ARGS = (
     "trace", "scenario", "jobs_per_hour", "hours", "tolerance",
-    "utilization", "interval", "data_source", "seed",
+    "utilization", "interval", "data_source", "seed", "chaos", "chaos_seed",
 )
 
 
-def _resolve_engine(args: argparse.Namespace) -> tuple[str, int]:
+def _resolve_chaos(args: argparse.Namespace) -> tuple[str | None, int]:
+    """(chaos spec, chaos seed): --chaos wins, else the scenario's own."""
+    chaos = args.chaos
+    if chaos is None and args.scenario is not None:
+        chaos = get_scenario(args.scenario).chaos
+    seed = args.seed if args.chaos_seed is None else args.chaos_seed
+    return chaos, seed
+
+
+def _resolve_engine(args: argparse.Namespace, chaos: str | None = None) -> tuple[str, int]:
     """(engine, chunk_size) for ``simulate``, rejecting conflicting flags."""
     if args.stream and args.engine not in (None, "stream"):
         raise SystemExit(
             f"--stream conflicts with --engine {args.engine}; pick one"
         )
-    engine = "stream" if args.stream else (args.engine or "scalar")
+    default = "scalar"
+    if chaos is not None:
+        # Chaos timelines run on the array engines only (the batch engine's
+        # scalar *kernel* remains the chaos reference path).
+        if args.engine == "scalar":
+            raise SystemExit(
+                "--engine scalar cannot run a chaos timeline; use "
+                "--engine batch/stream/fused"
+            )
+        default = "batch"
+    engine = "stream" if args.stream else (args.engine or default)
     if args.chunk_size is not None and engine not in ("stream", "fused"):
         raise SystemExit(
             "--chunk-size requires a chunked engine (--engine stream/fused)"
@@ -198,7 +232,8 @@ def _resolve_engine(args: argparse.Namespace) -> tuple[str, int]:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    engine, chunk_size = _resolve_engine(args)
+    chaos, chaos_seed = _resolve_chaos(args)
+    engine, chunk_size = _resolve_engine(args, chaos)
     source = _build_source(args)
     dataset = _build_dataset(args)
     if engine in ("stream", "fused"):
@@ -235,6 +270,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     else:
         print(f"trace     : {trace}")
     print(f"servers   : {servers} per region ({args.utilization:.0%} target utilization)")
+    if chaos is not None:
+        print(f"chaos     : {chaos} (seed {chaos_seed})")
     print(f"tolerance : {args.tolerance:.0%}\n")
 
     profiler = None
@@ -252,6 +289,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         scheduling_interval_s=args.interval,
         engine=engine,
         chunk_size=chunk_size,
+        chaos=chaos,
+        chaos_seed=chaos_seed,
     )
     if profiler is not None:
         profiler.disable()
@@ -320,6 +359,7 @@ def _print_stream_summary(result) -> None:
 
 
 def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    chaos, chaos_seed = _resolve_chaos(args)
     source = _build_source(args)
     dataset = _build_dataset(args)
     servers = servers_for_target_utilization(
@@ -334,6 +374,8 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
         delay_tolerance=args.tolerance,
         chunk_size=args.chunk_size,
         collect="aggregate",
+        chaos=chaos,
+        chaos_seed=chaos_seed,
     )
     consumed = engine.run_chunks(max_chunks=args.chunks)
     extra = {"cli": {name: getattr(args, name) for name in _WORKLOAD_ARGS}}
@@ -426,11 +468,12 @@ def _cmd_workloads() -> int:
 
 def _cmd_scenarios() -> int:
     rows = [
-        [s.name, s.description, s.default_rate_per_hour, s.default_duration_days]
+        [s.name, s.description, s.default_rate_per_hour, s.default_duration_days,
+         s.chaos or "-"]
         for s in SCENARIOS.values()
     ]
     print(format_table(
-        ["scenario", "description", "default_rate_per_h", "default_days"],
+        ["scenario", "description", "default_rate_per_h", "default_days", "chaos"],
         rows,
         title="Workload scenario library",
     ))

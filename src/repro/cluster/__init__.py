@@ -20,6 +20,9 @@ logic through trace simulation.  This subpackage is that simulation substrate:
   engines drive their discrete-event core through,
 * :mod:`repro.cluster.multi` — the fused multi-policy runner (one workload
   pass, K policies in lockstep),
+* :mod:`repro.cluster.timeline` — the chaos & elasticity engine: seeded,
+  chunk-invariant streams of capacity events (outages, autoscaling, flaps)
+  and signal shocks (carbon/water spikes, forecast error),
 * :mod:`repro.cluster.metrics` — per-job outcomes and aggregate results,
 * :mod:`repro.cluster.capacity` — helpers to size clusters for a target
   utilization (the paper's 5% / 15% / 25% settings).
@@ -35,12 +38,22 @@ from repro.cluster.metrics import JobOutcome, RunningJobStats, SimulationResult
 from repro.cluster.multi import MultiPolicyRunner
 from repro.cluster.simulator import BatchSimulator, Simulator
 from repro.cluster.streaming import EngineState, StreamingSimulator, StreamResult
+from repro.cluster.timeline import (
+    CHAOS_SPECS,
+    ChaosSpec,
+    ClusterTimeline,
+    available_chaos,
+    get_chaos,
+)
 
 __all__ = [
+    "CHAOS_SPECS",
     "DEFER",
     "BatchResult",
     "BatchSchedulingContext",
     "BatchSimulator",
+    "ChaosSpec",
+    "ClusterTimeline",
     "Datacenter",
     "EngineState",
     "EventQueue",
@@ -57,5 +70,7 @@ __all__ = [
     "Simulator",
     "StreamResult",
     "StreamingSimulator",
+    "available_chaos",
+    "get_chaos",
     "servers_for_target_utilization",
 ]

@@ -218,6 +218,10 @@ class BatchResult:
 
     #: See :attr:`repro.cluster.metrics.SimulationResult.solver_stats`.
     solver_stats: dict | None = None
+    #: Chaos-timeline summary (scenario, capacity events, per-region degraded
+    #: seconds, evicted-job totals); ``None`` for static-capacity runs.  See
+    #: :mod:`repro.cluster.timeline`.
+    chaos_stats: dict | None = None
 
     def __init__(
         self,
@@ -245,6 +249,7 @@ class BatchResult:
         decision_times_s: Sequence[float],
         round_times_s: Sequence[float],
         delay_tolerance: float,
+        evictions: np.ndarray | None = None,
     ) -> None:
         self.scheduler_name = scheduler_name
         self.trace_name = trace_name
@@ -264,6 +269,11 @@ class BatchResult:
         self.carbon_g = carbon_g
         self.water_l = water_l
         self.deferrals = deferrals
+        self.evictions = (
+            evictions
+            if evictions is not None
+            else np.zeros(len(job_id), dtype=np.int64)
+        )
         self.region_servers = dict(region_servers)
         self.region_utilization = dict(region_utilization)
         self.makespan_s = float(makespan_s)
@@ -304,6 +314,11 @@ class BatchResult:
         return self.service_times > limit
 
     # -- totals ------------------------------------------------------------------------
+    @property
+    def total_evictions(self) -> int:
+        """Total chaos evictions/requeues across jobs (0 without a timeline)."""
+        return int(np.sum(self.evictions))
+
     @property
     def total_carbon_g(self) -> float:
         return float(np.sum(self.carbon_g))
@@ -421,6 +436,7 @@ class BatchResult:
             self.carbon_g,
             self.water_l,
             self.deferrals,
+            self.evictions,
         ):
             crc = zlib.crc32(np.ascontiguousarray(column).tobytes(), crc)
         return crc

@@ -24,6 +24,13 @@ per region:
   operation for operation identical to the pre-kernel engines (finishes
   before readies at equal times, sequenced pushes, FIFO admission).
 
+Callers can additionally force regions onto the replay path through the
+``contended`` mask: the engines mark every region with a pending capacity
+change at the window's edge (chaos timelines,
+:mod:`repro.cluster.timeline`), and a drained region running over its
+shrunken capacity shows up as a negative free count the prefix sum rejects —
+so time-varying capacity is structurally safe on both paths.
+
 The clean path only fires when it is provably equivalent to the replay, and
 the replay *is* the original algorithm, so per-job regions, start/finish/
 ready times, deferrals and footprints — everything ``BatchResult.digest()``
@@ -140,6 +147,7 @@ def process_until(
     queues: list,
     finished: list | None,
     use_fast: bool = True,
+    contended: np.ndarray | None = None,
 ) -> float:
     """Process every event at or before ``limit``; returns the max finish time.
 
@@ -148,6 +156,11 @@ def process_until(
     ``free`` / ``committed`` / ``busy_seconds`` / ``queues`` are the
     per-region state.  ``finished`` (when not ``None``) receives the finished
     slots in a deterministic near-pop order (exact pop order per region).
+    ``contended`` (a per-region bool mask) forces regions onto the replay
+    path regardless of the clean proof — the engines pass the regions with a
+    capacity change at this window's edge (see
+    :mod:`repro.cluster.timeline`), so elasticity correctness is structural
+    rather than relying on the prefix sum noticing a mid-window change.
     Returns ``-inf`` when nothing finished.
     """
     nf = int(np.searchsorted(queue.finish_when, limit, side="right"))
@@ -177,6 +190,8 @@ def process_until(
             limit, r_when, r_slot, r_reg, f_when, f_slot, f_reg,
             servers=servers, exec_real=exec_real, free=free, queues=queues,
         )
+        if contended is not None:
+            clean &= ~contended
 
     makespan = -np.inf
     if clean is not None and clean.any():

@@ -537,6 +537,7 @@ class RunningJobStats:
         self.execution_sum = 0.0
         self.violations = 0
         self.migrated = 0
+        self.evictions = 0
         self.jobs_per_region = np.zeros(self.n_regions, dtype=np.int64)
         self.quantiles = StreamingQuantiles(quantiles)
         self.reservoir = (
@@ -557,10 +558,13 @@ class RunningJobStats:
         carbon_g: np.ndarray,
         water_l: np.ndarray,
         job_id: np.ndarray | None = None,
+        evictions: np.ndarray | None = None,
     ) -> None:
         n = len(region_idx)
         if n == 0:
             return
+        if evictions is not None:
+            self.evictions += int(np.sum(evictions))
         service = finish - considered
         ratios = service / execution_time
         limit = (1.0 + self.delay_tolerance) * execution_time + 1e-9

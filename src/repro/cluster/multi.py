@@ -91,7 +91,10 @@ class MultiPolicyRunner:
             if dataset is None:
                 # Auto-built once; every subsequent engine shares it (and the
                 # footprint calculator's prefix-integral caches warm for all).
-                dataset = engine.dataset
+                # Share the *pre-chaos* input dataset: each engine applies its
+                # own (deterministic, identical) signal-shock factors, so a
+                # chaotic fused run never double-scales intensities.
+                dataset = engine.input_dataset
             self.engines[label] = engine
 
     @property

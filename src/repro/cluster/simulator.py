@@ -41,6 +41,7 @@ from repro.cluster.batch import (
 from repro.cluster.datacenter import Datacenter
 from repro.cluster.events import EventQueue, process_until
 from repro.cluster.footprint import FootprintCalculator
+from repro.cluster.timeline import ChaosSpec, ClusterTimeline, apply_capacity_step, get_chaos
 from repro.cluster.interface import Scheduler, SchedulingContext
 from repro.cluster.metrics import JobOutcome, SimulationResult
 from repro.regions.latency import TransferLatencyModel
@@ -116,6 +117,20 @@ class _SimulatorBase:
         decision-identical (the differential harness compares their digests);
         the scalar kernel exists as the testing reference and benchmark
         baseline.  The object-world :class:`Simulator` ignores it.
+    chaos:
+        Optional chaos timeline: a :class:`~repro.cluster.timeline.ChaosSpec`,
+        a registry name (``"region-outage"``, …) or a ``field=value,...``
+        spec string.  Builds a deterministic
+        :class:`~repro.cluster.timeline.ClusterTimeline` over the workload
+        horizon: capacity events (outages, flaps, autoscale) drive per-region
+        elasticity inside the event loop, and signal shocks perturb the
+        sustainability datasets — carbon/water spikes apply to decisions
+        *and* accounting, forecast error to decisions only
+        (``self.dataset`` is the decision view; footprints integrate against
+        the truth).  The array engines support it; the object-world
+        :class:`Simulator` raises.
+    chaos_seed:
+        Seed of the chaos timeline (independent of the trace seed).
     """
 
     def __init__(
@@ -133,21 +148,27 @@ class _SimulatorBase:
         seed_dataset_horizon_slack_h: int = 24,
         max_rounds: int = 1_000_000,
         kernel: str = "vector",
+        chaos: "str | ChaosSpec | None" = None,
+        chaos_seed: int = 0,
     ) -> None:
         self.trace = trace
         self.scheduler = scheduler
+        # The *declared* horizon where the workload carries one (generator
+        # duration; streams and their materialized traces agree on it, so
+        # both engines see the identical value) and the last arrival
+        # otherwise.  Sizes the auto-built dataset and the chaos timeline.
+        horizon_s = getattr(trace, "declared_horizon_s", None)
+        if horizon_s is None:
+            horizon_s = getattr(trace, "horizon_s", 0.0)
         if dataset is None:
-            # Size by the *declared* horizon where the workload carries one
-            # (generator duration; streams and their materialized traces
-            # agree on it, so both engines auto-build the identical dataset)
-            # and by the last arrival otherwise.
-            horizon_s = getattr(trace, "declared_horizon_s", None)
-            if horizon_s is None:
-                horizon_s = trace.horizon_s
             horizon_hours = int(math.ceil(horizon_s / 3600.0)) + int(
                 seed_dataset_horizon_slack_h
             )
             dataset = ElectricityMapsLikeProvider(horizon_hours=max(horizon_hours, 24))
+        #: The un-perturbed dataset the caller supplied (or the auto-built
+        #: one).  Multi-policy runners share *this* across engines so chaos
+        #: perturbations are never applied twice.
+        self.input_dataset = dataset
         self.dataset = dataset
         self.regions = tuple(regions) if regions is not None else tuple(dataset.regions)
         if not self.regions:
@@ -156,9 +177,6 @@ class _SimulatorBase:
         self.scheduling_interval_s = ensure_positive(scheduling_interval_s, "scheduling_interval_s")
         self.delay_tolerance = ensure_non_negative(delay_tolerance, "delay_tolerance")
         self.latency = latency if latency is not None else TransferLatencyModel(self.regions)
-        self.footprints = FootprintCalculator(
-            dataset, server=server, include_embodied=include_embodied
-        )
         self.max_rounds = int(max_rounds)
         if kernel not in ("vector", "scalar"):
             raise ValueError(f"kernel must be 'vector' or 'scalar', got {kernel!r}")
@@ -174,6 +192,41 @@ class _SimulatorBase:
         for key, count in self._servers.items():
             if count < 1:
                 raise ValueError(f"region {key!r} must have at least one server")
+
+        # Chaos: build the deterministic timeline and split the dataset into
+        # a decision view (spikes + forecast error) and an accounting view
+        # (spikes only).  Without chaos both views stay the caller's object.
+        self.chaos: ChaosSpec | None = None
+        self.chaos_seed = int(chaos_seed)
+        self._timeline: ClusterTimeline | None = None
+        accounting_dataset = dataset
+        if chaos is not None:
+            spec = get_chaos(chaos)
+            self.chaos = spec
+            baseline = np.array(
+                [self._servers[key] for key in self.region_keys], dtype=np.int64
+            )
+            self._timeline = ClusterTimeline(
+                spec, self.region_keys, baseline, horizon_s, seed=self.chaos_seed
+            )
+            n_hours = getattr(dataset, "horizon_hours", None)
+            if n_hours is None:
+                n_hours = int(math.ceil(horizon_s / 3600.0)) + 1
+            spike_carbon, spike_water = self._timeline.signal_factor_arrays(int(n_hours))
+            if spike_carbon or spike_water:
+                accounting_dataset = dataset.with_hourly_factors(
+                    spike_carbon, spike_water
+                )
+            decision_dataset = accounting_dataset
+            noise_carbon, noise_water = self._timeline.forecast_factor_arrays(int(n_hours))
+            if noise_carbon or noise_water:
+                decision_dataset = accounting_dataset.with_hourly_factors(
+                    noise_carbon, noise_water
+                )
+            self.dataset = decision_dataset
+        self.footprints = FootprintCalculator(
+            accounting_dataset, server=server, include_embodied=include_embodied
+        )
 
     def _next_round_time(self, round_time: float, next_arrival: float | None) -> float:
         """Time of the next scheduling round (shared by both engines).
@@ -206,6 +259,14 @@ class _SimulatorBase:
         if session is not None:
             result.solver_stats = session.stats.as_dict()
 
+    def _attach_chaos_stats(self, result, total_evictions: int) -> None:
+        """Expose the chaos timeline's summary on the result (``None`` without chaos)."""
+        if self._timeline is None:
+            return
+        stats = self._timeline.stats()
+        stats["evictions"] = int(total_evictions)
+        result.chaos_stats = stats
+
 
 class Simulator(_SimulatorBase):
     """Scalar reference engine: replay the trace one ``Job`` object at a time.
@@ -221,6 +282,11 @@ class Simulator(_SimulatorBase):
     # -- main entry point ----------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Run the simulation to completion and return the aggregated result."""
+        if self._timeline is not None:
+            raise NotImplementedError(
+                "the object-world Simulator does not support chaos timelines; "
+                "use BatchSimulator(kernel='scalar') as the chaos reference engine"
+            )
         self.scheduler.reset()
         datacenters = {key: Datacenter(key, self._servers[key]) for key in self.region_keys}
         events: list[tuple[float, int, int, object]] = []
@@ -436,8 +502,11 @@ class BatchSimulator(_SimulatorBase):
         region_of = np.full(n, -1, dtype=np.int64)
         transfer_s = np.zeros(n)
         deferrals = np.zeros(n, dtype=np.int64)
+        evictions = np.zeros(n, dtype=np.int64)
 
-        # Per-region state.
+        # Per-region state.  ``servers`` is the *current* capacity — chaos
+        # timelines mutate it between event segments; the baseline stays in
+        # ``self._servers``.
         servers = np.array([self._servers[key] for key in self.region_keys], dtype=np.int64)
         free = servers.copy()
         committed = np.zeros(n_regions, dtype=np.int64)
@@ -467,8 +536,10 @@ class BatchSimulator(_SimulatorBase):
         events = EventQueue()
         makespan = 0.0
         use_fast = self.kernel == "vector"
+        tl = self._timeline
+        tl_pos = 0
 
-        def process_events_until(limit: float) -> None:
+        def run_kernel(limit: float, contended: np.ndarray | None = None) -> None:
             nonlocal makespan
             span = process_until(
                 events,
@@ -484,9 +555,51 @@ class BatchSimulator(_SimulatorBase):
                 queues=queues,
                 finished=None,
                 use_fast=use_fast,
+                contended=contended,
             )
             if span > makespan:
                 makespan = span
+
+        def process_events_until(limit: float) -> None:
+            # Segment the window at the timeline's capacity breakpoints so
+            # capacity is constant inside every kernel window: job events at
+            # exactly a breakpoint happen *before* the capacity change, and
+            # the changing regions are marked contended (structural safety).
+            nonlocal tl_pos
+            if tl is not None:
+                while tl_pos < tl.n_events and tl.event_when[tl_pos] <= limit:
+                    t = float(tl.event_when[tl_pos])
+                    group_end = tl_pos + 1
+                    while group_end < tl.n_events and tl.event_when[group_end] == t:
+                        group_end += 1
+                    contended = np.zeros(len(servers), dtype=bool)
+                    contended[tl.event_region[tl_pos:group_end]] = True
+                    run_kernel(t, contended)
+                    requeued = apply_capacity_step(
+                        events,
+                        t,
+                        tl.event_region[tl_pos:group_end],
+                        tl.event_capacity[tl_pos:group_end],
+                        evict=tl.spec.eviction == "evict",
+                        capacity=servers,
+                        free=free,
+                        committed=committed,
+                        busy_seconds=busy_server_seconds,
+                        queues=queues,
+                        job_servers=job_servers,
+                        exec_real=exec_real,
+                        region_idx=region_of,
+                        start=start_t,
+                        finish=finish_t,
+                        assigned=assigned_t,
+                        ready=ready_t,
+                        transfer=transfer_s,
+                        evictions=evictions,
+                    )
+                    tl_pos = group_end
+                    for slot in requeued:
+                        pending[slot] = None
+            run_kernel(limit)
 
         def commit_batch(jobs: np.ndarray, choice: np.ndarray, now: float) -> None:
             if len(jobs) == 0:
@@ -522,7 +635,20 @@ class BatchSimulator(_SimulatorBase):
         round_time = 0.0
         rounds = 0
 
-        while trace_idx < n or pending:
+        def next_timeline_event() -> float | None:
+            """Next capacity event that can still affect in-flight work.
+
+            Keeps the round loop alive after the last arrival while evictions
+            or admissions may still requeue jobs; a timeline over an idle
+            cluster has nothing to act on and is applied in bulk at the end.
+            """
+            if tl is None or tl_pos >= tl.n_events:
+                return None
+            if not len(events) and not any(queues):
+                return None
+            return float(tl.event_when[tl_pos])
+
+        while trace_idx < n or pending or next_timeline_event() is not None:
             if rounds > self.max_rounds:
                 raise RuntimeError(
                     f"scheduling did not converge after {self.max_rounds} rounds "
@@ -554,10 +680,14 @@ class BatchSimulator(_SimulatorBase):
                     )
                 decision_times.append(decision_seconds)
 
-            next_arrival = (
-                float(arrival[trace_idx]) if not pending and trace_idx < n else None
-            )
-            round_time = self._next_round_time(round_time, next_arrival)
+            next_wake = None
+            if not pending:
+                if trace_idx < n:
+                    next_wake = float(arrival[trace_idx])
+                next_event = next_timeline_event()
+                if next_event is not None and (next_wake is None or next_event < next_wake):
+                    next_wake = next_event
+            round_time = self._next_round_time(round_time, next_wake)
 
         process_events_until(math.inf)
 
@@ -567,9 +697,11 @@ class BatchSimulator(_SimulatorBase):
             self.region_keys, region_of, start_t, exec_real, arrays.energy_real
         )
 
+        # Utilization is normalized by the *baseline* server counts —
+        # ``servers`` may have been mutated by the chaos timeline.
         region_utilization = {
             key: (
-                float(busy_server_seconds[idx] / (servers[idx] * makespan))
+                float(busy_server_seconds[idx] / (self._servers[key] * makespan))
                 if makespan > 0.0
                 else 0.0
             )
@@ -601,8 +733,10 @@ class BatchSimulator(_SimulatorBase):
             decision_times_s=decision_times,
             round_times_s=round_times,
             delay_tolerance=self.delay_tolerance,
+            evictions=evictions[order],
         )
         self._attach_solver_stats(result)
+        self._attach_chaos_stats(result, int(evictions.sum()))
         return result
 
     # -- internals ----------------------------------------------------------------------------

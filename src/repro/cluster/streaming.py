@@ -64,6 +64,7 @@ from repro.cluster.footprint import RunningFootprintTotals
 from repro.cluster.interface import SchedulingContext
 from repro.cluster.metrics import RunningJobStats
 from repro.cluster.simulator import _SimulatorBase
+from repro.cluster.timeline import apply_capacity_step
 from repro.regions.latency import TransferLatencyModel
 from repro.traces.job import Job
 from repro.traces.stream import JobChunk
@@ -76,7 +77,12 @@ __all__ = ["EngineState", "StreamResult", "StreamingSimulator", "CHECKPOINT_FORM
 #: :class:`~repro.cluster.events.EventQueue`, the waiting queue became
 #: slot/arrival arrays, and FIFO queue entries became
 #: ``(slot, servers_required)`` pairs.
-CHECKPOINT_FORMAT = 2
+#: Format 3 (chaos & elasticity): :class:`EngineState` carries the mutable
+#: per-region ``capacity`` array and the chaos-timeline cursor
+#: ``timeline_pos``, the job pool grew an ``evictions`` state column, and
+#: the checkpoint config records ``chaos``/``chaos_seed`` so a resume
+#: rebuilds the identical :class:`~repro.cluster.timeline.ClusterTimeline`.
+CHECKPOINT_FORMAT = 3
 
 #: Per-job *data* columns of the slot pool (written once at ingest).
 _DATA_COLUMNS = (
@@ -102,6 +108,7 @@ _STATE_COLUMNS = (
     ("transfer", float),
     ("region", np.int64),
     ("deferrals", np.int64),
+    ("evictions", np.int64),
 )
 
 
@@ -144,6 +151,10 @@ class EngineState:
     chunks_seen: int = 0
     decision_times: list[float] = dataclasses.field(default_factory=list)
     round_times: list[float] = dataclasses.field(default_factory=list)
+    #: Current per-region capacity (baseline until a chaos timeline mutates
+    #: it) and the timeline cursor — both part of the checkpoint (format 3).
+    capacity: np.ndarray | None = None
+    timeline_pos: int = 0
 
     @property
     def pool_capacity(self) -> int:
@@ -209,12 +220,13 @@ class _FullCollector:
                 for key in self._parts[0]
             }
         else:
-            int_keys = ("job_id", "home", "region", "workload", "deferrals")
+            int_keys = ("job_id", "home", "region", "workload", "deferrals", "evictions")
             merged = {
                 key: np.zeros(0, dtype=np.int64 if key in int_keys else float)
                 for key in ("job_id", "arrival", "considered", "assigned", "ready",
                             "start", "finish", "exec_real", "transfer", "carbon",
-                            "water", "deferrals", "home", "region", "workload")
+                            "water", "deferrals", "evictions", "home", "region",
+                            "workload")
             }
         order = np.argsort(merged["job_id"], kind="stable")
         names = state.workload_names
@@ -237,6 +249,7 @@ class _FullCollector:
             carbon_g=merged["carbon"][order],
             water_l=merged["water"][order],
             deferrals=merged["deferrals"][order],
+            evictions=merged["evictions"][order],
             region_servers=engine.servers_by_region(),
             region_utilization=engine.region_utilization(state),
             makespan_s=state.makespan,
@@ -280,6 +293,7 @@ class _AggregateCollector:
             carbon_g=rows["carbon"],
             water_l=rows["water"],
             job_id=rows["job_id"],
+            evictions=rows["evictions"],
         )
         self.footprints.add(rows["region"], rows["carbon"], rows["water"])
 
@@ -310,6 +324,8 @@ class StreamResult:
 
     #: See :attr:`repro.cluster.metrics.SimulationResult.solver_stats`.
     solver_stats: dict | None = None
+    #: See :attr:`repro.cluster.batch.BatchResult.chaos_stats`.
+    chaos_stats: dict | None = None
 
     def __init__(
         self,
@@ -341,6 +357,11 @@ class StreamResult:
     @property
     def num_jobs(self) -> int:
         return self.stats.num_jobs
+
+    @property
+    def total_evictions(self) -> int:
+        """Total chaos evictions/requeues across jobs (0 without a timeline)."""
+        return int(self.stats.evictions)
 
     @property
     def total_carbon_g(self) -> float:
@@ -504,6 +525,8 @@ class StreamingSimulator(_SimulatorBase):
         reservoir_size: int = 256,
         reservoir_seed: int = 0,
         kernel: str = "vector",
+        chaos=None,
+        chaos_seed: int = 0,
     ) -> None:
         base_kwargs = dict(
             dataset=dataset,
@@ -516,6 +539,8 @@ class StreamingSimulator(_SimulatorBase):
             seed_dataset_horizon_slack_h=seed_dataset_horizon_slack_h,
             max_rounds=max_rounds,
             kernel=kernel,
+            chaos=chaos,
+            chaos_seed=chaos_seed,
         )
         if server is not None:
             base_kwargs["server"] = server
@@ -612,6 +637,8 @@ class StreamingSimulator(_SimulatorBase):
             finished=[],
             workload_names=[],
             collector=collector,
+            capacity=servers.copy(),
+            timeline_pos=0,
         )
         return self.state
 
@@ -702,6 +729,12 @@ class StreamingSimulator(_SimulatorBase):
         self._flush_finished()
         result = state.collector.finalize(self, state)
         self._attach_solver_stats(result)
+        if self._timeline is not None:
+            if isinstance(result, BatchResult):
+                total_evictions = result.total_evictions
+            else:
+                total_evictions = state.collector.stats.evictions
+            self._attach_chaos_stats(result, total_evictions)
         return result
 
     def run(self):
@@ -757,6 +790,8 @@ class StreamingSimulator(_SimulatorBase):
                 "reservoir_size": self.reservoir_size,
                 "reservoir_seed": self.reservoir_seed,
                 "kernel": self.kernel,
+                "chaos": self.chaos,
+                "chaos_seed": self.chaos_seed,
             },
             "extra": dict(extra or {}),
         }
@@ -828,7 +863,7 @@ class StreamingSimulator(_SimulatorBase):
         return engine
 
     # -- the event loop ----------------------------------------------------------------
-    def _process_events_until(self, limit: float) -> None:
+    def _run_kernel(self, limit: float, contended=None) -> None:
         state = self.state
         pool = state.pool
         makespan = process_until(
@@ -845,9 +880,68 @@ class StreamingSimulator(_SimulatorBase):
             queues=state.queues,
             finished=state.finished,
             use_fast=self.kernel == "vector",
+            contended=contended,
         )
         if makespan > state.makespan:
             state.makespan = makespan
+
+    def _process_events_until(self, limit: float) -> None:
+        # Mirrors BatchSimulator.run's segmentation exactly: cut the window
+        # at each capacity breakpoint, mark the changing regions contended,
+        # apply the capacity events, requeue any evicted slots.
+        state = self.state
+        tl = self._timeline
+        if tl is not None:
+            pool = state.pool
+            while state.timeline_pos < tl.n_events and tl.event_when[state.timeline_pos] <= limit:
+                pos = state.timeline_pos
+                t = float(tl.event_when[pos])
+                group_end = pos + 1
+                while group_end < tl.n_events and tl.event_when[group_end] == t:
+                    group_end += 1
+                contended = np.zeros(len(state.free), dtype=bool)
+                contended[tl.event_region[pos:group_end]] = True
+                self._run_kernel(t, contended)
+                requeued = apply_capacity_step(
+                    state.events,
+                    t,
+                    tl.event_region[pos:group_end],
+                    tl.event_capacity[pos:group_end],
+                    evict=tl.spec.eviction == "evict",
+                    capacity=state.capacity,
+                    free=state.free,
+                    committed=state.committed,
+                    busy_seconds=state.busy_server_seconds,
+                    queues=state.queues,
+                    job_servers=pool["servers"],
+                    exec_real=pool["exec_real"],
+                    region_idx=pool["region"],
+                    start=pool["start"],
+                    finish=pool["finish"],
+                    assigned=pool["assigned"],
+                    ready=pool["ready"],
+                    transfer=pool["transfer"],
+                    evictions=pool["evictions"],
+                )
+                state.timeline_pos = group_end
+                for slot in requeued:
+                    state.pending[slot] = None
+        self._run_kernel(limit)
+
+    def _next_timeline_event(self) -> float | None:
+        """Next capacity breakpoint, or ``None`` when it cannot affect a job.
+
+        Mirrors the batch engine's wake rule: a capacity change only matters
+        while jobs are in flight (queued or executing), so trailing events on
+        an idle cluster never keep the drain loop alive.
+        """
+        tl = self._timeline
+        state = self.state
+        if tl is None or state.timeline_pos >= tl.n_events:
+            return None
+        if not (len(state.events) or any(state.queues)):
+            return None
+        return float(tl.event_when[state.timeline_pos])
 
     def _commit_batch(self, slots: np.ndarray, regions: np.ndarray, now: float) -> None:
         """Commit assignments (in the given order, which fixes FIFO ties)."""
@@ -886,13 +980,17 @@ class StreamingSimulator(_SimulatorBase):
         state = self.state
         pool = state.pool
         fast_path = self._fast_path
-        servers = self._servers_array
         waiting_arrival = state.waiting_arrival
         waiting_slots = state.waiting_slots
         while True:
             if not final and not (state.round_time < state.watermark):
                 break
-            if final and not state.waiting_count and not state.pending:
+            if (
+                final
+                and not state.waiting_count
+                and not state.pending
+                and self._next_timeline_event() is None
+            ):
                 break
             if state.rounds > self.max_rounds:
                 raise RuntimeError(
@@ -917,7 +1015,7 @@ class StreamingSimulator(_SimulatorBase):
                 batch = np.fromiter(
                     state.pending.keys(), dtype=np.int64, count=len(state.pending)
                 )
-                capacity = np.maximum(0, servers - state.committed)
+                capacity = np.maximum(0, state.capacity - state.committed)
                 if fast_path is not None:
                     decision_seconds = self._run_fast_round(
                         fast_path, state.round_time, batch, capacity
@@ -932,14 +1030,27 @@ class StreamingSimulator(_SimulatorBase):
                 # Only reachable when finalizing: in a non-final drain the
                 # watermark job itself (arrival == watermark) can never leave
                 # the waiting queue, because rounds are gated on
-                # ``round_time < watermark``.
-                break
-            next_arrival = (
+                # ``round_time < watermark``.  A pending capacity breakpoint
+                # keeps the loop alive: an outage may evict-and-requeue
+                # in-flight jobs, which then need further scheduling rounds.
+                if self._next_timeline_event() is None:
+                    break
+            next_wake = (
                 float(waiting_arrival[state.waiting_head])
                 if not state.pending and state.waiting_count
                 else None
             )
-            state.round_time = self._next_round_time(state.round_time, next_arrival)
+            if not state.pending:
+                # Jumping to the next capacity event is decision-equivalent:
+                # in a non-final drain every queued arrival satisfies
+                # ``A <= watermark``, so an earlier event (E < A) is also
+                # below the watermark and the round it wakes remains safe.
+                next_event = self._next_timeline_event()
+                if next_event is not None and (
+                    next_wake is None or next_event < next_wake
+                ):
+                    next_wake = next_event
+            state.round_time = self._next_round_time(state.round_time, next_wake)
 
     def _flush_finished(self) -> None:
         """Integrate + hand finished jobs to the collector, recycle their slots."""
@@ -966,6 +1077,7 @@ class StreamingSimulator(_SimulatorBase):
                 "exec_real": exec_real,
                 "transfer": pool["transfer"][idx].copy(),
                 "deferrals": pool["deferrals"][idx].copy(),
+                "evictions": pool["evictions"][idx].copy(),
                 "home": pool["home"][idx].copy(),
                 "region": region,
                 "workload": pool["workload"][idx].copy(),

@@ -138,15 +138,22 @@ class RegionSustainabilitySeries:
     def mean_water_intensity(self) -> float:
         return float(np.mean(self.water_intensity_series()))
 
-    # -- perturbation (sensitivity studies) --------------------------------------------
-    def scaled(self, carbon_scale: float = 1.0, water_scale: float = 1.0) -> "RegionSustainabilitySeries":
+    # -- perturbation (sensitivity studies, chaos shocks) ------------------------------
+    def scaled(
+        self,
+        carbon_scale: "float | np.ndarray" = 1.0,
+        water_scale: "float | np.ndarray" = 1.0,
+    ) -> "RegionSustainabilitySeries":
         """Return a copy with carbon intensity and/or water factors scaled.
 
         ``water_scale`` multiplies both EWIF and WUE (the two drivers of the
         water intensity); the paper's ±10% water-intensity sensitivity study
-        uses this hook.
+        uses this hook.  Either scale may also be an hourly factor *array*
+        (same length as the series) — that is how chaos timelines inject
+        carbon/water spikes and forecast error
+        (:mod:`repro.cluster.timeline`).
         """
-        if carbon_scale <= 0 or water_scale <= 0:
+        if np.any(np.asarray(carbon_scale) <= 0) or np.any(np.asarray(water_scale) <= 0):
             raise ValueError("scale factors must be positive")
         return dataclasses.replace(
             self,
@@ -260,6 +267,44 @@ class SustainabilityDataset:
         clone.__dict__.update(self.__dict__)
         clone._cache = {
             key: series.scaled(carbon_scale=carbon_scale, water_scale=water_scale)
+            for key, series in self.all_series().items()
+        }
+        return clone
+
+    def with_hourly_factors(
+        self,
+        carbon_factors: Mapping[str, np.ndarray] | None = None,
+        water_factors: Mapping[str, np.ndarray] | None = None,
+    ) -> "SustainabilityDataset":
+        """A dataset with per-region *hourly* multipliers applied to its series.
+
+        ``carbon_factors``/``water_factors`` map region keys to factor arrays
+        of ``horizon_hours`` entries; regions absent from both mappings keep
+        their original (identical, not just equal) series.  This is the hook
+        chaos timelines use for carbon/water spikes and forecast-error
+        injection (:mod:`repro.cluster.timeline`).
+        """
+        carbon_factors = dict(carbon_factors or {})
+        water_factors = dict(water_factors or {})
+        for label, factors in (("carbon", carbon_factors), ("water", water_factors)):
+            for key, array in factors.items():
+                if len(np.asarray(array)) != self.horizon_hours:
+                    raise ValueError(
+                        f"{label} factor array for region {key!r} has "
+                        f"{len(np.asarray(array))} entries; expected "
+                        f"horizon_hours={self.horizon_hours}"
+                    )
+        clone = type(self).__new__(type(self))
+        clone.__dict__.update(self.__dict__)
+        clone._cache = {
+            key: (
+                series.scaled(
+                    carbon_scale=carbon_factors.get(key, 1.0),
+                    water_scale=water_factors.get(key, 1.0),
+                )
+                if key in carbon_factors or key in water_factors
+                else series
+            )
             for key, series in self.all_series().items()
         }
         return clone

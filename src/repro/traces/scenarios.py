@@ -23,6 +23,15 @@ default Borg/Alibaba pair:
 ``region-skew``
     Diurnal arrivals submitted overwhelmingly from two of the five regions —
     stresses migration policies, since the home regions saturate first.
+``region-outage`` / ``autoscale-diurnal`` / ``capacity-flap`` /
+``carbon-spike`` / ``forecast-shock``
+    Chaos & elasticity experiments: the workload families above paired with a
+    seeded fault-injection timeline from
+    :data:`repro.cluster.timeline.CHAOS_SPECS` (whole-region outages with
+    evict-and-requeue, stepped autoscaling, partial capacity flaps in drain
+    mode, carbon/water intensity spikes, forecast-error injection).  The
+    trace itself is unchanged; sweep fabric and the CLI thread the scenario's
+    ``chaos`` spec into the engines they build.
 
 Every scenario is a :class:`~repro.traces.stream.TraceSource`:
 :func:`scenario_source` streams fixed-size, time-ordered chunks with
@@ -201,7 +210,11 @@ class Scenario:
     ``builder`` maps ``(seed, rate_per_hour, duration_days)`` to a
     :class:`~repro.traces.stream.TraceSource`; ``default_rate_per_hour`` /
     ``default_duration_days`` are the family's natural scale (used when the
-    caller passes ``None``).
+    caller passes ``None``).  ``chaos`` optionally names a
+    :data:`repro.cluster.timeline.CHAOS_SPECS` entry: the workload itself is
+    unaffected (``trace()``/``source()`` stay chaos-free), but sweep fabric
+    and CLI runs construct their engines with that chaos spec, making the
+    scenario a reproducible fault-injection experiment.
     """
 
     name: str
@@ -209,6 +222,7 @@ class Scenario:
     builder: Callable[[int, float, float], TraceSource]
     default_rate_per_hour: float = 60.0
     default_duration_days: float = 0.5
+    chaos: str | None = None
 
     def source(
         self,
@@ -315,6 +329,39 @@ SCENARIOS: dict[str, Scenario] = {
             "region-skew",
             "Diurnal arrivals submitted mostly from two dominant regions",
             _region_skew,
+        ),
+        # -- chaos & elasticity experiments: same workload families, but the
+        # engines run them under a seeded fault-injection timeline.
+        Scenario(
+            "region-outage",
+            "Diurnal workload under random whole-region outages (evict + requeue)",
+            _diurnal,
+            chaos="region-outage",
+        ),
+        Scenario(
+            "autoscale-diurnal",
+            "Diurnal workload on a cluster whose capacity breathes with the day",
+            _diurnal,
+            chaos="autoscale-diurnal",
+        ),
+        Scenario(
+            "capacity-flap",
+            "Bursty workload under rapid partial capacity flaps (drain mode)",
+            _bursty,
+            default_rate_per_hour=120.0,
+            chaos="capacity-flap",
+        ),
+        Scenario(
+            "carbon-spike",
+            "Diurnal workload with transient carbon/water intensity spikes",
+            _diurnal,
+            chaos="carbon-spike",
+        ),
+        Scenario(
+            "forecast-shock",
+            "Heavy-tail workload where schedulers see error-injected intensities",
+            _heavy_tail,
+            chaos="forecast-shock",
         ),
     )
 }

@@ -1,0 +1,270 @@
+"""Property tests for the chaos & elasticity timeline.
+
+The fault-injection harness of the chaos tentpole: :class:`ClusterTimeline`
+must be a *pure function* of ``(spec, regions, baseline, horizon, seed)`` —
+capacity never negative, outage/recovery pairs well-formed, slab iteration
+order irrelevant (chunking in {1, 7, 512, ∞} byte-identical) — and a chaotic
+streaming run must hold the server-accounting invariants after every chunk
+and survive checkpoint/resume at every chunk boundary mid-outage.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import StreamingSimulator
+from repro.cluster.timeline import CHAOS_SPECS, ChaosSpec, ClusterTimeline, get_chaos
+from repro.schedulers import make_scheduler
+from repro.sustainability import ElectricityMapsLikeProvider
+from repro.traces.scenarios import get_scenario
+
+from ..equivalence import assert_capacity_invariants
+
+_REGIONS = ("alpha", "beta", "gamma", "delta")
+
+#: A spec exercising every capacity stream at once.
+_FULL_SPEC = ChaosSpec(
+    name="everything",
+    outage_rate_per_day=12.0,
+    outage_duration_s=2400.0,
+    flap_rate_per_day=24.0,
+    flap_duration_s=600.0,
+    flap_fraction=0.4,
+    autoscale_amplitude=0.3,
+    autoscale_step_s=1800.0,
+    carbon_spike_rate_per_day=8.0,
+    forecast_error=0.2,
+)
+
+_spec_strategy = st.builds(
+    ChaosSpec,
+    outage_rate_per_day=st.floats(min_value=0.0, max_value=48.0),
+    outage_duration_s=st.floats(min_value=60.0, max_value=7200.0),
+    flap_rate_per_day=st.floats(min_value=0.0, max_value=48.0),
+    flap_duration_s=st.floats(min_value=60.0, max_value=3600.0),
+    flap_fraction=st.floats(min_value=0.0, max_value=0.99),
+    autoscale_amplitude=st.floats(min_value=0.0, max_value=0.9),
+    autoscale_step_s=st.floats(min_value=300.0, max_value=7200.0),
+)
+
+
+def _timeline(spec, seed, horizon_s=6 * 3600.0, baseline=(8, 5, 3, 12)):
+    return ClusterTimeline(spec, _REGIONS, baseline, horizon_s, seed=seed)
+
+
+class TestTimelineProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(spec=_spec_strategy, seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_capacity_never_negative_and_bounded(self, spec, seed):
+        tl = _timeline(spec, seed)
+        assert np.all(tl.event_capacity >= 0)
+        # Autoscale < 2x and degradation multipliers <= 1, so capacity can
+        # never exceed twice the baseline.
+        assert np.all(tl.event_capacity <= 2 * tl.baseline[tl.event_region])
+        assert np.all(np.diff(tl.event_when) >= 0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_outage_recovery_pairs_are_well_formed(self, seed):
+        tl = _timeline(CHAOS_SPECS["region-outage"], seed)
+        for region, s, e, mult in tl.capacity_intervals():
+            assert 0 <= region < len(_REGIONS)
+            assert 0.0 <= s < tl.horizon_s, "outages start within the horizon"
+            assert e == s + tl.spec.outage_duration_s, "recovery always paired"
+            assert mult == 0.0
+        # Materialized events alternate 0 -> baseline per region (overlapping
+        # outages merge, but a region at 0 can only go back up).
+        for region in range(len(_REGIONS)):
+            caps = tl.event_capacity[tl.event_region == region]
+            for prev, nxt in zip(caps, caps[1:]):
+                assert (prev == 0) != (nxt == 0), "events alternate outage/recovery"
+
+    @settings(max_examples=20, deadline=None)
+    @given(spec=_spec_strategy, seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_slab_chunking_is_byte_identical(self, spec, seed):
+        tl = _timeline(spec, seed, horizon_s=30 * 3600.0)
+        reference = tl.capacity_intervals(slab_chunk=None)
+        for chunk in (1, 7, 512):
+            assert tl.capacity_intervals(slab_chunk=chunk) == reference
+        assert tl.signal_intervals(slab_chunk=1) == tl.signal_intervals(slab_chunk=None)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_same_seed_same_timeline_different_seed_differs(self, seed):
+        first = _timeline(_FULL_SPEC, seed)
+        second = _timeline(_FULL_SPEC, seed)
+        np.testing.assert_array_equal(first.event_when, second.event_when)
+        np.testing.assert_array_equal(first.event_region, second.event_region)
+        np.testing.assert_array_equal(first.event_capacity, second.event_capacity)
+        other = _timeline(_FULL_SPEC, seed + 1)
+        assert (
+            len(other.event_when) != len(first.event_when)
+            or not np.array_equal(other.event_when, first.event_when)
+        )
+
+    def test_degraded_seconds_matches_brute_force(self):
+        tl = _timeline(_FULL_SPEC, seed=5)
+        reported = tl.degraded_seconds()
+        # Brute-force: sample the event-stream capacity on a fine grid.
+        dt = 1.0
+        grid = np.arange(0.0, tl.horizon_s, dt)
+        for region in range(len(_REGIONS)):
+            mask = tl.event_region == region
+            when, caps = tl.event_when[mask], tl.event_capacity[mask]
+            idx = np.searchsorted(when, grid, side="right") - 1
+            cap_t = np.where(idx >= 0, caps[np.maximum(idx, 0)], tl.baseline[region])
+            brute = float(np.sum(cap_t < tl.baseline[region]) * dt)
+            assert reported[region] == pytest.approx(brute, abs=2.0 * len(when) * dt)
+
+    def test_forecast_factors_are_bounded_and_deterministic(self):
+        tl = _timeline(CHAOS_SPECS["forecast-shock"], seed=9)
+        carbon, water = tl.forecast_factor_arrays(48)
+        assert set(carbon) == set(_REGIONS)
+        for key in _REGIONS:
+            assert np.all(np.abs(carbon[key] - 1.0) <= tl.spec.forecast_error + 1e-12)
+            assert np.all(np.abs(water[key] - 1.0) <= tl.spec.forecast_error + 1e-12)
+        again, _ = _timeline(
+            CHAOS_SPECS["forecast-shock"], seed=9
+        ).forecast_factor_arrays(48)
+        for key in _REGIONS:
+            np.testing.assert_array_equal(carbon[key], again[key])
+
+    def test_spec_text_form_round_trips(self):
+        spec = get_chaos("outage_rate_per_day=8,outage_duration_s=900,eviction=drain")
+        assert spec.outage_rate_per_day == 8.0
+        assert spec.outage_duration_s == 900.0
+        assert spec.eviction == "drain"
+        assert get_chaos("region-outage") is CHAOS_SPECS["region-outage"]
+        with pytest.raises(KeyError, match="unknown chaos spec"):
+            get_chaos("atlantis")
+        with pytest.raises(KeyError, match="unknown ChaosSpec field"):
+            get_chaos("volcano_rate=3")
+        with pytest.raises(ValueError, match="eviction"):
+            ChaosSpec(eviction="explode")
+
+
+#: A hot chaos spec for the engine-level properties: outages long and
+#: frequent enough that chunk boundaries land inside them.
+_HOT_SPEC = ChaosSpec(
+    name="hot", outage_rate_per_day=24.0, outage_duration_s=3600.0,
+    flap_rate_per_day=24.0, flap_duration_s=900.0, flap_fraction=0.5,
+)
+
+
+@pytest.fixture(scope="module")
+def chaos_dataset():
+    return ElectricityMapsLikeProvider(horizon_hours=72, seed=4)
+
+
+@pytest.fixture(scope="module")
+def chaos_source():
+    return get_scenario("bursty").source(seed=13, rate_per_hour=120.0, duration_days=0.15)
+
+
+def _engine(source, dataset, **kwargs):
+    kwargs.setdefault("chaos", _HOT_SPEC)
+    kwargs.setdefault("chaos_seed", 0)
+    return StreamingSimulator(
+        source,
+        make_scheduler("baseline"),
+        dataset=dataset,
+        servers_per_region=3,
+        **kwargs,
+    )
+
+
+class TestChaoticEngineProperties:
+    def test_invariants_hold_after_every_chunk(self, chaos_source, chaos_dataset):
+        # Satellite invariant fixture: free == capacity - running,
+        # committed == running + queued, and no job both running and queued,
+        # checked after every chunk of a chaotic run (evictions included).
+        engine = _engine(chaos_source, chaos_dataset, chunk_size=48)
+        engine.init_state()
+        for chunk in chaos_source.iter_chunks(48):
+            engine.advance(chunk)
+            assert_capacity_invariants(engine)
+        result = engine.finalize()
+        assert result.total_evictions > 0, "the hot spec must actually evict"
+
+    def test_invariants_hold_without_chaos_too(self, chaos_source, chaos_dataset):
+        engine = _engine(chaos_source, chaos_dataset, chunk_size=64, chaos=None)
+        engine.init_state()
+        for chunk in chaos_source.iter_chunks(64):
+            engine.advance(chunk)
+            assert_capacity_invariants(engine)
+        engine.finalize()
+
+    def test_drain_mode_runs_over_capacity_but_never_loses_jobs(
+        self, chaos_source, chaos_dataset
+    ):
+        spec = ChaosSpec(
+            name="drain", outage_rate_per_day=24.0, outage_duration_s=3600.0,
+            eviction="drain",
+        )
+        engine = _engine(chaos_source, chaos_dataset, chunk_size=64, chaos=spec)
+        engine.init_state()
+        saw_over_capacity = False
+        for chunk in chaos_source.iter_chunks(64):
+            engine.advance(chunk)
+            assert_capacity_invariants(engine)
+            if np.any(engine.state.free < 0):
+                saw_over_capacity = True
+        result = engine.finalize()
+        assert saw_over_capacity, "drain mode must actually overrun capacity"
+        assert result.total_evictions == 0
+        assert result.num_jobs == sum(
+            chunk.n for chunk in chaos_source.iter_chunks(64)
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(chunk_size=st.sampled_from([1, 7, 512, 10_000]))
+    def test_chunk_sizes_are_digest_identical(
+        self, chunk_size, chaos_source, chaos_dataset
+    ):
+        reference = _engine(chaos_source, chaos_dataset, chunk_size=512).run()
+        streamed = _engine(chaos_source, chaos_dataset, chunk_size=chunk_size).run()
+        assert streamed.digest() == reference.digest()
+
+    def test_checkpoint_resume_every_boundary_mid_outage(
+        self, chaos_source, chaos_dataset, tmp_path
+    ):
+        # Headline deliverable: stop at *every* chunk boundary of a chaotic
+        # run — including boundaries inside outages, with jobs evicted and
+        # requeued — and the resumed run reproduces the uninterrupted digest.
+        chunk_size = 48
+        oneshot = _engine(chaos_source, chaos_dataset, chunk_size=chunk_size).run()
+        assert oneshot.total_evictions > 0
+        n_chunks = math.ceil(oneshot.num_jobs / chunk_size)
+        assert n_chunks >= 3
+        mid_outage_boundaries = 0
+        for stop in range(1, n_chunks + 1):
+            engine = _engine(chaos_source, chaos_dataset, chunk_size=chunk_size)
+            assert engine.run_chunks(max_chunks=stop) == stop
+            if np.any(engine.state.capacity < engine.state.capacity.max()):
+                mid_outage_boundaries += 1
+            path = tmp_path / f"chaos-{stop}.ckpt"
+            engine.save_checkpoint(path)
+            resumed = StreamingSimulator.from_checkpoint(
+                path, chaos_source, dataset=chaos_dataset
+            )
+            result = resumed.run()
+            assert result.digest() == oneshot.digest(), stop
+        assert mid_outage_boundaries > 0, "some boundary must land inside an outage"
+
+    def test_checkpoint_restores_timeline_cursor_and_capacity(
+        self, chaos_source, chaos_dataset, tmp_path
+    ):
+        engine = _engine(chaos_source, chaos_dataset, chunk_size=64)
+        engine.run_chunks(max_chunks=2)
+        path = tmp_path / "cursor.ckpt"
+        engine.save_checkpoint(path)
+        resumed = StreamingSimulator.from_checkpoint(
+            path, chaos_source, dataset=chaos_dataset
+        )
+        assert resumed.state.timeline_pos == engine.state.timeline_pos
+        np.testing.assert_array_equal(resumed.state.capacity, engine.state.capacity)
+        np.testing.assert_array_equal(
+            resumed._timeline.event_when, engine._timeline.event_when
+        )

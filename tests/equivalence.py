@@ -53,3 +53,36 @@ def assert_equivalent(scalar, batch):
     assert batch.migration_fraction == scalar.migration_fraction
     assert batch.jobs_per_region() == scalar.jobs_per_region()
     assert batch.region_utilization == pytest.approx(scalar.region_utilization)
+
+
+def assert_capacity_invariants(engine):
+    """Server-accounting invariants of a live streaming :class:`EngineState`.
+
+    Safe to call after any chunk (or mid-drain): with ``queue`` the live
+    event queue, ``running_r`` the servers of slots with a pending FINISH
+    event in region ``r`` and ``queued_r`` the servers FIFO-queued there,
+
+    * ``free == capacity - running`` per region (negative under drain-mode
+      chaos is legal — that is the over-capacity drain state),
+    * ``committed == running + queued`` per region,
+    * no slot is simultaneously running and FIFO-queued, and
+    * ``capacity >= 0`` everywhere.
+    """
+    state = engine.state
+    pool = state.pool
+    n_regions = len(state.free)
+    running = np.zeros(n_regions, dtype=np.int64)
+    finish_slots = state.events.finish_slot
+    np.add.at(running, pool["region"][finish_slots], pool["servers"][finish_slots])
+    queued = np.zeros(n_regions, dtype=np.int64)
+    queued_slots: set[int] = set()
+    for region, fifo in enumerate(state.queues):
+        for slot, srv in fifo:
+            queued[region] += int(srv)
+            queued_slots.add(int(slot))
+    overlap = queued_slots.intersection(finish_slots.tolist())
+    assert not overlap, f"slots both running and FIFO-queued: {sorted(overlap)}"
+    capacity = state.capacity
+    assert np.all(capacity >= 0), f"negative capacity: {capacity}"
+    np.testing.assert_array_equal(state.free, capacity - running)
+    np.testing.assert_array_equal(state.committed, running + queued)

@@ -333,3 +333,130 @@ class TestRegistryWideEquivalence:
                 return None
 
         assert not has_fast_path(TweakedCost())
+
+
+# -- chaos & elasticity differential cells ------------------------------------------
+
+#: Rates for the chaos scenario cells (sub-second per cell, capacity events
+#: verified live at this seed for every capacity-chaos family).
+_CHAOS_RATES = {
+    "region-outage": 60.0,
+    "autoscale-diurnal": 60.0,
+    "capacity-flap": 60.0,
+    "carbon-spike": 60.0,
+    "forecast-shock": 40.0,
+}
+_CHAOS_SEED = 29
+_CHAOS_SERVERS = 3
+
+#: An over-the-top outage spec guaranteeing the evict-and-requeue path runs
+#: in every policy's cell, not just when a scenario seed happens to align.
+_STORM_SPEC = "outage_rate_per_day=24,outage_duration_s=3600,flap_rate_per_day=24,flap_duration_s=900,flap_fraction=0.5"
+
+
+def _chaos_scenarios():
+    return tuple(
+        name for name in available_scenarios()
+        if get_scenario(name).chaos is not None
+    )
+
+
+class TestChaosDifferential:
+    """Chaos runs are engine-, kernel- and chunking-invariant, registry-wide."""
+
+    @pytest.fixture(scope="class")
+    def chaos_workloads(self):
+        return {
+            name: (
+                get_scenario(name).trace(
+                    seed=_CHAOS_SEED, rate_per_hour=_CHAOS_RATES[name], duration_days=0.1
+                ),
+                get_scenario(name).source(
+                    seed=_CHAOS_SEED, rate_per_hour=_CHAOS_RATES[name], duration_days=0.1
+                ),
+            )
+            for name in _chaos_scenarios()
+        }
+
+    @pytest.mark.parametrize("scenario", _chaos_scenarios())
+    @pytest.mark.parametrize("policy", available_schedulers())
+    def test_chaos_cells_agree_across_engines_and_kernels(
+        self, policy, scenario, dataset, chaos_workloads
+    ):
+        trace, source = chaos_workloads[scenario]
+        chaos = get_scenario(scenario).chaos
+        kwargs = dict(
+            dataset=dataset, servers_per_region=_CHAOS_SERVERS,
+            chaos=chaos, chaos_seed=_CHAOS_SEED,
+        )
+        vector = BatchSimulator(
+            trace, _policy_factory(policy)(), kernel="vector", **kwargs
+        ).run()
+        scalar = BatchSimulator(
+            trace, _policy_factory(policy)(), kernel="scalar", **kwargs
+        ).run()
+        assert vector.digest() == scalar.digest(), (policy, scenario, "kernel")
+        for chunk_size in (23, 512):
+            streamed = StreamingSimulator(
+                source, _policy_factory(policy)(), chunk_size=chunk_size, **kwargs
+            ).run()
+            assert streamed.digest() == vector.digest(), (policy, scenario, chunk_size)
+        assert vector.chaos_stats is not None
+        assert vector.chaos_stats["chaos"] == chaos
+
+    @pytest.mark.parametrize("scenario", _chaos_scenarios())
+    def test_chaos_fused_matches_per_cell(self, scenario, dataset, chaos_workloads):
+        trace, source = chaos_workloads[scenario]
+        chaos = get_scenario(scenario).chaos
+        policies = available_schedulers()
+        kwargs = dict(
+            dataset=dataset, servers_per_region=_CHAOS_SERVERS,
+            chaos=chaos, chaos_seed=_CHAOS_SEED,
+        )
+        fused = MultiPolicyRunner(
+            source,
+            {policy: _policy_factory(policy)() for policy in policies},
+            chunk_size=37,
+            collect="full",
+            **kwargs,
+        ).run()
+        for policy in policies:
+            oneshot = BatchSimulator(trace, _policy_factory(policy)(), **kwargs).run()
+            assert fused[policy].digest() == oneshot.digest(), (policy, scenario)
+
+    @pytest.mark.parametrize("policy", available_schedulers())
+    def test_eviction_storm_is_engine_invariant(self, policy, dataset, chaos_workloads):
+        # Guarantee the evict-and-requeue machinery itself is differential-
+        # tested for every policy: a storm spec that demonstrably evicts.
+        trace, source = chaos_workloads["region-outage"]
+        kwargs = dict(
+            dataset=dataset, servers_per_region=2,
+            chaos=_STORM_SPEC, chaos_seed=0,
+        )
+        vector = BatchSimulator(
+            trace, _policy_factory(policy)(), kernel="vector", **kwargs
+        ).run()
+        assert vector.total_evictions > 0, "the storm must evict"
+        scalar = BatchSimulator(
+            trace, _policy_factory(policy)(), kernel="scalar", **kwargs
+        ).run()
+        assert vector.digest() == scalar.digest(), policy
+        streamed = StreamingSimulator(
+            source, _policy_factory(policy)(), chunk_size=16, **kwargs
+        ).run()
+        assert streamed.digest() == vector.digest(), policy
+
+    def test_static_runs_are_unchanged_by_chaos_plumbing(self, dataset, scenario_traces):
+        # chaos=None must be byte-identical to a pre-chaos engine: same
+        # digest columns (evictions all zero), same dataset object reused.
+        trace = scenario_traces["bursty"]
+        engine = BatchSimulator(
+            trace, _policy_factory("baseline")(), dataset=dataset,
+            servers_per_region=_STREAM_SERVERS,
+        )
+        assert engine.chaos is None
+        assert engine.dataset is dataset
+        assert engine.input_dataset is dataset
+        result = engine.run()
+        assert result.chaos_stats is None
+        assert result.total_evictions == 0

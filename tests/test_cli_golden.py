@@ -33,6 +33,14 @@ GOLDEN_COMMANDS = {
         "--policies", "baseline", "least-load", "carbon-greedy-opt",
         "--jobs-per-hour", "8", "--hours", "6", "--seed", "11",
     ],
+    # Chaos smoke run: a region-outage timeline through the batch engine —
+    # covers the --chaos auto-threading (the scenario carries its own spec),
+    # the chaos header line and the fault-injected totals.
+    "simulate_region_outage.txt": [
+        "simulate", "--engine", "batch", "--scenario", "region-outage",
+        "--policies", "baseline", "least-load",
+        "--jobs-per-hour", "40", "--hours", "6", "--seed", "11",
+    ],
     "scenarios.txt": ["scenarios"],
 }
 

@@ -27,6 +27,11 @@ _TEST_RATES = {
     "heavy-tail": 40.0,
     "ml-training": 10.0,
     "region-skew": 40.0,
+    "region-outage": 40.0,
+    "autoscale-diurnal": 40.0,
+    "capacity-flap": 40.0,
+    "carbon-spike": 40.0,
+    "forecast-shock": 40.0,
 }
 
 

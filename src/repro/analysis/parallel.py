@@ -42,6 +42,7 @@ from __future__ import annotations
 import atexit
 import collections
 import concurrent.futures
+import contextlib
 import dataclasses
 import itertools
 import threading
@@ -326,24 +327,32 @@ def pack_shared_workload(source, chunk_size: int = 8192):
         region_keys = workload_names = ()
     total = sum(column.nbytes for column in columns.values())
     shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
-    fields = []
-    offset = 0
-    for field in CHUNK_COLUMNS:
-        column = columns[field]
-        view = np.ndarray(column.shape, dtype=column.dtype, buffer=shm.buf, offset=offset)
-        view[:] = column
-        fields.append((field, column.dtype.str, offset, len(column)))
-        offset += column.nbytes
-    handle = {
-        "shm": shm.name,
-        "fields": fields,
-        "region_keys": tuple(region_keys),
-        "workload_names": tuple(workload_names),
-        "name": getattr(source, "name", "stream"),
-        "label": getattr(source, "label", None),
-        "seed": getattr(source, "seed", 0),
-        "horizon_s": float(getattr(source, "horizon_s", 0.0)),
-    }
+    try:
+        fields = []
+        offset = 0
+        for field in CHUNK_COLUMNS:
+            column = columns[field]
+            view = np.ndarray(column.shape, dtype=column.dtype, buffer=shm.buf, offset=offset)
+            view[:] = column
+            fields.append((field, column.dtype.str, offset, len(column)))
+            offset += column.nbytes
+        handle = {
+            "shm": shm.name,
+            "fields": fields,
+            "region_keys": tuple(region_keys),
+            "workload_names": tuple(workload_names),
+            "name": getattr(source, "name", "stream"),
+            "label": getattr(source, "label", None),
+            "seed": getattr(source, "seed", 0),
+            "horizon_s": float(getattr(source, "horizon_s", 0.0)),
+        }
+    except BaseException:
+        # Ownership never transferred to the caller — tear the segment down
+        # here or it strands in /dev/shm until interpreter exit (or forever,
+        # if the exit handlers never run).
+        shm.close()
+        shm.unlink()
+        raise
     return shm, handle
 
 
@@ -543,9 +552,14 @@ def _run_sweep_fused(
         else:
             group_outcomes = [_run_fused_group(task) for task in tasks]
     finally:
+        # Per-segment best-effort teardown: one failing close()/unlink() must
+        # not leave the remaining segments stranded in /dev/shm (and runs on
+        # the failure path too — a raising policy cell still cleans up).
         for shm in segments:
-            shm.close()
-            shm.unlink()
+            with contextlib.suppress(OSError):
+                shm.close()
+            with contextlib.suppress(OSError, FileNotFoundError):
+                shm.unlink()
 
     for indices, group_result in zip(groups.values(), group_outcomes):
         for position, outcome in zip(indices, group_result):

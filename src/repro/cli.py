@@ -26,6 +26,17 @@ Sub-commands
     Continue a checkpointed streaming simulation — to completion (printing
     the summary) or for another ``--chunks`` chunks (saving a new
     checkpoint).
+``replay``
+    Pace a recorded trace through the live admission gateway — the identical
+    decision path a live service uses — and print the result plus service
+    counters (sustained jobs/sec, p50/p95/p99 decision latency).  ``--pace 0``
+    fast-forwards; ``--pace N`` plays N trace seconds per wall second.
+    ``--report FILE`` writes the counters (and the result digest) as JSON.
+``serve``
+    Run the live admission service: a JSON-lines TCP server placing job
+    batches online with a wall clock (``--rate`` trace seconds per wall
+    second).  ``--selftest`` spins an in-process client instead, submits a
+    few synthetic batches and exits — the CI smoke path.
 ``regions``
     Print the region catalog with each region's average carbon intensity,
     EWIF, WUE, water-scarcity factor and water intensity.
@@ -156,6 +167,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None,
         help="where to save the new checkpoint with --chunks "
              "(default: overwrite the input file)",
+    )
+
+    replay = sub.add_parser(
+        "replay",
+        help="pace a recorded trace through the live admission gateway",
+    )
+    add_workload_arguments(replay)
+    replay.add_argument("--policy", default="waterwise",
+                        help=f"policy to run (available: {', '.join(available_schedulers())})")
+    replay.add_argument(
+        "--pace", type=float, default=0.0,
+        help="trace seconds per wall second (0 = fast-forward; 1 = real time)",
+    )
+    replay.add_argument("--chunk-size", type=int, default=2048,
+                        help="jobs per admission batch")
+    replay.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="write the service counters and result digest to FILE as JSON",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run the live admission service (JSON-lines over TCP)"
+    )
+    add_workload_arguments(serve)
+    serve.add_argument("--policy", default="waterwise",
+                       help=f"policy to run (available: {', '.join(available_schedulers())})")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = pick an ephemeral port)")
+    serve.add_argument(
+        "--rate", type=float, default=1.0,
+        help="trace seconds per wall second on the service clock",
+    )
+    serve.add_argument(
+        "--tick-interval", type=float, default=0.05,
+        help="idle self-tick cadence of the gateway (wall seconds)",
+    )
+    serve.add_argument(
+        "--selftest", action="store_true",
+        help="serve an in-process client with synthetic batches, then exit",
     )
 
     sub.add_parser("regions", help="print the region catalog and its sustainability factors")
@@ -428,6 +479,137 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_live_engine(args: argparse.Namespace, collect: str = "aggregate"):
+    """(engine, servers) for the service commands — shared recipe."""
+    chaos, chaos_seed = _resolve_chaos(args)
+    source = _build_source(args)
+    dataset = _build_dataset(args)
+    servers = servers_for_target_utilization(
+        source, dataset.region_keys, target_utilization=args.utilization
+    )
+    engine = StreamingSimulator(
+        source,
+        make_scheduler(args.policy),
+        dataset=dataset,
+        servers_per_region=servers,
+        scheduling_interval_s=args.interval,
+        delay_tolerance=args.tolerance,
+        collect=collect,
+        chaos=chaos,
+        chaos_seed=chaos_seed,
+    )
+    return engine, source, servers
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.service import run_replay
+
+    engine, source, servers = _build_live_engine(args)
+    pace = "fast-forward" if args.pace == 0 else f"{args.pace:g}x real time"
+    print(f"trace     : {source.trace_name} (replayed live, {pace})")
+    print(f"servers   : {servers} per region ({args.utilization:.0%} target utilization)")
+    print(f"policy    : {args.policy}\n")
+    report = run_replay(source, engine, pace=args.pace, chunk_size=args.chunk_size)
+    stats = report.stats
+    _print_stream_summary(report.result)
+    print()
+    print(format_table(
+        ["jobs", "batches", "jobs_per_s", "p50_ms", "p95_ms", "p99_ms", "max_ms"],
+        [[
+            stats.decided,
+            stats.batches,
+            stats.throughput_jobs_per_s,
+            1e3 * stats.latency_p50_s,
+            1e3 * stats.latency_p95_s,
+            1e3 * stats.latency_p99_s,
+            1e3 * stats.latency_max_s,
+        ]],
+        title="Admission service counters (decision latency is wall time)",
+    ))
+    if args.report is not None:
+        import json
+
+        with open(args.report, "w", encoding="utf-8") as sink:
+            json.dump(report.as_dict(), sink, indent=2)
+            sink.write("\n")
+        print(f"\nreport    : wrote service counters to {args.report}")
+    return 0
+
+
+async def _selftest_client(port: int, regions, batches: int = 3, jobs_per_batch: int = 4):
+    """Exercise a running server over real TCP: submit, stats, shutdown."""
+    import asyncio
+    import json
+
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+
+    async def rpc(request: dict) -> dict:
+        writer.write(json.dumps(request).encode() + b"\n")
+        await writer.drain()
+        response = json.loads(await reader.readline())
+        if not response.get("ok"):
+            raise SystemExit(f"selftest request failed: {response.get('error')}")
+        return response
+
+    decided = 0
+    for batch in range(batches):
+        jobs = [
+            {
+                "job_id": batch * jobs_per_batch + i,
+                "workload": "web-search",
+                "home_region": regions[i % len(regions)],
+                "execution_time": 600.0,
+                "energy_kwh": 0.4,
+            }
+            for i in range(jobs_per_batch)
+        ]
+        response = await rpc({"op": "submit", "jobs": jobs})
+        decided += len(response["decisions"])
+    stats = (await rpc({"op": "stats"}))["stats"]
+    await rpc({"op": "shutdown"})
+    writer.close()
+    return decided, stats
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import AdmissionGateway, AdmissionServer, WallClock
+
+    engine, _source, servers = _build_live_engine(args)
+
+    async def _serve() -> int:
+        gateway = AdmissionGateway(
+            engine,
+            clock=WallClock(rate=args.rate),
+            arrival_mode="clock",
+            tick_interval_s=args.tick_interval,
+        )
+        server = await AdmissionServer(gateway, host=args.host, port=args.port).start()
+        print(
+            f"serving   : {args.host}:{server.port} "
+            f"(policy {args.policy}, {servers} servers/region, "
+            f"clock rate {args.rate:g}x)"
+        )
+        if args.selftest:
+            serve_task = asyncio.ensure_future(server.serve_until_shutdown())
+            decided, stats = await _selftest_client(server.port, engine._keys_tuple)
+            await serve_task
+            await server.stop()
+            print(
+                f"selftest  : {decided} jobs placed over TCP "
+                f"(p99 decision latency {1e3 * stats['latency_p99_s']:.1f} ms)"
+            )
+            return 0
+        result = await server.serve_until_shutdown()
+        await server.stop()
+        print(f"\nshutdown  : session finalized after {result.num_jobs} jobs\n")
+        _print_stream_summary(result)
+        return 0
+
+    return asyncio.run(_serve())
+
+
 def _cmd_regions() -> int:
     dataset = ElectricityMapsLikeProvider(horizon_hours=24 * 30, seed=0)
     rows = []
@@ -489,6 +671,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_checkpoint(args)
     if args.command == "resume":
         return _cmd_resume(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "regions":
         return _cmd_regions()
     if args.command == "workloads":

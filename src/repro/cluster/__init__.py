@@ -37,7 +37,12 @@ from repro.cluster.events import EventQueue
 from repro.cluster.metrics import JobOutcome, RunningJobStats, SimulationResult
 from repro.cluster.multi import MultiPolicyRunner
 from repro.cluster.simulator import BatchSimulator, Simulator
-from repro.cluster.streaming import EngineState, StreamingSimulator, StreamResult
+from repro.cluster.streaming import (
+    AdmissionDecisions,
+    EngineState,
+    StreamingSimulator,
+    StreamResult,
+)
 from repro.cluster.timeline import (
     CHAOS_SPECS,
     ChaosSpec,
@@ -47,6 +52,7 @@ from repro.cluster.timeline import (
 )
 
 __all__ = [
+    "AdmissionDecisions",
     "CHAOS_SPECS",
     "DEFER",
     "BatchResult",

@@ -44,8 +44,10 @@ Results come in two shapes, chosen with ``collect``:
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import math
+import os
 import pickle
 import time as _time
 from collections import deque
@@ -69,7 +71,13 @@ from repro.regions.latency import TransferLatencyModel
 from repro.traces.job import Job
 from repro.traces.stream import JobChunk
 
-__all__ = ["EngineState", "StreamResult", "StreamingSimulator", "CHECKPOINT_FORMAT"]
+__all__ = [
+    "AdmissionDecisions",
+    "EngineState",
+    "StreamResult",
+    "StreamingSimulator",
+    "CHECKPOINT_FORMAT",
+]
 
 #: Version tag of the checkpoint payload; bumped on incompatible layout
 #: changes so stale checkpoints fail loudly instead of resuming garbage.
@@ -181,6 +189,32 @@ class EngineState:
                 self.pool[name] = np.concatenate([column, extension])
             self.free_slots.extend(range(capacity + grow - 1, capacity - 1, -1))
         return np.array([self.free_slots.pop() for _ in range(count)], dtype=np.int64)
+
+
+@dataclasses.dataclass(frozen=True)
+class AdmissionDecisions:
+    """Placement decisions drained from one :meth:`StreamingSimulator.admit` call.
+
+    Columns are parallel arrays: job ``job_id[i]`` was placed on region
+    ``region_keys[region_idx[i]]`` by the scheduling round at simulation time
+    ``decided_at[i]``.  Jobs admitted but not yet decided (deferred, or
+    waiting for the watermark to pass their round) simply appear in a later
+    drain — the admission API never drops a decision.
+    """
+
+    region_keys: tuple[str, ...]
+    job_id: np.ndarray
+    region_idx: np.ndarray
+    decided_at: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.job_id)
+
+    def items(self):
+        """Iterate ``(job_id, region_key, decided_at)`` triples."""
+        keys = self.region_keys
+        for i in range(len(self.job_id)):
+            yield int(self.job_id[i]), keys[self.region_idx[i]], float(self.decided_at[i])
 
 
 class _WorkloadView:
@@ -581,6 +615,13 @@ class StreamingSimulator(_SimulatorBase):
             self._propagation = None
         self._region_vocab_maps: dict[tuple[str, ...], np.ndarray] = {}
         self._workload_vocab_maps: dict[tuple[str, ...], np.ndarray] = {}
+        # Online-admission decision log: armed by admit()/drain_decisions()
+        # so batch-style runs never pay for the recording.  Entries are
+        # ``(job_id array, region array, round time)`` per commit; the log is
+        # ephemeral (delivered decisions are not part of checkpoints — a
+        # resumed session re-emits only the still-pending jobs' decisions).
+        self._record_decisions = False
+        self._decision_log: list[tuple[np.ndarray, np.ndarray, float]] = []
 
     # -- small helpers -----------------------------------------------------------------
     @property
@@ -671,53 +712,127 @@ class StreamingSimulator(_SimulatorBase):
         state = self.state
         if state is None:
             state = self.init_state()
-        n = chunk.n
-        if n:
-            arrivals = np.asarray(chunk.arrival, dtype=float)
-            if float(arrivals[0]) < state.watermark - 1e-12:
-                raise ValueError(
-                    "chunk arrives out of order: first arrival "
-                    f"{float(arrivals[0]):.3f}s is before the watermark "
-                    f"{state.watermark:.3f}s"
-                )
-            remap = self._region_remap(chunk)
-            home = remap[chunk.home_idx]
-            if np.any(home < 0):
-                i = int(np.flatnonzero(home < 0)[0])
-                raise ValueError(
-                    f"job {int(chunk.job_id[i])} has home region "
-                    f"{chunk.region_keys[chunk.home_idx[i]]!r} which is not part "
-                    f"of the simulated cluster ({sorted(self.region_keys)})"
-                )
-            workload = self._workload_remap(chunk, state)[chunk.workload_idx]
-            slots = state.allocate(n)
-            pool = state.pool
-            pool["job_id"][slots] = chunk.job_id
-            pool["arrival"][slots] = arrivals
-            pool["exec_est"][slots] = chunk.exec_est
-            pool["exec_real"][slots] = chunk.exec_real
-            pool["energy_est"][slots] = chunk.energy_est
-            pool["energy_real"][slots] = chunk.energy_real
-            pool["home"][slots] = home
-            pool["package"][slots] = chunk.package_gb
-            pool["servers"][slots] = chunk.servers
-            pool["workload"][slots] = workload
-            for name, _ in _STATE_COLUMNS:
-                pool[name][slots] = -1 if name in ("region",) else 0
-            pool["start"][slots] = -1.0
-            pool["finish"][slots] = -1.0
-            state.waiting_slots = np.concatenate(
-                [state.waiting_slots[state.waiting_head:], slots]
-            )
-            state.waiting_arrival = np.concatenate(
-                [state.waiting_arrival[state.waiting_head:], arrivals]
-            )
-            state.waiting_head = 0
-            state.jobs_seen += n
-            state.watermark = float(arrivals[-1])
+        if chunk.n:
+            self._ingest(chunk)
         state.chunks_seen += 1
         self._drain(final=False)
         self._flush_finished()
+
+    def admit(
+        self, chunk: JobChunk | None = None, now: float | None = None
+    ) -> AdmissionDecisions:
+        """Online admission: ingest ``chunk``, advance to ``now``, return decisions.
+
+        This is the live-service counterpart of :meth:`advance`.  The call
+
+        1. ingests the (optional, possibly empty) time-ordered chunk of newly
+           submitted jobs,
+        2. raises the safety watermark to ``now`` — the *clock* watermark: in
+           a live session no future submission can arrive before the present,
+           so every scheduling round up to ``now`` is safe even without new
+           arrivals (this is what lets deferred jobs make progress between
+           requests; chaos-timeline events below the watermark fire exactly
+           as they do in a batch run),
+        3. runs every round the watermark makes safe, and
+        4. drains and returns the placement decisions committed since the
+           previous drain (which may include jobs from earlier ``admit``
+           calls, and may exclude just-admitted jobs that were deferred).
+
+        Passing ``now=None`` leaves the watermark driven purely by arrivals —
+        the replay gateway uses that mode, which makes a paced replay
+        decision-identical to :meth:`run` by construction.  Decisions are
+        recorded only once this method (or :meth:`drain_decisions`) has been
+        called, so batch-style runs pay nothing for the facility.
+        """
+        state = self.state
+        if state is None:
+            state = self.init_state()
+        self._record_decisions = True
+        if chunk is not None:
+            if chunk.n:
+                self._ingest(chunk)
+            state.chunks_seen += 1
+        if now is not None and float(now) > state.watermark:
+            state.watermark = float(now)
+        self._drain(final=False)
+        self._flush_finished()
+        return self.drain_decisions()
+
+    def drain_decisions(self) -> AdmissionDecisions:
+        """Return (and clear) the decisions committed since the last drain.
+
+        Arms decision recording as a side effect; a gateway that finalizes
+        the engine calls this once more after :meth:`finalize` to collect the
+        decisions of the closing rounds.
+        """
+        self._record_decisions = True
+        log = self._decision_log
+        if not log:
+            empty = np.zeros(0, dtype=np.int64)
+            return AdmissionDecisions(
+                region_keys=self._keys_tuple,
+                job_id=empty,
+                region_idx=empty,
+                decided_at=np.zeros(0),
+            )
+        self._decision_log = []
+        return AdmissionDecisions(
+            region_keys=self._keys_tuple,
+            job_id=np.concatenate([job_id for job_id, _, _ in log]),
+            region_idx=np.concatenate([region for _, region, _ in log]),
+            decided_at=np.concatenate(
+                [np.full(len(job_id), when) for job_id, _, when in log]
+            ),
+        )
+
+    def _ingest(self, chunk: JobChunk) -> None:
+        """Validate + copy one non-empty chunk into the slot pool."""
+        state = self.state
+        n = chunk.n
+        arrivals = np.asarray(chunk.arrival, dtype=float)
+        if float(arrivals[0]) < state.watermark - 1e-12:
+            raise ValueError(
+                "chunk arrives out of order: first arrival "
+                f"{float(arrivals[0]):.3f}s is before the watermark "
+                f"{state.watermark:.3f}s"
+            )
+        remap = self._region_remap(chunk)
+        home = remap[chunk.home_idx]
+        if np.any(home < 0):
+            i = int(np.flatnonzero(home < 0)[0])
+            raise ValueError(
+                f"job {int(chunk.job_id[i])} has home region "
+                f"{chunk.region_keys[chunk.home_idx[i]]!r} which is not part "
+                f"of the simulated cluster ({sorted(self.region_keys)})"
+            )
+        workload = self._workload_remap(chunk, state)[chunk.workload_idx]
+        slots = state.allocate(n)
+        pool = state.pool
+        pool["job_id"][slots] = chunk.job_id
+        pool["arrival"][slots] = arrivals
+        pool["exec_est"][slots] = chunk.exec_est
+        pool["exec_real"][slots] = chunk.exec_real
+        pool["energy_est"][slots] = chunk.energy_est
+        pool["energy_real"][slots] = chunk.energy_real
+        pool["home"][slots] = home
+        pool["package"][slots] = chunk.package_gb
+        pool["servers"][slots] = chunk.servers
+        pool["workload"][slots] = workload
+        for name, _ in _STATE_COLUMNS:
+            pool[name][slots] = -1 if name in ("region",) else 0
+        pool["start"][slots] = -1.0
+        pool["finish"][slots] = -1.0
+        state.waiting_slots = np.concatenate(
+            [state.waiting_slots[state.waiting_head:], slots]
+        )
+        state.waiting_arrival = np.concatenate(
+            [state.waiting_arrival[state.waiting_head:], arrivals]
+        )
+        state.waiting_head = 0
+        state.jobs_seen += n
+        # max(): a live session may already have raised the clock watermark
+        # past these arrivals (admit(now=...)); it must never move backwards.
+        state.watermark = max(state.watermark, float(arrivals[-1]))
 
     def finalize(self):
         """Run the remaining rounds, drain every event, return the result."""
@@ -795,15 +910,40 @@ class StreamingSimulator(_SimulatorBase):
             },
             "extra": dict(extra or {}),
         }
-        Path(path).write_bytes(pickle.dumps(payload))
+        # Atomic publish: serialize first, write to a sibling temp file, then
+        # os.replace() over the target.  A crash mid-write (or a full disk)
+        # leaves the previous checkpoint intact instead of a truncated,
+        # unloadable pickle — the whole point of checkpointing long runs.
+        target = Path(path)
+        blob = pickle.dumps(payload)
+        tmp = target.with_name(f".{target.name}.tmp-{os.getpid()}")
+        try:
+            with open(tmp, "wb") as sink:
+                sink.write(blob)
+                sink.flush()
+                os.fsync(sink.fileno())
+            os.replace(tmp, target)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
 
     @staticmethod
     def load_checkpoint(path) -> dict:
         """Read and validate a checkpoint payload (see :meth:`save_checkpoint`)."""
         payload = pickle.loads(Path(path).read_bytes())
-        if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
+        if not isinstance(payload, dict) or "format" not in payload:
+            raise ValueError(f"{path} is not a streaming checkpoint")
+        found = payload.get("format")
+        if found != CHECKPOINT_FORMAT:
             raise ValueError(
-                f"{path} is not a format-{CHECKPOINT_FORMAT} streaming checkpoint"
+                f"{path} is a format-{found} streaming checkpoint; this version "
+                f"reads format {CHECKPOINT_FORMAT} only.  Checkpoint layouts "
+                "changed incompatibly (format 2: array event queue, format 3: "
+                "chaos & elasticity state), so older files cannot be resumed "
+                "here — re-run the simulation, or resume the checkpoint with "
+                "the code version that wrote it (see README 'Streaming "
+                "engine' for the migration notes)."
             )
         return payload
 
@@ -975,6 +1115,14 @@ class StreamingSimulator(_SimulatorBase):
         pool["transfer"][slots] = transfer
         pool["ready"][slots] = now + transfer
         state.events.push_ready_batch(now + transfer, slots)
+        if self._record_decisions:
+            self._decision_log.append(
+                (
+                    pool["job_id"][slots].copy(),
+                    np.asarray(regions, dtype=np.int64).copy(),
+                    float(now),
+                )
+            )
 
     def _drain(self, final: bool) -> None:
         state = self.state

@@ -240,3 +240,109 @@ class TestWorkloadCacheSafety:
         last_key = parallel._workload_key(points[-1])
         cached_source = entries[last_key]["source"]
         assert parallel._point_source(points[-1]) is cached_source
+
+
+class TestSharedMemoryCleanup:
+    """Fused process sweeps must never strand /dev/shm segments."""
+
+    @staticmethod
+    def _recording_pack(created):
+        from repro.analysis import parallel
+
+        real_pack = parallel.pack_shared_workload
+
+        def spying_pack(source, chunk_size=8192):
+            shm, handle = real_pack(source, chunk_size=chunk_size)
+            created.append(shm.name)
+            return shm, handle
+
+        return spying_pack
+
+    @staticmethod
+    def _assert_unlinked(names):
+        from multiprocessing import shared_memory
+
+        assert names, "the sweep never reached the shm packing path"
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_failing_cell_leaves_no_stale_segments(self, monkeypatch):
+        from repro.analysis import parallel
+
+        # Two fused groups over two distinct workloads so the parent packs
+        # shm segments; the second group's policy does not exist, so its
+        # worker raises mid-sweep.
+        good = expand_grid(
+            scheduler=["baseline"], trace_kind="borg",
+            rate_per_hour=20.0, duration_days=0.05, servers_per_region=4,
+        )
+        bad = [dataclasses.replace(good[0], scheduler="no-such-policy",
+                                   trace_kind="alibaba")]
+        created = []
+        monkeypatch.setattr(
+            parallel, "pack_shared_workload", self._recording_pack(created)
+        )
+        with pytest.raises(Exception):
+            parallel.run_sweep(
+                good + bad, workers=2, executor="process", fused=True
+            )
+        self._assert_unlinked(created)
+
+    def test_successful_fused_sweep_unlinks_segments(self, monkeypatch):
+        from repro.analysis import parallel
+
+        points = expand_grid(
+            scheduler=["baseline"], trace_kind=["borg", "alibaba"],
+            rate_per_hour=20.0, duration_days=0.05, servers_per_region=4,
+        )
+        created = []
+        monkeypatch.setattr(
+            parallel, "pack_shared_workload", self._recording_pack(created)
+        )
+        outcomes = parallel.run_sweep(
+            points, workers=2, executor="process", fused=True
+        )
+        assert all(o.num_jobs > 0 for o in outcomes)
+        self._assert_unlinked(created)
+
+    def test_pack_failure_unlinks_its_own_segment(self, monkeypatch):
+        from multiprocessing import shared_memory
+
+        from repro.analysis.parallel import pack_shared_workload
+        from repro.traces.borg import BorgTraceGenerator
+
+        class ExplodingSource:
+            """Raises from a property read *after* the segment is created."""
+
+            def __init__(self):
+                self._inner = BorgTraceGenerator(
+                    rate_per_hour=20.0, duration_days=0.02, seed=1
+                )
+                self.name = "exploding"
+                self.seed = 1
+                self.label = None
+
+            def iter_chunks(self, chunk_size=None, skip_jobs=0):
+                return self._inner.iter_chunks(chunk_size, skip_jobs=skip_jobs)
+
+            @property
+            def horizon_s(self):
+                raise RuntimeError("metadata read failed")
+
+        created = []
+        real_shm = shared_memory.SharedMemory
+
+        def recording_shm(*args, **kwargs):
+            shm = real_shm(*args, **kwargs)
+            if kwargs.get("create"):
+                created.append(shm.name)
+            return shm
+
+        monkeypatch.setattr(shared_memory, "SharedMemory", recording_shm)
+        with pytest.raises(RuntimeError, match="metadata read failed"):
+            pack_shared_workload(ExplodingSource())
+        monkeypatch.undo()
+        assert len(created) == 1
+        with pytest.raises(FileNotFoundError):
+            real_shm(name=created[0])

@@ -203,6 +203,156 @@ class TestCheckpoint:
         with pytest.raises(ValueError, match="checkpoint"):
             StreamingSimulator.load_checkpoint(path)
 
+    def test_format_mismatch_reports_found_format(self, tmp_path):
+        # A synthetic format-2 payload (pre-chaos layout): the error must name
+        # the format actually found and point at the migration note, not just
+        # say "not a format-3 checkpoint".
+        path = tmp_path / "old.ckpt"
+        path.write_bytes(pickle.dumps({"format": 2, "state": None, "extra": {}}))
+        with pytest.raises(ValueError) as excinfo:
+            StreamingSimulator.load_checkpoint(path)
+        message = str(excinfo.value)
+        assert "format-2" in message
+        assert "format 3" in message
+        assert "migration" in message
+
+    def test_non_checkpoint_payload_reported_distinctly(self, tmp_path):
+        path = tmp_path / "noise.ckpt"
+        path.write_bytes(pickle.dumps([1, 2, 3]))
+        with pytest.raises(ValueError, match="not a streaming checkpoint"):
+            StreamingSimulator.load_checkpoint(path)
+
+    def test_interrupted_write_preserves_old_checkpoint(
+        self, source, dataset, tmp_path, monkeypatch
+    ):
+        import builtins
+
+        path = tmp_path / "engine.ckpt"
+        engine = _stream(source, dataset, chunk_size=40)
+        engine.run_chunks(max_chunks=1)
+        engine.save_checkpoint(path)
+        good = path.read_bytes()
+        engine.run_chunks(max_chunks=1)
+
+        real_open = builtins.open
+
+        class _DyingSink:
+            """Writes half the payload, then fails — a crash mid-write."""
+
+            def __init__(self, handle):
+                self._handle = handle
+
+            def write(self, data):
+                self._handle.write(data[: max(1, len(data) // 2)])
+                self._handle.flush()
+                raise OSError("disk died mid-write")
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                self._handle.close()
+                return False
+
+        def failing_open(file, mode="r", *args, **kwargs):
+            handle = real_open(file, mode, *args, **kwargs)
+            if ".tmp-" in str(file) and "w" in str(mode):
+                return _DyingSink(handle)
+            return handle
+
+        monkeypatch.setattr(builtins, "open", failing_open)
+        with pytest.raises(OSError, match="mid-write"):
+            engine.save_checkpoint(path)
+        monkeypatch.undo()
+
+        # The old checkpoint survives byte-for-byte, loads, and no temp file
+        # litters the directory.
+        assert path.read_bytes() == good
+        assert list(tmp_path.glob("*.tmp-*")) == []
+        assert list(tmp_path.glob(".*.tmp-*")) == []
+        resumed = StreamingSimulator.from_checkpoint(path, source, dataset=dataset)
+        assert resumed.state.jobs_seen > 0
+
+    def test_checkpoint_write_is_atomic_replace(self, source, dataset, tmp_path, monkeypatch):
+        import os as os_module
+
+        calls = []
+        real_replace = os_module.replace
+
+        def spying_replace(src, dst):
+            calls.append((str(src), str(dst)))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os_module, "replace", spying_replace)
+        path = tmp_path / "engine.ckpt"
+        engine = _stream(source, dataset, chunk_size=40)
+        engine.run_chunks(max_chunks=1)
+        engine.save_checkpoint(path)
+        assert len(calls) == 1
+        src, dst = calls[0]
+        assert dst == str(path)
+        # The temp file lives in the same directory (os.replace would not be
+        # atomic across filesystems).
+        assert os_module.path.dirname(src) == str(tmp_path)
+
+
+class TestAdmit:
+    """The incremental admission API the live service is built on."""
+
+    def test_admitted_decisions_cover_every_job(self, source, dataset, oneshot):
+        engine = _stream(source, dataset, chunk_size=64)
+        seen = []
+        for chunk in source.iter_chunks(64):
+            decisions = engine.admit(chunk)
+            seen.extend(job_id for job_id, _region, _when in decisions.items())
+        result = engine.finalize()
+        tail = engine.drain_decisions()
+        seen.extend(job_id for job_id, _region, _when in tail.items())
+        assert sorted(seen) == sorted(job.job_id for job in source.materialize().jobs)
+        assert result.digest() == oneshot.digest()
+
+    def test_admit_matches_advance_digest(self, source, dataset, oneshot):
+        engine = _stream(source, dataset, chunk_size=50)
+        for chunk in source.iter_chunks(50):
+            engine.admit(chunk)
+        assert engine.finalize().digest() == oneshot.digest()
+
+    def test_decisions_carry_region_keys_and_round_times(self, source, dataset):
+        engine = _stream(source, dataset, chunk_size=1000)
+        chunk = next(source.iter_chunks(1000))
+        engine.admit(chunk)
+        decisions = engine.admit(None, now=float(chunk.arrival[-1]) + 7200.0)
+        assert len(decisions) > 0
+        regions = set(engine._keys_tuple)
+        for job_id, region, decided_at in decisions.items():
+            assert region in regions
+            assert decided_at <= engine.state.watermark
+
+    def test_now_never_moves_watermark_backwards(self, source, dataset):
+        engine = _stream(source, dataset, chunk_size=64)
+        engine.admit(next(source.iter_chunks(64)))
+        watermark = engine.state.watermark
+        engine.admit(None, now=watermark - 100.0)
+        assert engine.state.watermark == watermark
+        engine.admit(None, now=watermark + 100.0)
+        assert engine.state.watermark == watermark + 100.0
+
+    def test_drain_decisions_empty_without_rounds(self, source, dataset):
+        engine = _stream(source, dataset, chunk_size=64)
+        engine.init_state()
+        drained = engine.drain_decisions()
+        assert len(drained) == 0
+        assert list(drained.items()) == []
+
+    def test_advance_does_not_record_decisions(self, source, dataset):
+        # advance() is the bulk path — it must not accumulate an unbounded
+        # decision log nobody drains.
+        engine = _stream(source, dataset, chunk_size=64)
+        engine.init_state()
+        for chunk in source.iter_chunks(64):
+            engine.advance(chunk)
+        assert engine._decision_log == []
+
 
 class TestAccumulators:
     def test_p2_quantile_tracks_exact_quantiles(self):

@@ -1,0 +1,82 @@
+"""Unit tests for the clock abstraction (SimClock / WallClock)."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.service import SimClock, WallClock
+
+
+class TestSimClock:
+    def test_starts_at_start(self):
+        assert SimClock().now() == 0.0
+        assert SimClock(start=42.5).now() == 42.5
+
+    def test_advance_to_moves_forward(self):
+        clock = SimClock()
+        assert clock.advance_to(10.0) == 10.0
+        assert clock.now() == 10.0
+
+    def test_advance_to_never_goes_back(self):
+        clock = SimClock(start=100.0)
+        clock.advance_to(50.0)
+        assert clock.now() == 100.0
+
+    def test_sleep_until_jumps_without_wall_time(self):
+        clock = SimClock()
+        before = time.monotonic()
+        asyncio.run(clock.sleep_until(86_400.0))
+        assert clock.now() == 86_400.0
+        # A simulated day must cost (essentially) no wall time.
+        assert time.monotonic() - before < 1.0
+
+    def test_sleep_until_yields_to_other_tasks(self):
+        # The sleep must hit the event loop at least once, or a concurrent
+        # gateway loop would starve during a fast-forwarded replay.
+        ran = []
+
+        async def scenario():
+            async def other():
+                ran.append(True)
+
+            task = asyncio.ensure_future(other())
+            await SimClock().sleep_until(10.0)
+            assert task.done()
+
+        asyncio.run(scenario())
+        assert ran == [True]
+
+
+class TestWallClock:
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError, match="rate"):
+            WallClock(rate=0.0)
+        with pytest.raises(ValueError, match="rate"):
+            WallClock(rate=-1.0)
+
+    def test_now_advances_with_wall_time(self):
+        clock = WallClock(rate=1000.0)
+        first = clock.now()
+        time.sleep(0.01)
+        assert clock.now() > first
+
+    def test_rate_scales_time(self):
+        clock = WallClock(rate=10_000.0, start=5.0)
+        time.sleep(0.02)
+        elapsed = clock.now() - 5.0
+        # 20ms of wall time at 10_000x is ~200 simulated seconds; allow
+        # generous slack for scheduler noise.
+        assert 100.0 < elapsed < 10_000.0
+
+    def test_sleep_until_reaches_target(self):
+        clock = WallClock(rate=100_000.0)
+        target = clock.now() + 500.0
+        asyncio.run(clock.sleep_until(target))
+        assert clock.now() >= target
+
+    def test_sleep_until_past_returns_immediately(self):
+        clock = WallClock(rate=1.0, start=1000.0)
+        before = time.monotonic()
+        asyncio.run(clock.sleep_until(0.0))
+        assert time.monotonic() - before < 0.5

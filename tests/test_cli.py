@@ -196,3 +196,61 @@ class TestStreamingCli:
         capsys.readouterr()
         with pytest.raises(SystemExit, match="--out requires --chunks"):
             main(["resume", str(path), "--out", str(tmp_path / "x.ckpt")])
+
+
+class TestServiceCli:
+    WORKLOAD = [
+        "--scenario", "bursty", "--jobs-per-hour", "30", "--hours", "3",
+        "--seed", "4",
+    ]
+
+    def test_replay_defaults(self):
+        args = build_parser().parse_args(["replay"])
+        assert args.pace == 0.0
+        assert args.chunk_size == 2048
+        assert args.report is None
+
+    def test_replay_writes_report(self, capsys, tmp_path):
+        import json
+
+        report = tmp_path / "replay.json"
+        assert main([
+            "replay", *self.WORKLOAD, "--policy", "waterwise",
+            "--pace", "0", "--chunk-size", "64", "--report", str(report),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "replayed live, fast-forward" in out
+        assert "Admission service counters" in out
+        payload = json.loads(report.read_text())
+        assert payload["jobs"] > 0
+        assert payload["stats"]["decided"] == payload["jobs"]
+        assert payload["stats"]["outstanding"] == 0
+
+    def test_replay_totals_match_stream_simulate(self, capsys):
+        # The replayed live path must print the same totals row the
+        # streaming engine prints for the same workload and policy.
+        assert main([
+            "simulate", *self.WORKLOAD, "--policies", "waterwise",
+            "--stream", "--chunk-size", "64",
+        ]) == 0
+        simulate_out = capsys.readouterr().out
+        assert main([
+            "replay", *self.WORKLOAD, "--policy", "waterwise",
+            "--chunk-size", "64",
+        ]) == 0
+        replay_out = capsys.readouterr().out
+        totals_row = next(
+            line for line in replay_out.splitlines()
+            if line.startswith("waterwise")
+        )
+        assert totals_row in simulate_out
+
+    def test_serve_selftest_places_jobs_over_tcp(self, capsys):
+        assert main([
+            "serve", "--scenario", "bursty", "--jobs-per-hour", "20",
+            "--hours", "1", "--seed", "2", "--policy", "baseline",
+            "--rate", "100000", "--selftest",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "serving   : 127.0.0.1:" in out
+        assert "12 jobs placed over TCP" in out

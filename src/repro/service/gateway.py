@@ -16,7 +16,9 @@ Two arrival modes cover the two ways time can flow:
   mode: it is decision-identical to a batch run *by construction*, which is
   what the differential harness verifies (digest equality).
 * ``"clock"`` — the gateway stamps each batch with the clock's current time
-  (never before the watermark).  This is the live mode: between requests the
+  when the batch is *admitted* (never before the watermark, which queued
+  work ahead of the batch may have raised).  This is the live mode: between
+  requests the
   gateway can ``tick`` the watermark forward so deferred jobs make progress
   and chaos-timeline capacity events fire at their scheduled times.
 
@@ -213,24 +215,39 @@ class AdmissionGateway:
     async def submit_nowait(self, jobs) -> list[asyncio.Future]:
         """Enqueue a batch; returns one future per job, in submission order.
 
+        The i-th future always belongs to the i-th submitted job, even in
+        recorded mode where the chunk handed to the engine is arrival-sorted
+        internally — callers may zip the futures against their input list.
         Suspends while the request queue is full (backpressure).  ``jobs``
         is a :class:`JobChunk` or a sequence of ``Job`` objects.
         """
         self._ensure_open()
-        chunk = jobs if isinstance(jobs, JobChunk) else self._chunk_from_jobs(jobs)
+        if isinstance(jobs, JobChunk):
+            chunk = jobs
+            batch_ids = [int(job_id) for job_id in chunk.job_id.tolist()]
+        else:
+            jobs = list(jobs)
+            batch_ids = [int(job.job_id) for job in jobs]
+            chunk = self._chunk_from_jobs(jobs)
+        # Validate the whole batch before registering any waiter: raising
+        # halfway through would strand the already-registered futures as
+        # permanently "outstanding" ids that can never be resubmitted.
+        batch_seen: set[int] = set()
+        for job_id in batch_ids:
+            if job_id in self._waiters or job_id in batch_seen:
+                raise ValueError(
+                    f"job id {job_id} is already outstanding; live job ids "
+                    "must be unique until their decision resolves"
+                )
+            batch_seen.add(job_id)
         loop = asyncio.get_running_loop()
         submitted_at = time.monotonic()
         if self._first_submit is None:
             self._first_submit = submitted_at
         futures: list[asyncio.Future] = []
-        for job_id in chunk.job_id.tolist():
-            if job_id in self._waiters:
-                raise ValueError(
-                    f"job id {job_id} is already outstanding; live job ids "
-                    "must be unique until their decision resolves"
-                )
+        for job_id in batch_ids:
             future = loop.create_future()
-            self._waiters[int(job_id)] = (future, submitted_at)
+            self._waiters[job_id] = (future, submitted_at)
             futures.append(future)
         self._submitted += chunk.n
         await self._queue.put(_Request("batch", chunk, None))
@@ -306,8 +323,10 @@ class AdmissionGateway:
         region_keys = self.engine._keys_tuple
         region_index = {key: i for i, key in enumerate(region_keys)}
         if self.arrival_mode == "clock":
-            stamp = max(self.clock.now(), self._watermark())
-            arrival = np.full(len(jobs), stamp)
+            # Placeholder only — clock-mode batches are stamped at admission
+            # time inside the loop (see _stamp_clock_chunk), because queued
+            # work ahead of this batch may raise the watermark first.
+            arrival = np.zeros(len(jobs))
         else:
             jobs.sort(key=lambda job: job.arrival_time)
             arrival = np.array([job.arrival_time for job in jobs], dtype=float)
@@ -338,6 +357,22 @@ class AdmissionGateway:
             package_gb=np.array([job.package_gb for job in jobs], dtype=float),
             servers=np.array([job.servers_required for job in jobs], dtype=np.int64),
         )
+
+    def _stamp_clock_chunk(self, chunk: JobChunk) -> JobChunk:
+        """Stamp a clock-mode batch at admission (processing) time.
+
+        Stamping at submit time is wrong under pipelining: an earlier queued
+        batch or tick admits at ``clock.now()`` and raises the watermark, so
+        a submit-time stamp taken by a second concurrent client can already
+        be in the past by the time its batch reaches the engine — which
+        ``_ingest`` rejects, and the resulting engine error would poison the
+        gateway for every client.  Clamping to the current watermark keeps
+        arrivals monotone no matter how requests interleave.
+        """
+        if self.arrival_mode != "clock" or not chunk.n:
+            return chunk
+        stamp = max(self.clock.now(), self._watermark())
+        return dataclasses.replace(chunk, arrival=np.full(chunk.n, stamp))
 
     def _resolve(self, decisions) -> int:
         resolved_at = time.monotonic()
@@ -390,7 +425,8 @@ class AdmissionGateway:
                     request = await self._queue.get()
                 if request.kind == "batch":
                     self._batches += 1
-                    decisions = engine.admit(request.payload, now=self._admit_now())
+                    chunk = self._stamp_clock_chunk(request.payload)
+                    decisions = engine.admit(chunk, now=self._admit_now())
                     self._resolve(decisions)
                 elif request.kind == "tick":
                     now = request.payload

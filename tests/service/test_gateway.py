@@ -97,6 +97,52 @@ class TestRecordedMode:
 
         asyncio.run(scenario())
 
+    def test_rejected_batch_strands_no_waiters(self, source, dataset):
+        async def scenario():
+            engine = _engine(source, dataset)
+            gateway = await AdmissionGateway(engine).start()
+            # Intra-batch duplicate: rejected up front, before any waiter
+            # registers.
+            twice = _jobs(engine, 1, start_id=5) + _jobs(engine, 1, start_id=5)
+            with pytest.raises(ValueError, match="already outstanding"):
+                await gateway.submit_nowait(twice)
+            # Partial overlap with an outstanding id: ids 0..2 are live, the
+            # batch {2, 3} must be rejected without registering id 3.
+            await gateway.submit_nowait(_jobs(engine, 3))
+            with pytest.raises(ValueError, match="already outstanding"):
+                await gateway.submit_nowait(_jobs(engine, 2, start_id=2))
+            assert gateway.stats().outstanding == 3
+            # Every id a failed batch carried stays submittable.
+            futures = await gateway.submit_nowait(
+                _jobs(engine, 1, start_id=3) + _jobs(engine, 1, start_id=5)
+            )
+            await gateway.close()
+            return [future.result() for future in futures]
+
+        decisions = asyncio.run(scenario())
+        assert [d.job_id for d in decisions] == [3, 5]
+
+    def test_futures_follow_caller_order_not_arrival_order(self, source, dataset):
+        async def scenario():
+            engine = _engine(source, dataset)
+            gateway = await AdmissionGateway(engine).start()
+            regions = engine._keys_tuple
+            # Arrival times deliberately out of order within the batch: the
+            # chunk handed to the engine is arrival-sorted, but the futures
+            # must still line up with the caller's input list.
+            jobs = [
+                Job(job_id=100 + i, workload="web-search", arrival_time=when,
+                    execution_time=300.0, energy_kwh=0.2,
+                    home_region=regions[i % len(regions)])
+                for i, when in enumerate([30.0, 10.0, 20.0, 5.0])
+            ]
+            futures = await gateway.submit_nowait(jobs)
+            await gateway.close()
+            return jobs, [future.result() for future in futures]
+
+        jobs, decisions = asyncio.run(scenario())
+        assert [d.job_id for d in decisions] == [j.job_id for j in jobs]
+
     def test_unknown_home_region_rejected(self, source, dataset):
         async def scenario():
             engine = _engine(source, dataset)
@@ -179,6 +225,31 @@ class TestClockMode:
         assert stats.decided == 3
         assert stats.latency_p99_s > 0.0
         assert stats.throughput_jobs_per_s > 0.0
+
+    def test_pipelined_submissions_do_not_poison_gateway(self, source, dataset):
+        async def scenario():
+            engine = _engine(source, dataset)
+            gateway = await AdmissionGateway(
+                engine,
+                clock=WallClock(rate=200_000.0),
+                arrival_mode="clock",
+                tick_interval_s=0.01,
+            ).start()
+            # Two back-to-back submissions (pipelined clients): both sit in
+            # the queue before the loop admits either.  Admitting the first
+            # raises the watermark past any submit-time stamp, so the batch
+            # must be stamped at admission time or the second one arrives
+            # "before the watermark" and poisons the gateway for everyone.
+            first = await gateway.submit_nowait(_jobs(engine, 2))
+            second = await gateway.submit_nowait(_jobs(engine, 2, start_id=10))
+            decisions = await asyncio.wait_for(
+                asyncio.gather(*first, *second), timeout=30.0
+            )
+            await gateway.close()
+            return decisions
+
+        decisions = asyncio.run(scenario())
+        assert len(decisions) == 4
 
     def test_arrivals_never_stamped_before_watermark(self, source, dataset):
         async def scenario():

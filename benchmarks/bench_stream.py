@@ -21,6 +21,16 @@ Run it directly::
 
     PYTHONPATH=src python benchmarks/bench_stream.py --sizes 10000 100000
     PYTHONPATH=src python benchmarks/bench_stream.py --sizes 1000000 --stream-only
+    # 10M-job bounded-memory tier (stream-only; one fresh subprocess so the
+    # 1.5 GB RSS gate measures exactly this case):
+    PYTHONPATH=src python benchmarks/bench_stream.py --sizes 10000000 \
+        --stream-only --profile
+
+``--kernel`` pins the event-kernel tier (``scalar`` / ``vector`` /
+``compiled`` / default ``auto``) for every case — totals are
+kernel-invariant, so an A/B between tiers is two runs of this script.
+``--profile`` adds each streaming case's kernel telemetry (clean /
+conveyor / replayed event counts, segmentation passes) to the report.
 """
 
 from __future__ import annotations
@@ -76,14 +86,24 @@ def _case_parameters(jobs: int) -> dict:
     }
 
 
-def _run_child(jobs: int, mode: str, policy: str, chaos: bool = False) -> dict:
+def _run_child(
+    jobs: int,
+    mode: str,
+    policy: str,
+    chaos: bool = False,
+    kernel: str = "auto",
+    profile: bool = False,
+) -> dict:
     """One measured case in a fresh interpreter; returns its JSON report."""
     command = [
         sys.executable, os.path.abspath(__file__), "--child",
         "--child-jobs", str(jobs), "--child-mode", mode, "--policy", policy,
+        "--kernel", kernel,
     ]
     if chaos:
         command.append("--child-chaos")
+    if profile:
+        command.append("--profile")
     env = dict(os.environ)
     src = str(pathlib.Path(__file__).resolve().parent.parent / "src")
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
@@ -127,6 +147,7 @@ def _child_main(args: argparse.Namespace) -> int:
             servers_per_region=params["servers_per_region"],
             chunk_size=params["chunk_size"],
             collect="aggregate",
+            kernel=args.kernel,
             **chaos_kwargs,
         ).run()
     else:
@@ -136,11 +157,12 @@ def _child_main(args: argparse.Namespace) -> int:
             scheduler,
             dataset=dataset,
             servers_per_region=params["servers_per_region"],
+            kernel=args.kernel,
             **chaos_kwargs,
         ).run()
     wall_s = time.perf_counter() - started
     peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss  # kB on Linux
-    print(json.dumps({
+    report = {
         "mode": args.child_mode,
         "chaos": bool(args.child_chaos),
         "requested_jobs": args.child_jobs,
@@ -152,7 +174,10 @@ def _child_main(args: argparse.Namespace) -> int:
         "water_m3": result.total_water_m3,
         "mean_service_ratio": result.mean_service_ratio,
         "evictions": int(getattr(result, "total_evictions", 0)),
-    }))
+    }
+    if args.profile:
+        report["kernel_stats"] = getattr(result, "kernel_stats", None)
+    print(json.dumps(report))
     return 0
 
 
@@ -181,6 +206,13 @@ def main(argv=None) -> int:
                         default=[10_000, 100_000, 1_000_000])
     parser.add_argument("--policy", default="baseline",
                         help="scheduling policy to drive both engines with")
+    parser.add_argument("--kernel", default="auto",
+                        choices=["auto", "scalar", "vector", "compiled"],
+                        help="event-kernel tier for every case (totals are "
+                             "kernel-invariant; A/B tiers with two runs)")
+    parser.add_argument("--profile", action="store_true",
+                        help="record each case's kernel telemetry (clean/"
+                             "conveyor/replayed event counts) in the report")
     parser.add_argument("--max-oneshot-jobs", type=int, default=100_000,
                         help="skip the one-shot engine above this size")
     parser.add_argument("--stream-only", action="store_true",
@@ -211,14 +243,31 @@ def main(argv=None) -> int:
 
     cases = []
     failures = []
+
+    def _print_profile(case: dict) -> None:
+        stats = case.get("kernel_stats")
+        if not stats:
+            return
+        print(
+            f"        kernel={stats.get('kernel', '?')}: "
+            f"{stats.get('clean_events', 0):,} clean + "
+            f"{stats.get('conveyor_events', 0):,} conveyor + "
+            f"{stats.get('compiled_events', 0):,} compiled + "
+            f"{stats.get('replayed_events', 0):,} replayed events, "
+            f"{stats.get('prefix_segments', 0):,} prefix segments, "
+            f"{stats.get('windows', 0):,} windows"
+        )
+
     for jobs in args.sizes:
-        stream = _run_child(jobs, "stream", args.policy)
+        stream = _run_child(jobs, "stream", args.policy,
+                            kernel=args.kernel, profile=args.profile)
         cases.append(stream)
         print(
             f"stream  {jobs:>9,} jobs: {stream['wall_s']:8.1f} s, "
             f"peak RSS {stream['peak_rss_mb']:8.1f} MB "
             f"({stream['jobs']} simulated, {stream['rounds']} rounds)"
         )
+        _print_profile(stream)
         if stream["peak_rss_mb"] > args.rss_limit_mb:
             failures.append(
                 f"streaming at {jobs} jobs used {stream['peak_rss_mb']:.1f} MB "
@@ -226,7 +275,8 @@ def main(argv=None) -> int:
             )
         if args.stream_only or jobs > args.max_oneshot_jobs:
             continue
-        oneshot = _run_child(jobs, "oneshot", args.policy)
+        oneshot = _run_child(jobs, "oneshot", args.policy,
+                             kernel=args.kernel, profile=args.profile)
         cases.append(oneshot)
         print(
             f"oneshot {jobs:>9,} jobs: {oneshot['wall_s']:8.1f} s, "
@@ -240,13 +290,15 @@ def main(argv=None) -> int:
                 )
 
     for jobs in args.chaos_sizes:
-        stream = _run_child(jobs, "stream", args.policy, chaos=True)
+        stream = _run_child(jobs, "stream", args.policy, chaos=True,
+                            kernel=args.kernel, profile=args.profile)
         cases.append(stream)
         print(
             f"chaos   {jobs:>9,} jobs: {stream['wall_s']:8.1f} s, "
             f"peak RSS {stream['peak_rss_mb']:8.1f} MB "
             f"({stream['jobs']} simulated, {stream['evictions']} evictions)"
         )
+        _print_profile(stream)
         if stream["peak_rss_mb"] > args.rss_limit_mb:
             failures.append(
                 f"chaotic streaming at {jobs} jobs used {stream['peak_rss_mb']:.1f} MB "
@@ -254,7 +306,8 @@ def main(argv=None) -> int:
             )
         if args.stream_only or jobs > args.max_oneshot_jobs:
             continue
-        oneshot = _run_child(jobs, "oneshot", args.policy, chaos=True)
+        oneshot = _run_child(jobs, "oneshot", args.policy, chaos=True,
+                             kernel=args.kernel, profile=args.profile)
         cases.append(oneshot)
         print(
             f"chaos-1s{jobs:>9,} jobs: {oneshot['wall_s']:8.1f} s, "
@@ -294,6 +347,7 @@ def main(argv=None) -> int:
     report = {
         "benchmark": "stream_engine",
         "policy": args.policy,
+        "kernel": args.kernel,
         "rate_per_hour": RATE_PER_HOUR,
         "rss_limit_mb": args.rss_limit_mb,
         "headline": {key: round(value, 3) for key, value in head.items()},

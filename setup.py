@@ -1,5 +1,17 @@
-"""Setuptools shim kept for legacy tooling; metadata lives in pyproject.toml."""
+"""Setuptools entry point.
+
+The package has no hard dependencies beyond NumPy (SciPy is optional at
+runtime, gated behind solver availability checks).  ``numba`` is an
+optional extra: ``pip install -e .[compiled]`` enables the jitted
+flat-array event kernel (``kernel="compiled"``, picked up automatically by
+``kernel="auto"``); without it the engines fall back to the interpreted
+twin with identical digests.
+"""
 
 from setuptools import setup
 
-setup()
+setup(
+    extras_require={
+        "compiled": ["numba"],
+    },
+)

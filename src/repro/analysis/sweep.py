@@ -135,6 +135,7 @@ def simulate(
     chunk_size: int = 4096,
     chaos=None,
     chaos_seed: int = 0,
+    kernel: str = "vector",
 ) -> SimulationResult:
     """Run one policy over one trace (thin wrapper around the simulators).
 
@@ -147,6 +148,10 @@ def simulate(
     (wrapped in a :class:`~repro.traces.stream.TraceView`) — and returns its
     aggregate-only :class:`~repro.cluster.streaming.StreamResult` (same
     figures of merit, no per-job outcome list).
+
+    ``kernel`` selects the array engines' event-kernel tier
+    (``auto``/``vector``/``scalar``/``compiled``; results are
+    tier-invariant).  The scalar *engine* has no kernel and ignores it.
     """
     if engine not in ("scalar", "batch", "stream"):
         raise ValueError(
@@ -172,10 +177,12 @@ def simulate(
             collect="aggregate",
             chaos=chaos,
             chaos_seed=chaos_seed,
+            kernel=kernel,
         ).run()
     if isinstance(trace, TraceSource):
         trace = trace.materialize()
     engine_cls = BatchSimulator if engine == "batch" else Simulator
+    engine_kwargs = {"kernel": kernel} if engine == "batch" else {}
     result = engine_cls(
         trace=trace,
         scheduler=scheduler,
@@ -187,6 +194,7 @@ def simulate(
         include_embodied=include_embodied,
         chaos=chaos,
         chaos_seed=chaos_seed,
+        **engine_kwargs,
     ).run()
     return result.to_simulation_result() if engine == "batch" else result
 
@@ -214,6 +222,7 @@ def run_policies(
     chunk_size: int = 4096,
     chaos=None,
     chaos_seed: int = 0,
+    kernel: str = "vector",
 ) -> dict[str, SimulationResult]:
     """Simulate every policy in ``policies`` under identical conditions.
 
@@ -243,6 +252,7 @@ def run_policies(
             include_embodied=include_embodied,
             chaos=chaos,
             chaos_seed=chaos_seed,
+            kernel=kernel,
         )
         return runner.run()
     if engine != "stream" and isinstance(trace, TraceSource):
@@ -263,6 +273,7 @@ def run_policies(
             chunk_size=chunk_size,
             chaos=chaos,
             chaos_seed=chaos_seed,
+            kernel=kernel,
         )
     return results
 

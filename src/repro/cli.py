@@ -137,6 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
              "(by cumulative time) to FILE",
     )
     simulate.add_argument(
+        "--kernel", choices=["auto", "scalar", "vector", "compiled"], default=None,
+        help="event-kernel tier for the array engines (results are "
+             "tier-invariant; 'auto' picks the numba-compiled kernel when "
+             "numba is installed; default: vector)",
+    )
+    simulate.add_argument(
         "--solver", choices=["auto", "scipy", "native", "structured"], default="auto",
         help="MILP backend for the WaterWise-family policies (all are exact; "
              "auto prefers the structured placement path, see README "
@@ -285,6 +291,12 @@ def _resolve_engine(args: argparse.Namespace, chaos: str | None = None) -> tuple
 def _cmd_simulate(args: argparse.Namespace) -> int:
     chaos, chaos_seed = _resolve_chaos(args)
     engine, chunk_size = _resolve_engine(args, chaos)
+    if args.kernel is not None and engine == "scalar":
+        raise SystemExit(
+            "--kernel selects the array engines' event-kernel tier; the "
+            "scalar engine has none (use --engine batch/stream/fused)"
+        )
+    kernel = args.kernel or "vector"
     source = _build_source(args)
     dataset = _build_dataset(args)
     if engine in ("stream", "fused"):
@@ -342,6 +354,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         chunk_size=chunk_size,
         chaos=chaos,
         chaos_seed=chaos_seed,
+        kernel=kernel,
     )
     if profiler is not None:
         profiler.disable()

@@ -1,0 +1,501 @@
+"""Flat-array replay kernel, numba-compiled when numba is installed.
+
+The reference replay in :mod:`repro.cluster.events` walks a Python heap of
+tuples — correct and fast enough for occasional contention bursts, but
+still ~1µs/event of interpreter overhead.  This module re-expresses the
+*identical* algorithm over flat NumPy arrays: an index heap ordered by
+``(when, kind, seq)``, linked-list FIFO queues (head/tail/next arrays) and
+preallocated output buffers, so the whole loop compiles under numba
+``@njit`` into branchy scalar machine code with no allocation.
+
+numba is strictly optional (``extras_require["compiled"]`` in ``setup.py``)
+and is **not** imported at module import time — :func:`available` probes
+``importlib.util.find_spec`` so a vector-kernel run never pays the numba
+import.  When numba is missing the same function body runs as plain
+Python: byte-identical results (the differential harness runs the
+three-way scalar/vector/compiled matrix with and without numba), just not
+fast — ``kernel="auto"`` therefore resolves to ``"vector"`` unless numba
+is importable, while an explicit ``kernel="compiled"`` always routes the
+residue through this module so the flat kernel is exercised everywhere.
+
+Compilation is lazy: the first window that reaches the kernel triggers the
+jit (a few seconds, once per process — ``cache=True`` persists it across
+processes) and the wall time spent is surfaced as
+``KernelStats.compile_time_s``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import time
+
+import numpy as np
+
+__all__ = ["available", "replay_window"]
+
+_KIND_FINISH = 0
+_KIND_READY = 1
+
+
+def available() -> bool:
+    """True when numba is importable (without importing it)."""
+    return importlib.util.find_spec("numba") is not None
+
+
+def _replay_flat(
+    limit, sequence,
+    r_when, r_seq, r_slot, r_reg, r_srv,
+    f_when, f_seq, f_slot, f_reg, f_srv, f_began,
+    q_count, q_slot, q_srv,
+    exec_real, start, finish,
+    free, committed, busy_seconds,
+    fin_when, fin_seq, fin_reg, fin_slot,
+    over_when, over_seq, over_slot,
+    out_q_slot, out_q_srv, out_q_count,
+):
+    """The replay loop over preallocated flat arrays (nopython-compatible).
+
+    Semantics are operation-for-operation the reference ``_replay``:
+    events pop in ``(when, finishes-first, seq)`` order, a READY starts
+    immediately when capacity allows and the FIFO queue is empty (else it
+    queues), a FINISH frees capacity and admits queued jobs FIFO, starts
+    assign sequence numbers from the shared counter, finishes past
+    ``limit`` land in the overflow buffers.  Returns
+    ``(n_fin, n_over, sequence, makespan)``.
+    """
+    n_regions = q_count.shape[0]
+    nr = r_when.shape[0]
+    nf = f_when.shape[0]
+    nq = q_slot.shape[0]
+    cap = nf + 2 * nr + nq
+
+    e_when = np.empty(cap, dtype=np.float64)
+    e_kind = np.empty(cap, dtype=np.int64)
+    e_seq = np.empty(cap, dtype=np.int64)
+    e_slot = np.empty(cap, dtype=np.int64)
+    e_reg = np.empty(cap, dtype=np.int64)
+    e_srv = np.empty(cap, dtype=np.int64)
+    e_began = np.empty(cap, dtype=np.float64)
+    for i in range(nf):
+        e_when[i] = f_when[i]
+        e_kind[i] = _KIND_FINISH
+        e_seq[i] = f_seq[i]
+        e_slot[i] = f_slot[i]
+        e_reg[i] = f_reg[i]
+        e_srv[i] = f_srv[i]
+        e_began[i] = f_began[i]
+    for i in range(nr):
+        j = nf + i
+        e_when[j] = r_when[i]
+        e_kind[j] = _KIND_READY
+        e_seq[j] = r_seq[i]
+        e_slot[j] = r_slot[i]
+        e_reg[j] = r_reg[i]
+        e_srv[j] = r_srv[i]
+        e_began[j] = 0.0
+    n_entries = nf + nr
+
+    # Index heap ordered by (when, kind, seq).
+    heap = np.empty(cap, dtype=np.int64)
+    heap_n = 0
+    for i in range(n_entries):
+        # sift up
+        pos = heap_n
+        heap_n += 1
+        heap[pos] = i
+        while pos > 0:
+            parent = (pos - 1) >> 1
+            a = heap[pos]
+            b = heap[parent]
+            if (
+                e_when[a] < e_when[b]
+                or (
+                    e_when[a] == e_when[b]
+                    and (
+                        e_kind[a] < e_kind[b]
+                        or (e_kind[a] == e_kind[b] and e_seq[a] < e_seq[b])
+                    )
+                )
+            ):
+                heap[pos] = b
+                heap[parent] = a
+                pos = parent
+            else:
+                break
+
+    # Linked-list FIFO queues: node pool, per-region head/tail.
+    node_cap = nq + nr + 1
+    node_slot = np.empty(node_cap, dtype=np.int64)
+    node_srv = np.empty(node_cap, dtype=np.int64)
+    node_next = np.full(node_cap, -1, dtype=np.int64)
+    q_head = np.full(n_regions, -1, dtype=np.int64)
+    q_tail = np.full(n_regions, -1, dtype=np.int64)
+    n_nodes = 0
+    pos0 = 0
+    for region in range(n_regions):
+        for k in range(q_count[region]):
+            node_slot[n_nodes] = q_slot[pos0 + k]
+            node_srv[n_nodes] = q_srv[pos0 + k]
+            if q_head[region] == -1:
+                q_head[region] = n_nodes
+            else:
+                node_next[q_tail[region]] = n_nodes
+            q_tail[region] = n_nodes
+            n_nodes += 1
+        pos0 += q_count[region]
+
+    n_fin = 0
+    n_over = 0
+    makespan = -np.inf
+
+    while heap_n > 0:
+        top = heap[0]
+        heap_n -= 1
+        if heap_n > 0:
+            # sift down the former last element
+            moved = heap[heap_n]
+            pos = 0
+            while True:
+                child = 2 * pos + 1
+                if child >= heap_n:
+                    break
+                right = child + 1
+                if right < heap_n:
+                    a = heap[right]
+                    b = heap[child]
+                    if (
+                        e_when[a] < e_when[b]
+                        or (
+                            e_when[a] == e_when[b]
+                            and (
+                                e_kind[a] < e_kind[b]
+                                or (
+                                    e_kind[a] == e_kind[b]
+                                    and e_seq[a] < e_seq[b]
+                                )
+                            )
+                        )
+                    ):
+                        child = right
+                a = heap[child]
+                if (
+                    e_when[a] < e_when[moved]
+                    or (
+                        e_when[a] == e_when[moved]
+                        and (
+                            e_kind[a] < e_kind[moved]
+                            or (
+                                e_kind[a] == e_kind[moved]
+                                and e_seq[a] < e_seq[moved]
+                            )
+                        )
+                    )
+                ):
+                    heap[pos] = a
+                    pos = child
+                else:
+                    break
+            heap[pos] = moved
+
+        when = e_when[top]
+        kind = e_kind[top]
+        seq = e_seq[top]
+        slot = e_slot[top]
+        region = e_reg[top]
+        srv = e_srv[top]
+
+        if kind == _KIND_READY:
+            committed[region] += srv
+            if free[region] >= srv and q_head[region] == -1:
+                # start immediately
+                free[region] -= srv
+                start[slot] = when
+                finish_at = when + exec_real[slot]
+                new_seq = sequence
+                sequence += 1
+                if finish_at <= limit:
+                    j = n_entries
+                    n_entries += 1
+                    e_when[j] = finish_at
+                    e_kind[j] = _KIND_FINISH
+                    e_seq[j] = new_seq
+                    e_slot[j] = slot
+                    e_reg[j] = region
+                    e_srv[j] = srv
+                    e_began[j] = when
+                    pos = heap_n
+                    heap_n += 1
+                    heap[pos] = j
+                    while pos > 0:
+                        parent = (pos - 1) >> 1
+                        a = heap[pos]
+                        b = heap[parent]
+                        if (
+                            e_when[a] < e_when[b]
+                            or (
+                                e_when[a] == e_when[b]
+                                and (
+                                    e_kind[a] < e_kind[b]
+                                    or (
+                                        e_kind[a] == e_kind[b]
+                                        and e_seq[a] < e_seq[b]
+                                    )
+                                )
+                            )
+                        ):
+                            heap[pos] = b
+                            heap[parent] = a
+                            pos = parent
+                        else:
+                            break
+                else:
+                    over_when[n_over] = finish_at
+                    over_seq[n_over] = new_seq
+                    over_slot[n_over] = slot
+                    n_over += 1
+            else:
+                node_slot[n_nodes] = slot
+                node_srv[n_nodes] = srv
+                node_next[n_nodes] = -1
+                if q_head[region] == -1:
+                    q_head[region] = n_nodes
+                else:
+                    node_next[q_tail[region]] = n_nodes
+                q_tail[region] = n_nodes
+                n_nodes += 1
+        else:  # FINISH
+            free[region] += srv
+            committed[region] -= srv
+            busy_seconds[region] += srv * (when - e_began[top])
+            finish[slot] = when
+            if when > makespan:
+                makespan = when
+            fin_when[n_fin] = when
+            fin_seq[n_fin] = seq
+            fin_reg[n_fin] = region
+            fin_slot[n_fin] = slot
+            n_fin += 1
+            # FIFO admission
+            while q_head[region] != -1 and free[region] >= node_srv[q_head[region]]:
+                node = q_head[region]
+                q_head[region] = node_next[node]
+                if q_head[region] == -1:
+                    q_tail[region] = -1
+                q_slot_admit = node_slot[node]
+                q_srv_admit = node_srv[node]
+                free[region] -= q_srv_admit
+                start[q_slot_admit] = when
+                finish_at = when + exec_real[q_slot_admit]
+                new_seq = sequence
+                sequence += 1
+                if finish_at <= limit:
+                    j = n_entries
+                    n_entries += 1
+                    e_when[j] = finish_at
+                    e_kind[j] = _KIND_FINISH
+                    e_seq[j] = new_seq
+                    e_slot[j] = q_slot_admit
+                    e_reg[j] = region
+                    e_srv[j] = q_srv_admit
+                    e_began[j] = when
+                    pos = heap_n
+                    heap_n += 1
+                    heap[pos] = j
+                    while pos > 0:
+                        parent = (pos - 1) >> 1
+                        a = heap[pos]
+                        b = heap[parent]
+                        if (
+                            e_when[a] < e_when[b]
+                            or (
+                                e_when[a] == e_when[b]
+                                and (
+                                    e_kind[a] < e_kind[b]
+                                    or (
+                                        e_kind[a] == e_kind[b]
+                                        and e_seq[a] < e_seq[b]
+                                    )
+                                )
+                            )
+                        ):
+                            heap[pos] = b
+                            heap[parent] = a
+                            pos = parent
+                        else:
+                            break
+                else:
+                    over_when[n_over] = finish_at
+                    over_seq[n_over] = new_seq
+                    over_slot[n_over] = q_slot_admit
+                    n_over += 1
+
+    # Flush surviving FIFO queues back out, region-major in FIFO order.
+    out_n = 0
+    for region in range(n_regions):
+        cnt = 0
+        node = q_head[region]
+        while node != -1:
+            out_q_slot[out_n] = node_slot[node]
+            out_q_srv[out_n] = node_srv[node]
+            out_n += 1
+            cnt += 1
+            node = node_next[node]
+        out_q_count[region] = cnt
+
+    return n_fin, n_over, sequence, makespan
+
+
+_jit_fn = None
+_compile_time = 0.0
+_warm = False
+
+
+def _get_kernel():
+    """Resolve the kernel callable: jitted when numba imports, plain else."""
+    global _jit_fn
+    if _jit_fn is None:
+        if available():
+            import numba
+
+            _jit_fn = numba.njit(cache=True)(_replay_flat)
+        else:
+            _jit_fn = _replay_flat
+    return _jit_fn
+
+
+def compile_seconds() -> float:
+    """Wall seconds the lazy jit compile took in this process (0.0 if none)."""
+    return _compile_time
+
+
+def _col(a: np.ndarray, dtype) -> np.ndarray:
+    return a if a.dtype == dtype else a.astype(dtype)
+
+
+def replay_window(
+    queue,
+    limit: float,
+    r_when: np.ndarray,
+    r_seq: np.ndarray,
+    r_slot: np.ndarray,
+    r_reg: np.ndarray,
+    f_when: np.ndarray,
+    f_seq: np.ndarray,
+    f_slot: np.ndarray,
+    f_reg: np.ndarray,
+    *,
+    servers: np.ndarray,
+    exec_real: np.ndarray,
+    start: np.ndarray,
+    finish: np.ndarray,
+    free: np.ndarray,
+    committed: np.ndarray,
+    busy_seconds: np.ndarray,
+    queues: list,
+    rec: list | None,
+    stats=None,
+) -> float:
+    """Replay a window residue through the flat kernel; returns the makespan.
+
+    Mirrors the reference ``_replay`` contract: mutates the job columns and
+    per-region counters in place, rebuilds the deque FIFO queues, pushes
+    overflow finishes back onto ``queue`` and appends the finish records
+    (``when, region, seq, slot`` arrays) to ``rec``.
+    """
+    global _compile_time, _warm
+    n_regions = len(free)
+    q_count = np.array([len(q) for q in queues], dtype=np.int64)
+    nq = int(q_count.sum())
+    if nq:
+        q_slot_in = np.fromiter(
+            (slot for q in queues for slot, _srv in q), dtype=np.int64, count=nq
+        )
+        q_srv_in = np.fromiter(
+            (srv for q in queues for _slot, srv in q), dtype=np.int64, count=nq
+        )
+    else:
+        q_slot_in = np.zeros(0, dtype=np.int64)
+        q_srv_in = np.zeros(0, dtype=np.int64)
+
+    nr = len(r_when)
+    nf = len(f_when)
+    fin_cap = nf + nr + nq
+    over_cap = nr + nq + 1
+    fin_when = np.empty(fin_cap, dtype=np.float64)
+    fin_seq = np.empty(fin_cap, dtype=np.int64)
+    fin_reg = np.empty(fin_cap, dtype=np.int64)
+    fin_slot = np.empty(fin_cap, dtype=np.int64)
+    over_when = np.empty(over_cap, dtype=np.float64)
+    over_seq = np.empty(over_cap, dtype=np.int64)
+    over_slot = np.empty(over_cap, dtype=np.int64)
+    out_q_slot = np.empty(nq + nr + 1, dtype=np.int64)
+    out_q_srv = np.empty(nq + nr + 1, dtype=np.int64)
+    out_q_count = np.zeros(n_regions, dtype=np.int64)
+
+    exec64 = _col(exec_real, np.float64)
+    start64 = _col(start, np.float64)
+    finish64 = _col(finish, np.float64)
+    free64 = _col(free, np.int64)
+    committed64 = _col(committed, np.int64)
+    busy64 = _col(busy_seconds, np.float64)
+
+    fn = _get_kernel()
+    t0 = time.perf_counter() if not _warm else 0.0
+    n_fin, n_over, new_sequence, makespan = fn(
+        float(limit), int(queue.sequence),
+        _col(r_when, np.float64), _col(r_seq, np.int64),
+        _col(r_slot, np.int64), _col(r_reg, np.int64),
+        _col(servers[r_slot], np.int64),
+        _col(f_when, np.float64), _col(f_seq, np.int64),
+        _col(f_slot, np.int64), _col(f_reg, np.int64),
+        _col(servers[f_slot], np.int64), _col(start64[f_slot], np.float64),
+        q_count, q_slot_in, q_srv_in,
+        exec64, start64, finish64,
+        free64, committed64, busy64,
+        fin_when, fin_seq, fin_reg, fin_slot,
+        over_when, over_seq, over_slot,
+        out_q_slot, out_q_srv, out_q_count,
+    )
+    if not _warm:
+        _warm = True
+        if available():
+            _compile_time = time.perf_counter() - t0
+            if stats is not None:
+                stats.compile_time_s += _compile_time
+    if stats is not None:
+        stats.compiled_active = available()
+
+    # Write back any dtype-coerced copies (engines allocate the canonical
+    # dtypes, so these are no-ops in practice).
+    if start64 is not start:
+        start[:] = start64
+    if finish64 is not finish:
+        finish[:] = finish64
+    if free64 is not free:
+        free[:] = free64
+    if committed64 is not committed:
+        committed[:] = committed64
+    if busy64 is not busy_seconds:
+        busy_seconds[:] = busy64
+
+    queue.sequence = int(new_sequence)
+    if n_over:
+        queue._push_finish_arrays(
+            over_when[:n_over].copy(), over_seq[:n_over].copy(),
+            over_slot[:n_over].copy(),
+        )
+    if rec is not None and n_fin:
+        rec.append((
+            fin_when[:n_fin].copy(), fin_reg[:n_fin].copy(),
+            fin_seq[:n_fin].copy(), fin_slot[:n_fin].copy(),
+        ))
+
+    pos = 0
+    for region in range(n_regions):
+        q = queues[region]
+        q.clear()
+        cnt = int(out_q_count[region])
+        for k in range(pos, pos + cnt):
+            q.append((int(out_q_slot[k]), int(out_q_srv[k])))
+        pos += cnt
+    return float(makespan)

@@ -222,6 +222,10 @@ class BatchResult:
     #: seconds, evicted-job totals); ``None`` for static-capacity runs.  See
     #: :mod:`repro.cluster.timeline`.
     chaos_stats: dict | None = None
+    #: Event-kernel telemetry (resolved kernel name, per-path event counters,
+    #: binding-point splits, jit compile time); ``None`` for the object-world
+    #: engine.  See :class:`repro.cluster.events.KernelStats`.
+    kernel_stats: dict | None = None
 
     def __init__(
         self,

@@ -111,6 +111,10 @@ class SimulationResult:
     #: for policies that never solve MILPs.  Set by the engines after
     #: construction.
     solver_stats: dict | None = None
+    #: Event-kernel telemetry for array-engine runs; ``None`` here (the
+    #: object-world engine has no array kernel).  Declared so result types
+    #: stay attribute-compatible.  See :class:`repro.cluster.events.KernelStats`.
+    kernel_stats: dict | None = None
 
     def __init__(
         self,

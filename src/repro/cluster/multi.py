@@ -49,7 +49,10 @@ class MultiPolicyRunner:
         Forwarded to every engine.  When ``dataset`` is omitted the first
         engine's auto-built dataset is shared by all of them, so every policy
         sees identical intensities — the paper's "identical conditions"
-        methodology.
+        methodology.  ``kernel=`` rides along like any engine knob: a fused
+        sweep can run every policy on the ``auto``/``vector``/``scalar``/
+        ``compiled`` tier, and :meth:`kernel_stats` surfaces the per-policy
+        telemetry.
     chunk_size:
         Jobs per shared chunk (results are chunk-size-invariant).
     collect:
@@ -100,6 +103,23 @@ class MultiPolicyRunner:
     @property
     def labels(self) -> list[str]:
         return list(self.engines)
+
+    def kernel_stats(self) -> dict[str, dict | None]:
+        """Per-policy event-kernel telemetry (``None`` for unstarted engines).
+
+        Counters accumulate as :meth:`run` advances, so this can be sampled
+        mid-sweep; after finalize the same payloads are also on each
+        result's ``kernel_stats``.
+        """
+        stats: dict[str, dict | None] = {}
+        for label, engine in self.engines.items():
+            if engine.state is None:
+                stats[label] = None
+            else:
+                payload = engine.state.kernel_stats.as_dict()
+                payload["kernel"] = engine.kernel
+                stats[label] = payload
+        return stats
 
     def run(self) -> dict[str, object]:
         """Stream the source once, advancing every engine per chunk.

@@ -39,7 +39,7 @@ from repro.cluster.batch import (
     resolve_fast_decision,
 )
 from repro.cluster.datacenter import Datacenter
-from repro.cluster.events import EventQueue, process_until
+from repro.cluster.events import EventQueue, KernelStats, process_until
 from repro.cluster.footprint import FootprintCalculator
 from repro.cluster.timeline import ChaosSpec, ClusterTimeline, apply_capacity_step, get_chaos
 from repro.cluster.interface import Scheduler, SchedulingContext
@@ -110,13 +110,19 @@ class _SimulatorBase:
         Safety limit on scheduling rounds (guards against policies that defer
         forever).
     kernel:
-        Event-kernel flavour for the array engines: ``"vector"`` (default)
-        enables the batched uncontended-window path of
-        :mod:`repro.cluster.events`; ``"scalar"`` forces the classic
-        event-at-a-time reference loop everywhere.  Both are
-        decision-identical (the differential harness compares their digests);
-        the scalar kernel exists as the testing reference and benchmark
-        baseline.  The object-world :class:`Simulator` ignores it.
+        Event-kernel flavour for the array engines.  ``"auto"`` (resolve
+        ``"compiled"`` when numba is importable, ``"vector"`` otherwise);
+        ``"vector"`` (default) enables the batched clean-window path of
+        :mod:`repro.cluster.events` plus binding-point segmentation;
+        ``"compiled"`` additionally routes contended residues through the
+        flat-array kernel of :mod:`repro.cluster._kernel_compiled`
+        (numba-jitted when available, interpreted otherwise);
+        ``"scalar"`` forces the classic event-at-a-time reference loop
+        everywhere.  All flavours are decision-identical (the differential
+        harness compares their digests three ways); the scalar kernel
+        exists as the testing reference and benchmark baseline.  The
+        object-world :class:`Simulator` ignores it.  The resolved choice is
+        surfaced as ``result.kernel_stats`` telemetry.
     chaos:
         Optional chaos timeline: a :class:`~repro.cluster.timeline.ChaosSpec`,
         a registry name (``"region-outage"``, …) or a ``field=value,...``
@@ -178,8 +184,15 @@ class _SimulatorBase:
         self.delay_tolerance = ensure_non_negative(delay_tolerance, "delay_tolerance")
         self.latency = latency if latency is not None else TransferLatencyModel(self.regions)
         self.max_rounds = int(max_rounds)
-        if kernel not in ("vector", "scalar"):
-            raise ValueError(f"kernel must be 'vector' or 'scalar', got {kernel!r}")
+        if kernel not in ("auto", "vector", "scalar", "compiled"):
+            raise ValueError(
+                "kernel must be 'auto', 'vector', 'scalar' or 'compiled', "
+                f"got {kernel!r}"
+            )
+        if kernel == "auto":
+            from . import _kernel_compiled
+
+            kernel = "compiled" if _kernel_compiled.available() else "vector"
         self.kernel = kernel
 
         if isinstance(servers_per_region, Mapping):
@@ -266,6 +279,19 @@ class _SimulatorBase:
         stats = self._timeline.stats()
         stats["evictions"] = int(total_evictions)
         result.chaos_stats = stats
+
+    def _attach_kernel_stats(self, result, stats) -> None:
+        """Expose the event-kernel telemetry on the result.
+
+        ``kernel_stats`` records which path every window event took (clean
+        vectorized segment, Python replay, flat/compiled replay), how many
+        binding-point splits fired and the lazy jit compile time — so
+        vectorization coverage is observable instead of inferred from wall
+        time.  See :class:`repro.cluster.events.KernelStats`.
+        """
+        payload = stats.as_dict()
+        payload["kernel"] = self.kernel
+        result.kernel_stats = payload
 
 
 class Simulator(_SimulatorBase):
@@ -535,11 +561,13 @@ class BatchSimulator(_SimulatorBase):
 
         events = EventQueue()
         makespan = 0.0
-        use_fast = self.kernel == "vector"
+        use_fast = self.kernel != "scalar"
+        compiled = self.kernel == "compiled"
+        kernel_stats = KernelStats()
         tl = self._timeline
         tl_pos = 0
 
-        def run_kernel(limit: float, contended: np.ndarray | None = None) -> None:
+        def run_kernel(limit: float) -> None:
             nonlocal makespan
             span = process_until(
                 events,
@@ -555,7 +583,8 @@ class BatchSimulator(_SimulatorBase):
                 queues=queues,
                 finished=None,
                 use_fast=use_fast,
-                contended=contended,
+                compiled=compiled,
+                stats=kernel_stats,
             )
             if span > makespan:
                 makespan = span
@@ -563,8 +592,12 @@ class BatchSimulator(_SimulatorBase):
         def process_events_until(limit: float) -> None:
             # Segment the window at the timeline's capacity breakpoints so
             # capacity is constant inside every kernel window: job events at
-            # exactly a breakpoint happen *before* the capacity change, and
-            # the changing regions are marked contended (structural safety).
+            # exactly a breakpoint happen *before* the capacity change.
+            # Constant in-window capacity is what makes the prefix-sum proof
+            # (and binding-point segmentation) valid during chaos — a
+            # drained region running over shrunken capacity shows up as
+            # negative free count the proof rejects, so no region needs to
+            # be forced onto the replay path anymore.
             nonlocal tl_pos
             if tl is not None:
                 while tl_pos < tl.n_events and tl.event_when[tl_pos] <= limit:
@@ -572,9 +605,7 @@ class BatchSimulator(_SimulatorBase):
                     group_end = tl_pos + 1
                     while group_end < tl.n_events and tl.event_when[group_end] == t:
                         group_end += 1
-                    contended = np.zeros(len(servers), dtype=bool)
-                    contended[tl.event_region[tl_pos:group_end]] = True
-                    run_kernel(t, contended)
+                    run_kernel(t)
                     requeued = apply_capacity_step(
                         events,
                         t,
@@ -737,6 +768,7 @@ class BatchSimulator(_SimulatorBase):
         )
         self._attach_solver_stats(result)
         self._attach_chaos_stats(result, int(evictions.sum()))
+        self._attach_kernel_stats(result, kernel_stats)
         return result
 
     # -- internals ----------------------------------------------------------------------------

@@ -61,7 +61,7 @@ from repro.cluster.batch import (
     JobArrays,
     resolve_fast_decision,
 )
-from repro.cluster.events import EventQueue, process_until
+from repro.cluster.events import EventQueue, KernelStats, process_until
 from repro.cluster.footprint import RunningFootprintTotals
 from repro.cluster.interface import SchedulingContext
 from repro.cluster.metrics import RunningJobStats
@@ -90,7 +90,12 @@ __all__ = [
 #: ``timeline_pos``, the job pool grew an ``evictions`` state column, and
 #: the checkpoint config records ``chaos``/``chaos_seed`` so a resume
 #: rebuilds the identical :class:`~repro.cluster.timeline.ClusterTimeline`.
-CHECKPOINT_FORMAT = 3
+#: Format 4 (kernel tiers): :class:`EngineState` carries the cumulative
+#: :class:`~repro.cluster.events.KernelStats` telemetry so a resumed run
+#: keeps counting, and the ``kernel`` config value may name any of the four
+#: tiers (``auto``/``vector``/``scalar``/``compiled``) — resume may switch
+#: kernels freely, digests are tier-invariant.
+CHECKPOINT_FORMAT = 4
 
 #: Per-job *data* columns of the slot pool (written once at ingest).
 _DATA_COLUMNS = (
@@ -163,6 +168,9 @@ class EngineState:
     #: it) and the timeline cursor — both part of the checkpoint (format 3).
     capacity: np.ndarray | None = None
     timeline_pos: int = 0
+    #: Cumulative event-kernel telemetry (format 4): plain dataclass of
+    #: counters, pickled with the state so a resumed run keeps counting.
+    kernel_stats: KernelStats = dataclasses.field(default_factory=KernelStats)
 
     @property
     def pool_capacity(self) -> int:
@@ -850,6 +858,7 @@ class StreamingSimulator(_SimulatorBase):
             else:
                 total_evictions = state.collector.stats.evictions
             self._attach_chaos_stats(result, total_evictions)
+        self._attach_kernel_stats(result, state.kernel_stats)
         return result
 
     def run(self):
@@ -940,10 +949,11 @@ class StreamingSimulator(_SimulatorBase):
                 f"{path} is a format-{found} streaming checkpoint; this version "
                 f"reads format {CHECKPOINT_FORMAT} only.  Checkpoint layouts "
                 "changed incompatibly (format 2: array event queue, format 3: "
-                "chaos & elasticity state), so older files cannot be resumed "
-                "here — re-run the simulation, or resume the checkpoint with "
-                "the code version that wrote it (see README 'Streaming "
-                "engine' for the migration notes)."
+                "chaos & elasticity state, format 4: kernel-tier telemetry), "
+                "so older files cannot be resumed here — re-run the "
+                "simulation, or resume the checkpoint with the code version "
+                "that wrote it (see README 'Streaming engine' for the "
+                "migration notes)."
             )
         return payload
 
@@ -964,12 +974,12 @@ class StreamingSimulator(_SimulatorBase):
         and intensities (checkpoints store neither); ``overrides`` may adjust
         non-semantic knobs only — ``chunk_size`` (results are chunk-size-
         invariant, so resuming with a different chunking is legal),
-        ``max_rounds`` and ``kernel`` (the vector and scalar event kernels
-        are decision-identical — same per-job digests; only aggregate-mode
-        extras that depend on cross-region flush interleaving, i.e. the
-        reservoir sample and last-ulp float-sum rounding, can differ between
-        them).  Semantic configuration (servers, tolerance,
-        interval, …) is pinned by the restored state: the pickled
+        ``max_rounds`` and ``kernel`` (all kernel tiers —
+        ``auto``/``vector``/``scalar``/``compiled`` — are digest-identical
+        and emit the canonical ``(when, region, seq)`` finished order, so a
+        resume may switch tiers freely; the differential harness pins
+        cross-kernel resume equality).  Semantic configuration (servers,
+        tolerance, interval, …) is pinned by the restored state: the pickled
         free/committed server counts and round clock reflect the original
         settings, so changing them mid-run would silently corrupt the
         simulation.
@@ -1003,7 +1013,7 @@ class StreamingSimulator(_SimulatorBase):
         return engine
 
     # -- the event loop ----------------------------------------------------------------
-    def _run_kernel(self, limit: float, contended=None) -> None:
+    def _run_kernel(self, limit: float) -> None:
         state = self.state
         pool = state.pool
         makespan = process_until(
@@ -1019,16 +1029,18 @@ class StreamingSimulator(_SimulatorBase):
             busy_seconds=state.busy_server_seconds,
             queues=state.queues,
             finished=state.finished,
-            use_fast=self.kernel == "vector",
-            contended=contended,
+            use_fast=self.kernel != "scalar",
+            compiled=self.kernel == "compiled",
+            stats=state.kernel_stats,
         )
         if makespan > state.makespan:
             state.makespan = makespan
 
     def _process_events_until(self, limit: float) -> None:
         # Mirrors BatchSimulator.run's segmentation exactly: cut the window
-        # at each capacity breakpoint, mark the changing regions contended,
-        # apply the capacity events, requeue any evicted slots.
+        # at each capacity breakpoint (capacity stays constant inside every
+        # kernel window, which keeps the clean-prefix proof valid under
+        # chaos), apply the capacity events, requeue any evicted slots.
         state = self.state
         tl = self._timeline
         if tl is not None:
@@ -1039,9 +1051,7 @@ class StreamingSimulator(_SimulatorBase):
                 group_end = pos + 1
                 while group_end < tl.n_events and tl.event_when[group_end] == t:
                     group_end += 1
-                contended = np.zeros(len(state.free), dtype=bool)
-                contended[tl.event_region[pos:group_end]] = True
-                self._run_kernel(t, contended)
+                self._run_kernel(t)
                 requeued = apply_capacity_step(
                     state.events,
                     t,

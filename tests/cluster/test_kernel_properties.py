@@ -1,0 +1,186 @@
+"""Hypothesis property suite for binding-point segmentation.
+
+Two properties back the segmentation tier of :mod:`repro.cluster.events`:
+
+* **Oracle agreement** — the per-region binding point reported by
+  ``_window_cuts`` (the earliest READY, in exact heap order, at which the
+  prefix-sum capacity proof fails) equals a brute-force oracle that walks
+  the window's events one at a time.
+* **Clean at every split** — with the segmentation thresholds forced to
+  their most aggressive settings (every feasible binding point split,
+  one-event residues allowed, the conveyor either disabled or greedily
+  enabled), the segmented vector kernel stays transition-identical to the
+  full-scalar reference on arbitrary schedules.  Since Hypothesis chooses
+  the schedules and the thresholds admit every split the kernel can ever
+  take, this is the "segment-vectorized == full-scalar at every split"
+  guarantee, not just at the shipped tuning.
+"""
+
+from collections import deque
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import events as ev
+
+from .test_events import _Cluster, _assert_equivalent, _mk_jobs
+
+_LIMIT = 31.0
+
+
+@st.composite
+def _window_case(draw):
+    """One region's worth of window events plus its initial free count."""
+    n_r = draw(st.integers(min_value=0, max_value=40))
+    n_f = draw(st.integers(min_value=0, max_value=20))
+    free0 = draw(st.integers(min_value=-3, max_value=8))
+    # Integer times on a small grid force equal-time ties; seqs are a
+    # permutation so same-time readies have a definite pop order.
+    r_when = draw(st.lists(st.integers(0, 30), min_size=n_r, max_size=n_r))
+    r_seq = list(draw(st.permutations(range(1, n_r + 1))))
+    r_srv = draw(st.lists(st.integers(1, 3), min_size=n_r, max_size=n_r))
+    r_exec = draw(st.lists(st.integers(1, 20), min_size=n_r, max_size=n_r))
+    f_when = draw(st.lists(st.integers(0, 30), min_size=n_f, max_size=n_f))
+    f_srv = draw(st.lists(st.integers(1, 3), min_size=n_f, max_size=n_f))
+    return n_r, n_f, free0, r_when, r_seq, r_srv, r_exec, f_when, f_srv
+
+
+def _oracle_binding_point(case):
+    """Walk the region's events in heap order; return the first failing READY.
+
+    Returns ``None`` (no binding point) or ``(position, when, seq)`` where
+    position counts events before the failure in the region's order.
+    """
+    n_r, n_f, free0, r_when, r_seq, r_srv, r_exec, f_when, f_srv = case
+    merged = []
+    for i in range(n_f):
+        merged.append((float(f_when[i]), 0, 0, f_srv[i]))
+    for i in range(n_r):
+        synthetic = float(r_when[i] + r_exec[i])
+        if synthetic <= _LIMIT:
+            merged.append((synthetic, 0, 0, r_srv[i]))
+    for i in range(n_r):
+        merged.append((float(r_when[i]), 1, r_seq[i], -r_srv[i]))
+    merged.sort()
+    running = free0
+    for position, (when, kind, seq, delta) in enumerate(merged):
+        running += delta
+        if kind == 1 and running < 0:
+            return position, when, seq
+    return None
+
+
+def _call_cuts(case, queue_busy=False):
+    n_r, n_f, free0, r_when, r_seq, r_srv, r_exec, f_when, f_srv = case
+    servers = np.array(r_srv + f_srv, dtype=np.int64)
+    exec_real = np.array(r_exec + [1.0] * n_f, dtype=float)
+    queues = [deque([(0, 1)])] if queue_busy else [deque()]
+    return ev._window_cuts(
+        _LIMIT,
+        np.array(r_when, dtype=float),
+        np.array(r_seq, dtype=np.int64),
+        np.arange(n_r, dtype=np.int64),
+        np.zeros(n_r, dtype=np.int64),
+        np.array(f_when, dtype=float),
+        n_r + np.arange(n_f, dtype=np.int64),
+        np.zeros(n_f, dtype=np.int64),
+        servers=servers,
+        exec_real=exec_real,
+        free=np.array([free0], dtype=np.int64),
+        queues=queues,
+    )
+
+
+class TestBindingPointOracle:
+    @settings(max_examples=300, deadline=None)
+    @given(case=_window_case())
+    def test_split_index_matches_brute_force_oracle(self, case):
+        cut_when, cut_seq = _call_cuts(case)
+        oracle = _oracle_binding_point(case)
+        if not (case[0] or case[1]):
+            # No events at all: the verdict is vacuous (the kernel may
+            # report "nothing to apply" instead of "everything clean").
+            assert cut_when[0] in (np.inf, -np.inf)
+        elif oracle is None:
+            assert cut_when[0] == np.inf
+        else:
+            position, when, seq = oracle
+            if position < ev._MIN_PREFIX_EVENTS:
+                assert cut_when[0] == -np.inf
+            else:
+                assert cut_when[0] == when
+                assert cut_seq[0] == seq
+
+    @settings(max_examples=60, deadline=None)
+    @given(case=_window_case())
+    def test_busy_queue_vetoes_any_clean_prefix(self, case):
+        cut_when, _ = _call_cuts(case, queue_busy=True)
+        assert cut_when[0] == -np.inf
+
+    @settings(max_examples=60, deadline=None)
+    @given(case=_window_case())
+    def test_zero_exec_degrades_to_all_or_nothing(self, case):
+        # A zero-length job disables splitting: the verdict must be ±inf,
+        # never a finite mid-window cut.
+        n_r = case[0]
+        if n_r == 0:
+            return
+        case = list(case)
+        case[6] = [0] + list(case[6][1:])  # first ready's exec := 0
+        cut_when, _ = _call_cuts(tuple(case))
+        assert cut_when[0] in (np.inf, -np.inf)
+
+
+def _run_pair(seed, servers_per_region, n_jobs=60, n_regions=3):
+    """Drive the vector and scalar kernels through one random schedule."""
+    rng = np.random.default_rng(seed)
+    jobs = _mk_jobs(rng, n_jobs, n_regions, max_servers=min(3, servers_per_region))
+    vector = _Cluster(jobs, n_regions, servers_per_region)
+    scalar = _Cluster(jobs, n_regions, servers_per_region)
+    now = 0.0
+    cursor = 0
+    while cursor < n_jobs or len(vector.queue):
+        batch = min(n_jobs - cursor, int(rng.integers(0, 17)))
+        if batch:
+            slots = np.arange(cursor, cursor + batch, dtype=np.int64)
+            whens = now + np.round(rng.uniform(0.0, 300.0, size=batch), 1)
+            for cluster in (vector, scalar):
+                cluster.queue.push_ready_batch(whens, slots)
+            cursor += batch
+        now += 150.0
+        assert vector.process(now, True) == scalar.process(now, False)
+        _assert_equivalent(vector, scalar)
+    assert vector.process(np.inf, True) == scalar.process(np.inf, False)
+    _assert_equivalent(vector, scalar)
+
+
+class TestSegmentationAtEverySplit:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        servers_per_region=st.integers(1, 4),
+        conveyor=st.booleans(),
+    )
+    def test_segment_vectorized_matches_full_scalar(
+        self, seed, servers_per_region, conveyor
+    ):
+        saved = (
+            ev._MIN_PREFIX_EVENTS,
+            ev._MIN_RESIDUE_EVENTS,
+            ev._MIN_CONVEYOR_EVENTS,
+        )
+        # Most aggressive settings: split at every feasible binding point,
+        # re-vectorize one-event residues, and either hand every residue to
+        # the conveyor or none of them (both sides of that dispatch).
+        ev._MIN_PREFIX_EVENTS = 1
+        ev._MIN_RESIDUE_EVENTS = 1
+        ev._MIN_CONVEYOR_EVENTS = 1 if conveyor else 10**9
+        try:
+            _run_pair(seed, servers_per_region)
+        finally:
+            (
+                ev._MIN_PREFIX_EVENTS,
+                ev._MIN_RESIDUE_EVENTS,
+                ev._MIN_CONVEYOR_EVENTS,
+            ) = saved

@@ -206,19 +206,52 @@ class TestRegistryWideEquivalence:
     @pytest.mark.parametrize("policy", available_schedulers())
     def test_event_kernels_are_digest_identical(self, policy, servers, dataset,
                                                 scenario_traces):
-        # The vectorized window kernel vs the classic event-at-a-time
-        # reference loop, uncontended (24 servers) and saturated (2 servers —
-        # FIFO queues and equal-time tie-breaking in play).
+        # The three-way kernel matrix: the classic event-at-a-time reference
+        # loop vs the vectorized window kernel (binding-point segmentation +
+        # conveyor) vs the compiled flat-array kernel (numba when installed,
+        # its interpreted twin otherwise) — uncontended (24 servers) and
+        # saturated (2 servers — FIFO queues and equal-time tie-breaking in
+        # play).  Digests must be byte-identical across all tiers.
         trace = scenario_traces["bursty"]
         scalar = BatchSimulator(
             trace, _policy_factory(policy)(), dataset=dataset,
             servers_per_region=servers, kernel="scalar",
         ).run()
-        vector = BatchSimulator(
-            trace, _policy_factory(policy)(), dataset=dataset,
-            servers_per_region=servers, kernel="vector",
-        ).run()
-        assert scalar.digest() == vector.digest()
+        for kernel in ("vector", "compiled"):
+            other = BatchSimulator(
+                trace, _policy_factory(policy)(), dataset=dataset,
+                servers_per_region=servers, kernel=kernel,
+            ).run()
+            assert scalar.digest() == other.digest(), (policy, servers, kernel)
+            assert other.kernel_stats["kernel"] == kernel
+
+    @pytest.mark.parametrize("stop", [1, 3])
+    @pytest.mark.parametrize(
+        "before,after",
+        [("vector", "scalar"), ("scalar", "compiled"), ("compiled", "vector"),
+         ("scalar", "vector"), ("compiled", "scalar"), ("vector", "compiled")],
+    )
+    def test_checkpoint_resume_across_kernel_switches(
+        self, before, after, stop, policy_sources, dataset, tmp_path
+    ):
+        # Format-4 checkpoints carry no kernel-dependent state: a run started
+        # on one tier, checkpointed mid-stream and resumed on another tier
+        # must land on the one-shot digest — every ordered pair of distinct
+        # tiers is covered across the two cycles.
+        source, oneshot = policy_sources("waterwise")
+        engine = StreamingSimulator(
+            source, _policy_factory("waterwise")(), dataset=dataset,
+            servers_per_region=_STREAM_SERVERS, chunk_size=48, kernel=before,
+        )
+        assert engine.run_chunks(max_chunks=stop) == stop
+        path = tmp_path / f"switch-{before}-{after}-{stop}.ckpt"
+        engine.save_checkpoint(path)
+        resumed = StreamingSimulator.from_checkpoint(
+            path, source, dataset=dataset, kernel=after
+        )
+        assert resumed.kernel == after
+        result = resumed.run()
+        assert result.digest() == oneshot.digest(), (before, after, stop)
 
     @pytest.mark.parametrize("policy", ["waterwise", "waterwise-cost-aware"])
     def test_decision_pipelines_are_decision_identical(self, policy, dataset,
@@ -396,6 +429,10 @@ class TestChaosDifferential:
             trace, _policy_factory(policy)(), kernel="scalar", **kwargs
         ).run()
         assert vector.digest() == scalar.digest(), (policy, scenario, "kernel")
+        compiled = BatchSimulator(
+            trace, _policy_factory(policy)(), kernel="compiled", **kwargs
+        ).run()
+        assert compiled.digest() == scalar.digest(), (policy, scenario, "compiled")
         for chunk_size in (23, 512):
             streamed = StreamingSimulator(
                 source, _policy_factory(policy)(), chunk_size=chunk_size, **kwargs

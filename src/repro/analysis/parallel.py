@@ -114,7 +114,15 @@ class SweepPoint:
 
 @dataclasses.dataclass(frozen=True)
 class SweepOutcome:
-    """Small, picklable result of one sweep point."""
+    """Small, picklable result of one sweep point.
+
+    ``digest`` is the engine result's CRC32 aggregate fingerprint when the
+    result type provides one (``BatchResult.digest`` for the batch engine,
+    ``StreamResult.digest`` for streaming/fused/distributed cells; the
+    scalar reference engine has none).  Distributed sweeps are gated on
+    digest equality against the single-box fused run — compare like engines
+    only, the two digests cover different payloads.
+    """
 
     point: SweepPoint
     summary: dict[str, float | str | int]
@@ -123,6 +131,7 @@ class SweepOutcome:
     mean_service_ratio: float
     violation_fraction: float
     num_jobs: int
+    digest: int | None = None
 
 
 #: Parameters that shape the generated workload (trace + dataset).  Seeds are
@@ -455,6 +464,7 @@ def _run_point(point: SweepPoint) -> SweepOutcome:
 
 
 def _outcome_from_result(point: SweepPoint, result) -> SweepOutcome:
+    digest = result.digest() if hasattr(result, "digest") else None
     return SweepOutcome(
         point=point,
         summary=result.summary(),
@@ -463,6 +473,7 @@ def _outcome_from_result(point: SweepPoint, result) -> SweepOutcome:
         mean_service_ratio=result.mean_service_ratio,
         violation_fraction=result.violation_fraction,
         num_jobs=result.num_jobs,
+        digest=digest,
     )
 
 
@@ -572,6 +583,8 @@ def run_sweep(
     workers: int | None = None,
     executor: str = "process",
     fused: bool = False,
+    transport: str | None = None,
+    **fabric_kwargs,
 ) -> list[SweepOutcome]:
     """Simulate every point, sharding across workers; outcomes in input order.
 
@@ -595,7 +608,26 @@ def run_sweep(
         Fused cells run the bounded-memory streaming engine regardless of
         ``point.engine`` (decisions are engine-invariant; summaries agree to
         float tolerance).
+    transport:
+        Route the sweep through the shard fabric
+        (:func:`repro.analysis.fabric.run_fabric_sweep`) instead of the
+        executor pool: ``"inprocess"``, ``"process"`` or ``"tcp"``.
+        ``executor``/``fused`` are ignored (fabric shards are always fused
+        slabs); extra keyword arguments — ``chunks_per_slab``,
+        ``checkpoint_dir``, ``lease_timeout``, … — pass through.  Merged
+        results are bit-identical (``StreamResult.digest``) to
+        ``fused=True`` on one box.
     """
+    if transport is not None:
+        from repro.analysis.fabric import run_fabric_sweep
+
+        return run_fabric_sweep(
+            points, workers=workers, transport=transport, **fabric_kwargs
+        )
+    if fabric_kwargs:
+        raise TypeError(
+            f"{sorted(fabric_kwargs)} are fabric options: pass transport= as well"
+        )
     if executor not in _EXECUTORS:
         raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
     if workers is not None and workers < 1:

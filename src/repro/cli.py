@@ -215,6 +215,83 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve an in-process client with synthetic batches, then exit",
     )
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a policy sweep locally or through the distributed shard fabric",
+    )
+    sweep.add_argument(
+        "--policies", nargs="+", default=None,
+        help="policies to sweep (default: the whole registry: "
+             f"{', '.join(available_schedulers())})",
+    )
+    sweep.add_argument(
+        "--trace", default="borg",
+        help="trace kind: borg, alibaba, or a scenario name (see `repro scenarios`)",
+    )
+    sweep.add_argument("--jobs-per-hour", type=float, default=60.0)
+    sweep.add_argument("--hours", type=float, default=12.0)
+    sweep.add_argument("--tolerance", type=float, default=0.5,
+                       help="delay tolerance (0.5 = 50%%)")
+    sweep.add_argument("--interval", type=float, default=300.0,
+                       help="scheduling interval (s)")
+    sweep.add_argument("--servers", type=int, default=20,
+                       help="servers per region")
+    sweep.add_argument(
+        "--seeds", type=int, nargs="+", default=[0],
+        help="workload seeds: one sweep point per (policy × seed)",
+    )
+    sweep.add_argument(
+        "--transport", choices=["inprocess", "process", "tcp"], default=None,
+        help="run through the shard fabric on this transport (default: the "
+             "local executor pool; merged fabric results are digest-identical "
+             "to --fused on one box)",
+    )
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="worker count (pool or fabric)")
+    sweep.add_argument(
+        "--fused", action="store_true",
+        help="fuse same-workload cells into one-pass multi-policy tasks "
+             "(local executor only; fabric shards are always fused)",
+    )
+    sweep.add_argument(
+        "--chunks-per-slab", type=int, default=None,
+        help="fabric: split each shard into time slabs of this many chunks "
+             "(fault/straggler granularity; default: one slab per shard)",
+    )
+    sweep.add_argument("--chunk-size", type=int, default=4096,
+                       help="jobs per streaming chunk")
+    sweep.add_argument(
+        "--checkpoint-dir", default=None,
+        help="fabric: shard checkpoint directory shared by all workers "
+             "(default: a sweep-lifetime temp dir)",
+    )
+    sweep.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="write the outcome table (and per-cell digests) to FILE as JSON",
+    )
+
+    shard_worker = sub.add_parser(
+        "shard-worker",
+        help="join a distributed sweep: lease shards from a fabric coordinator over TCP",
+    )
+    shard_worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="fabric coordinator address (printed by the tcp-transport sweep)",
+    )
+    shard_worker.add_argument(
+        "--checkpoint-dir", required=True,
+        help="shard checkpoint directory (must be the coordinator's; shared "
+             "filesystem for real multi-node runs)",
+    )
+    shard_worker.add_argument("--worker", default="",
+                              help="worker name for the coordinator's lease log")
+    shard_worker.add_argument("--heartbeat-interval", type=float, default=5.0,
+                              help="lease heartbeat cadence (s)")
+    shard_worker.add_argument("--timeout", type=float, default=60.0,
+                              help="per-RPC socket timeout (s)")
+    shard_worker.add_argument("--retries", type=int, default=5,
+                              help="RPC retry attempts (exponential backoff with jitter)")
+
     sub.add_parser("regions", help="print the region catalog and its sustainability factors")
     sub.add_parser("workloads", help="print the PARSEC/CloudSuite workload profiles")
     sub.add_parser("scenarios", help="print the workload-scenario library")
@@ -675,6 +752,99 @@ def _cmd_scenarios() -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.parallel import SweepPoint, run_sweep
+
+    policies = args.policies or list(available_schedulers())
+    points = [
+        SweepPoint(
+            scheduler=policy,
+            trace_kind=args.trace,
+            rate_per_hour=args.jobs_per_hour,
+            duration_days=args.hours / 24.0,
+            delay_tolerance=args.tolerance,
+            servers_per_region=args.servers,
+            scheduling_interval_s=args.interval,
+            engine="stream",
+            seed=seed,
+        )
+        for seed in args.seeds
+        for policy in policies
+    ]
+    if args.transport is not None:
+        outcomes = run_sweep(
+            points,
+            workers=args.workers,
+            transport=args.transport,
+            chunks_per_slab=args.chunks_per_slab,
+            chunk_size=args.chunk_size,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+    else:
+        outcomes = run_sweep(points, workers=args.workers, fused=args.fused)
+    rows = [
+        [
+            outcome.point.scheduler,
+            outcome.point.seed,
+            outcome.num_jobs,
+            f"{outcome.total_carbon_g / 1000.0:.2f}",
+            f"{outcome.total_water_l:.2f}",
+            f"{outcome.mean_service_ratio:.4f}",
+            f"{outcome.violation_fraction:.4f}",
+            "-" if outcome.digest is None else f"{outcome.digest:08x}",
+        ]
+        for outcome in outcomes
+    ]
+    mode = f"fabric/{args.transport}" if args.transport else (
+        "fused pool" if args.fused else "pool"
+    )
+    print(format_table(
+        ["policy", "seed", "jobs", "carbon_kg", "water_l",
+         "service_ratio", "violations", "digest"],
+        rows,
+        title=f"Sweep: {args.trace} × {len(points)} cells ({mode})",
+    ))
+    if args.report:
+        import json
+
+        payload = [
+            {
+                "scheduler": outcome.point.scheduler,
+                "seed": outcome.point.seed,
+                "num_jobs": outcome.num_jobs,
+                "total_carbon_g": outcome.total_carbon_g,
+                "total_water_l": outcome.total_water_l,
+                "mean_service_ratio": outcome.mean_service_ratio,
+                "violation_fraction": outcome.violation_fraction,
+                "digest": outcome.digest,
+            }
+            for outcome in outcomes
+        ]
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump({"trace": args.trace, "outcomes": payload}, handle, indent=2)
+        print(f"report written to {args.report}")
+    return 0
+
+
+def _cmd_shard_worker(args: argparse.Namespace) -> int:
+    from repro.analysis.fabric import run_shard_worker
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"--connect wants HOST:PORT, got {args.connect!r}")
+    completed = run_shard_worker(
+        host,
+        int(port),
+        args.checkpoint_dir,
+        worker=args.worker,
+        heartbeat_interval=args.heartbeat_interval,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    print(f"shard worker done: {completed} shard(s) completed")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -688,6 +858,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_replay(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "shard-worker":
+        return _cmd_shard_worker(args)
     if args.command == "regions":
         return _cmd_regions()
     if args.command == "workloads":

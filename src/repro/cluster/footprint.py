@@ -20,6 +20,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.cluster.metrics import ExactSum
 from repro.sustainability.carbon import CarbonModel
 from repro.sustainability.datasets import SustainabilityDataset
 from repro.sustainability.embodied import DEFAULT_SERVER, ServerSpec
@@ -41,33 +42,64 @@ class RunningFootprintTotals:
     values are identical) and folds the results into this accumulator:
     per-region and overall totals survive across chunk boundaries while the
     per-job columns are released.  Picklable, so checkpoints carry it.
+
+    Per-region sums accumulate in :class:`~repro.cluster.metrics.ExactSum`,
+    so every total is exactly invariant to chunking and — via :meth:`merge` —
+    to how a run was split into shards: partials from any partition of the
+    job stream combine bit-identically to a single-box accumulator.
     """
 
     def __init__(self, n_regions: int) -> None:
-        self.carbon_g_per_region = np.zeros(int(n_regions))
-        self.water_l_per_region = np.zeros(int(n_regions))
+        self.n_regions = int(n_regions)
+        self._carbon = [ExactSum() for _ in range(self.n_regions)]
+        self._water = [ExactSum() for _ in range(self.n_regions)]
         self.jobs_integrated = 0
 
     def add(
         self, region_idx: np.ndarray, carbon_g: np.ndarray, water_l: np.ndarray
     ) -> None:
         region_idx = np.asarray(region_idx)
-        n_regions = len(self.carbon_g_per_region)
-        self.carbon_g_per_region += np.bincount(
-            region_idx, weights=carbon_g, minlength=n_regions
-        )
-        self.water_l_per_region += np.bincount(
-            region_idx, weights=water_l, minlength=n_regions
-        )
+        carbon_g = np.asarray(carbon_g, dtype=float)
+        water_l = np.asarray(water_l, dtype=float)
+        for code in np.unique(region_idx).tolist():
+            mask = region_idx == code
+            self._carbon[code].add_array(carbon_g[mask])
+            self._water[code].add_array(water_l[mask])
         self.jobs_integrated += len(region_idx)
+
+    def merge(self, other: "RunningFootprintTotals") -> None:
+        """Fold another partial accumulator in exactly (any merge order)."""
+        if self.n_regions != other.n_regions:
+            raise ValueError(
+                f"cannot merge totals over {other.n_regions} regions into {self.n_regions}"
+            )
+        for mine, theirs in zip(self._carbon, other._carbon):
+            mine.merge(theirs)
+        for mine, theirs in zip(self._water, other._water):
+            mine.merge(theirs)
+        self.jobs_integrated += other.jobs_integrated
+
+    @property
+    def carbon_g_per_region(self) -> np.ndarray:
+        return np.array([s.value() for s in self._carbon])
+
+    @property
+    def water_l_per_region(self) -> np.ndarray:
+        return np.array([s.value() for s in self._water])
 
     @property
     def total_carbon_g(self) -> float:
-        return float(np.sum(self.carbon_g_per_region))
+        total = ExactSum()
+        for s in self._carbon:
+            total.merge(s)
+        return total.value()
 
     @property
     def total_water_l(self) -> float:
-        return float(np.sum(self.water_l_per_region))
+        total = ExactSum()
+        for s in self._water:
+            total.merge(s)
+        return total.value()
 
 
 class _RegionPrefixIntegrals:

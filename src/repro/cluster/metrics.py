@@ -14,6 +14,7 @@ resumes mid-aggregation.
 from __future__ import annotations
 
 import dataclasses
+import math
 import statistics
 from collections.abc import Mapping, Sequence
 
@@ -22,11 +23,115 @@ import numpy as np
 __all__ = [
     "JobOutcome",
     "SimulationResult",
+    "ExactSum",
     "P2Quantile",
     "StreamingQuantiles",
     "ReservoirSample",
     "RunningJobStats",
 ]
+
+_MANT_BITS = 53
+_MANT_SCALE = float(1 << _MANT_BITS)
+#: int64 partial sums stay overflow-safe for segments of ≤ 512 mantissas:
+#: 512 × (2**53 − 1) < 2**62.
+_SEGMENT = 512
+
+
+class ExactSum:
+    """Exact, order-independent accumulator of finite float64 values.
+
+    Every finite float64 is an integer multiple of a power of two
+    (``value = M * 2**E`` with ``|M| < 2**53``), so the accumulator keeps the
+    running total as an arbitrary-precision integer ``n`` scaled by ``2**e``
+    — the *exact* real-number sum of everything it has seen.  Rounding
+    happens once, in :meth:`value`, which means two accumulators fed the same
+    multiset of values report bit-identical totals regardless of insertion
+    order, chunking, or how they were combined from partial accumulators with
+    :meth:`merge`.  That invariance is what lets distributed shard results
+    combine bit-identically to a single-box fused run.
+
+    :meth:`add_array` folds whole NumPy arrays with vectorized
+    mantissa/exponent decomposition (``np.frexp`` + segmented int64 partial
+    sums), so streaming-engine flushes stay cheap.  Plain attributes only, so
+    instances pickle (checkpoints carry them).
+    """
+
+    def __init__(self) -> None:
+        #: Exact total = ``_n * 2**_e`` (``_n == 0`` means an empty sum).
+        self._n = 0
+        self._e = 0
+
+    def _fold(self, n: int, e: int) -> None:
+        if n == 0:
+            return
+        if self._n == 0:
+            self._n, self._e = n, e
+        elif e >= self._e:
+            self._n += n << (e - self._e)
+        else:
+            self._n = (self._n << (self._e - e)) + n
+            self._e = e
+        if self._n:
+            # Strip trailing zero bits so the integer stays small.
+            trailing = (self._n & -self._n).bit_length() - 1
+            if trailing:
+                self._n >>= trailing
+                self._e += trailing
+        else:
+            self._e = 0
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        if value == 0.0:
+            return
+        if not math.isfinite(value):
+            raise ValueError(f"ExactSum accepts finite values only, got {value!r}")
+        mantissa, exponent = math.frexp(value)
+        self._fold(int(mantissa * _MANT_SCALE), exponent - _MANT_BITS)
+
+    def add_array(self, values) -> None:
+        values = np.ascontiguousarray(values, dtype=float).ravel()
+        if values.size == 0:
+            return
+        if not np.all(np.isfinite(values)):
+            raise ValueError("ExactSum accepts finite values only")
+        mantissa, exponent = np.frexp(values)
+        mant = (mantissa * _MANT_SCALE).astype(np.int64)
+        exp = exponent.astype(np.int64) - _MANT_BITS
+        order = np.argsort(exp, kind="stable")
+        mant = mant[order]
+        exp = exp[order]
+        # Segment boundaries: every exponent change plus every _SEGMENT
+        # values, so each int64 partial sum is overflow-safe and shares one
+        # exponent; the few partials then combine exactly in Python ints.
+        cuts = np.flatnonzero(np.diff(exp)) + 1
+        starts = np.union1d(np.arange(0, len(mant), _SEGMENT), cuts)
+        partials = np.add.reduceat(mant, starts)
+        part_exp = exp[starts]
+        base = int(part_exp[0])
+        total = 0
+        for part, ex in zip(partials.tolist(), part_exp.tolist()):
+            total += part << (ex - base)
+        self._fold(total, base)
+
+    def merge(self, other: "ExactSum") -> None:
+        """Fold another accumulator in exactly (commutative and associative)."""
+        self._fold(other._n, other._e)
+
+    def value(self) -> float:
+        """The correctly-rounded float64 total (0.0 for an empty sum)."""
+        if self._n == 0:
+            return 0.0
+        if self._e >= 0:
+            return float(self._n << self._e)
+        # Correctly-rounded by CPython's exact int/int true division.
+        return self._n / (1 << -self._e)
+
+    def __float__(self) -> float:
+        return self.value()
+
+    def __repr__(self) -> str:
+        return f"ExactSum({self.value()!r})"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -459,6 +564,40 @@ class StreamingQuantiles:
         """All configured quantile estimates, keyed by quantile."""
         return {q: self.value(q) for q in self.qs}
 
+    def merge(self, other: "StreamingQuantiles") -> None:
+        """Fold another estimator over the same grid in exactly.
+
+        Bin counts add and min/max combine, so the merged estimator is
+        *identical* to one that saw the union of both value streams in any
+        order — including the exact-mode handoff: the merged estimator stays
+        in exact mode iff the combined count is within ``exact_limit``, just
+        as a single-box estimator would.  ``other`` is not mutated.
+        """
+        if self.qs != other.qs or self._exact_limit != other._exact_limit:
+            raise ValueError("cannot merge StreamingQuantiles with different configs")
+        if self._log_lo != other._log_lo or self._log_hi != other._log_hi or len(
+            self._counts
+        ) != len(other._counts):
+            raise ValueError("cannot merge StreamingQuantiles with different grids")
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        if self._exact is not None and other._exact is not None:
+            self._exact.extend(other._exact)
+            if len(self._exact) > self._exact_limit:
+                self._fold(np.asarray(self._exact))
+                self._exact = None
+            return
+        if self._exact is not None:
+            if self._exact:
+                self._fold(np.asarray(self._exact))
+            self._exact = None
+        self._counts += other._counts
+        if other._exact:
+            self._fold(np.asarray(other._exact))
+
 
 class ReservoirSample:
     """Uniform fixed-size sample over a stream of per-job rows (algorithm R).
@@ -520,6 +659,11 @@ class RunningJobStats:
     violation/migration fractions, per-region job counts — plus streaming
     service-ratio quantiles and an optional reservoir of per-job rows.
     Memory is O(regions + reservoir), independent of the number of jobs.
+
+    Float totals accumulate in :class:`ExactSum`, so every figure is exactly
+    invariant to chunking and — via :meth:`merge` — to how a run was split
+    into shards: partial stats from any partition of the job stream combine
+    bit-identically to a single accumulator that saw everything.
     """
 
     def __init__(
@@ -533,12 +677,12 @@ class RunningJobStats:
         self.n_regions = int(n_regions)
         self.delay_tolerance = float(delay_tolerance)
         self.num_jobs = 0
-        self.carbon_g = 0.0
-        self.water_l = 0.0
-        self.service_ratio_sum = 0.0
-        self.queue_delay_sum = 0.0
-        self.transfer_sum = 0.0
-        self.execution_sum = 0.0
+        self._carbon_g = ExactSum()
+        self._water_l = ExactSum()
+        self._service_ratio_sum = ExactSum()
+        self._queue_delay_sum = ExactSum()
+        self._transfer_sum = ExactSum()
+        self._execution_sum = ExactSum()
         self.violations = 0
         self.migrated = 0
         self.evictions = 0
@@ -547,6 +691,31 @@ class RunningJobStats:
         self.reservoir = (
             ReservoirSample(reservoir_size, seed=seed) if reservoir_size else None
         )
+
+    # -- exact totals (floats, rounded once at read time) -------------------------------
+    @property
+    def carbon_g(self) -> float:
+        return self._carbon_g.value()
+
+    @property
+    def water_l(self) -> float:
+        return self._water_l.value()
+
+    @property
+    def service_ratio_sum(self) -> float:
+        return self._service_ratio_sum.value()
+
+    @property
+    def queue_delay_sum(self) -> float:
+        return self._queue_delay_sum.value()
+
+    @property
+    def transfer_sum(self) -> float:
+        return self._transfer_sum.value()
+
+    @property
+    def execution_sum(self) -> float:
+        return self._execution_sum.value()
 
     def add(
         self,
@@ -573,12 +742,12 @@ class RunningJobStats:
         ratios = service / execution_time
         limit = (1.0 + self.delay_tolerance) * execution_time + 1e-9
         self.num_jobs += n
-        self.carbon_g += float(np.sum(carbon_g))
-        self.water_l += float(np.sum(water_l))
-        self.service_ratio_sum += float(np.sum(ratios))
-        self.queue_delay_sum += float(np.sum(np.maximum(0.0, start - ready)))
-        self.transfer_sum += float(np.sum(transfer_latency))
-        self.execution_sum += float(np.sum(execution_time))
+        self._carbon_g.add_array(carbon_g)
+        self._water_l.add_array(water_l)
+        self._service_ratio_sum.add_array(ratios)
+        self._queue_delay_sum.add_array(np.maximum(0.0, start - ready))
+        self._transfer_sum.add_array(transfer_latency)
+        self._execution_sum.add_array(execution_time)
         self.violations += int(np.count_nonzero(service > limit))
         self.migrated += int(np.count_nonzero(region_idx != home_idx))
         self.jobs_per_region += np.bincount(region_idx, minlength=self.n_regions)
@@ -621,3 +790,33 @@ class RunningJobStats:
 
     def service_ratio_quantiles(self) -> dict[float, float]:
         return self.quantiles.values()
+
+    def merge(self, other: "RunningJobStats") -> None:
+        """Fold another partial accumulator in exactly.
+
+        Commutative and associative: merging per-shard stats in any order
+        yields the same figures, bit for bit, as one accumulator over the
+        whole job stream.  The reservoir is the one exception — a uniform
+        sample of a union cannot be reconstructed from two independent
+        samples, so merged stats drop it.  ``other`` is not mutated.
+        """
+        if self.n_regions != other.n_regions:
+            raise ValueError(
+                f"cannot merge stats over {other.n_regions} regions into {self.n_regions}"
+            )
+        if self.delay_tolerance != other.delay_tolerance:
+            raise ValueError("cannot merge stats with different delay tolerances")
+        self.num_jobs += other.num_jobs
+        self._carbon_g.merge(other._carbon_g)
+        self._water_l.merge(other._water_l)
+        self._service_ratio_sum.merge(other._service_ratio_sum)
+        self._queue_delay_sum.merge(other._queue_delay_sum)
+        self._transfer_sum.merge(other._transfer_sum)
+        self._execution_sum.merge(other._execution_sum)
+        self.violations += other.violations
+        self.migrated += other.migrated
+        self.evictions += other.evictions
+        self.jobs_per_region = self.jobs_per_region + other.jobs_per_region
+        self.quantiles.merge(other.quantiles)
+        if other.num_jobs and self.reservoir is not None:
+            self.reservoir = None

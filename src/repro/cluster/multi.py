@@ -28,7 +28,11 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 
 from repro.cluster.interface import Scheduler
-from repro.cluster.streaming import StreamingSimulator
+from repro.cluster.streaming import (
+    CHECKPOINT_FORMAT,
+    StreamingSimulator,
+    atomic_pickle_dump,
+)
 
 __all__ = ["MultiPolicyRunner"]
 
@@ -128,11 +132,180 @@ class MultiPolicyRunner:
         per-policy engines would produce (``BatchResult`` for
         ``collect="full"``, ``StreamResult`` for ``"aggregate"``).
         """
+        self.run_chunks()
+        return self.finalize()
+
+    def run_chunks(self, max_chunks: int | None = None) -> int:
+        """Advance up to ``max_chunks`` shared chunks (all remaining if ``None``).
+
+        The fused counterpart of
+        :meth:`StreamingSimulator.run_chunks <repro.cluster.streaming.StreamingSimulator.run_chunks>`:
+        chunks are pulled starting after the jobs the (lockstepped) states
+        have already seen, so the same call pattern works for fresh runs and
+        resumed checkpoints — the shard fabric uses it to run one time slab
+        at a time.  Returns the number of chunks consumed.
+        """
         engines = list(self.engines.values())
         for engine in engines:
             if engine.state is None:
                 engine.init_state()
-        for chunk in self.source.iter_chunks(self.chunk_size):
+        consumed = 0
+        if max_chunks is not None and max_chunks <= 0:
+            return consumed
+        for chunk in self.source.iter_chunks(
+            self.chunk_size, skip_jobs=engines[0].state.jobs_seen
+        ):
             for engine in engines:
                 engine.advance(chunk)
+            consumed += 1
+            if max_chunks is not None and consumed >= max_chunks:
+                break
+        return consumed
+
+    def finalize(self) -> dict[str, object]:
+        """Finalize every engine; ``{label: result}`` (see :meth:`run`)."""
         return {label: engine.finalize() for label, engine in self.engines.items()}
+
+    def reset_collectors(self) -> None:
+        """Fresh aggregate collectors on every engine (see ``reset_collector``)."""
+        for engine in self.engines.values():
+            engine.reset_collector()
+
+    def partials(self) -> dict[str, tuple[object, object]]:
+        """Per-policy ``(RunningJobStats, RunningFootprintTotals)`` partials.
+
+        Snapshot of each engine's aggregate collector — what a time slab has
+        accumulated since the last :meth:`reset_collectors`.  The shard
+        fabric ships these to the coordinator, which merges them exactly.
+        """
+        out: dict[str, tuple[object, object]] = {}
+        for label, engine in self.engines.items():
+            collector = engine.state.collector
+            out[label] = (collector.stats, collector.footprints)
+        return out
+
+    # -- checkpointing -----------------------------------------------------------------
+    def save_checkpoint(self, path, extra: dict | None = None) -> None:
+        """Pickle every engine's state + scheduler (+ caller metadata) to ``path``.
+
+        The fused analogue of
+        :meth:`StreamingSimulator.save_checkpoint <repro.cluster.streaming.StreamingSimulator.save_checkpoint>`:
+        one file carries the lockstepped states of all K policies, so a
+        resumed run (or a re-dispatched shard) continues every policy from
+        the same chunk boundary.  The source and dataset are reconstruction
+        parameters the resuming caller must supply, exactly as for
+        single-engine checkpoints.
+        """
+        for label, engine in self.engines.items():
+            if engine.state is None:
+                raise RuntimeError(
+                    f"nothing to checkpoint: engine {label!r} has no state"
+                )
+        first = next(iter(self.engines.values()))
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "multi": True,
+            "states": {label: engine.state for label, engine in self.engines.items()},
+            "schedulers": {
+                label: engine.scheduler for label, engine in self.engines.items()
+            },
+            "config": {
+                "servers_per_region": dict(first._servers),
+                "scheduling_interval_s": first.scheduling_interval_s,
+                "delay_tolerance": first.delay_tolerance,
+                "include_embodied": first.footprints.include_embodied,
+                "max_rounds": first.max_rounds,
+                "chunk_size": first.chunk_size,
+                "collect": first.collect,
+                "reservoir_size": first.reservoir_size,
+                "reservoir_seed": first.reservoir_seed,
+                "kernel": first.kernel,
+                "chaos": first.chaos,
+                "chaos_seed": first.chaos_seed,
+            },
+            "extra": dict(extra or {}),
+        }
+        atomic_pickle_dump(path, payload)
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path,
+        source,
+        dataset=None,
+        regions=None,
+        latency=None,
+        server=None,
+        **overrides,
+    ) -> "MultiPolicyRunner":
+        """Rebuild a fused runner mid-run from a :meth:`save_checkpoint` file.
+
+        Same contract as
+        :meth:`StreamingSimulator.from_checkpoint <repro.cluster.streaming.StreamingSimulator.from_checkpoint>`:
+        ``source``/``dataset`` must reproduce the original workload and
+        intensities, and only non-semantic knobs (``chunk_size``,
+        ``max_rounds``, ``kernel``) may be overridden.
+        """
+        payload = StreamingSimulator.load_checkpoint(path)
+        return cls.from_checkpoint_payload(
+            payload,
+            source,
+            dataset=dataset,
+            regions=regions,
+            latency=latency,
+            server=server,
+            **overrides,
+        )
+
+    @classmethod
+    def from_checkpoint_payload(
+        cls,
+        payload: dict,
+        source,
+        dataset=None,
+        regions=None,
+        latency=None,
+        server=None,
+        **overrides,
+    ) -> "MultiPolicyRunner":
+        """:meth:`from_checkpoint` over an already-loaded payload dict.
+
+        The shard fabric reads the checkpoint once (it also needs the
+        ``extra`` metadata) and rebuilds the runner from the same payload.
+        """
+        allowed = {"chunk_size", "max_rounds", "kernel"}
+        refused = set(overrides) - allowed
+        if refused:
+            raise ValueError(
+                f"cannot override {sorted(refused)} on resume: the checkpointed "
+                f"engine state depends on them (overridable: {sorted(allowed)})"
+            )
+        if not payload.get("multi"):
+            raise ValueError("payload is not a fused multi-policy checkpoint")
+        config = dict(payload["config"])
+        config.update(overrides)
+        chunk_size = config.pop("chunk_size")
+        collect = config.pop("collect")
+        if regions is not None:
+            config["regions"] = regions
+        if latency is not None:
+            config["latency"] = latency
+        if server is not None:
+            config["server"] = server
+        runner = cls(
+            source,
+            list(payload["schedulers"].items()),
+            dataset=dataset,
+            chunk_size=chunk_size,
+            collect=collect,
+            **config,
+        )
+        for label, engine in runner.engines.items():
+            state = payload["states"][label]
+            if state.region_keys != engine._keys_tuple:
+                raise ValueError(
+                    "checkpoint was taken over regions "
+                    f"{state.region_keys} but the engine simulates {engine._keys_tuple}"
+                )
+            engine.state = state
+        return runner

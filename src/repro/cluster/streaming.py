@@ -50,6 +50,7 @@ import math
 import os
 import pickle
 import time as _time
+import zlib
 from collections import deque
 from pathlib import Path
 
@@ -77,7 +78,32 @@ __all__ = [
     "StreamResult",
     "StreamingSimulator",
     "CHECKPOINT_FORMAT",
+    "atomic_pickle_dump",
 ]
+
+
+def atomic_pickle_dump(path, payload) -> None:
+    """Pickle ``payload`` to ``path`` atomically (tmp + fsync + rename).
+
+    Serialize first, write to a sibling temp file, then ``os.replace()`` over
+    the target.  A crash mid-write (or a full disk) leaves the previous file
+    intact instead of a truncated, unloadable pickle — the whole point of
+    checkpointing long runs.  Shared by engine checkpoints and the shard
+    fabric's spill files.
+    """
+    target = Path(path)
+    blob = pickle.dumps(payload)
+    tmp = target.with_name(f".{target.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as sink:
+            sink.write(blob)
+            sink.flush()
+            os.fsync(sink.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
 
 #: Version tag of the checkpoint payload; bumped on incompatible layout
 #: changes so stale checkpoints fail loudly instead of resuming garbage.
@@ -504,6 +530,61 @@ class StreamResult:
             return 0.0
         return 100.0 * (1.0 - self.total_water_l / baseline.total_water_l)
 
+    # -- verification ------------------------------------------------------------------
+    def digest(self) -> int:
+        """CRC32 over the decision-relevant aggregates.
+
+        The aggregate-mode counterpart of ``BatchResult.digest``: covers the
+        exact totals, counters, per-region distributions, utilization,
+        makespan and quantile estimates, and excludes wall-clock measurements
+        (decision/round times) and the reservoir sample.  Because the
+        accumulators are exact and order-independent, the digest is invariant
+        to chunk size, kernel tier, *and any sharded partition of the job
+        stream* merged through the fabric — the distributed differential gate
+        asserts equality against the single-box fused run.
+        """
+        stats = self.stats
+        quantiles = stats.quantiles
+        crc = zlib.crc32(repr(self.region_keys).encode())
+        crc = zlib.crc32(repr(sorted(self.region_servers.items())).encode(), crc)
+        counters = np.array(
+            [
+                stats.num_jobs,
+                stats.violations,
+                stats.migrated,
+                stats.evictions,
+                quantiles.count,
+            ],
+            dtype=np.int64,
+        )
+        crc = zlib.crc32(counters.tobytes(), crc)
+        crc = zlib.crc32(
+            np.ascontiguousarray(stats.jobs_per_region, dtype=np.int64).tobytes(), crc
+        )
+        totals = np.array(
+            [
+                stats.carbon_g,
+                stats.water_l,
+                stats.service_ratio_sum,
+                stats.queue_delay_sum,
+                stats.transfer_sum,
+                stats.execution_sum,
+                self.makespan_s,
+            ]
+        )
+        crc = zlib.crc32(totals.tobytes(), crc)
+        crc = zlib.crc32(self.footprint_totals.carbon_g_per_region.tobytes(), crc)
+        crc = zlib.crc32(self.footprint_totals.water_l_per_region.tobytes(), crc)
+        utilization = np.array(
+            [self.region_utilization.get(key, 0.0) for key in self.region_keys]
+        )
+        crc = zlib.crc32(utilization.tobytes(), crc)
+        estimates = np.array(
+            [quantiles.min, quantiles.max, *(quantiles.value(q) for q in quantiles.qs)]
+        )
+        crc = zlib.crc32(estimates.tobytes(), crc)
+        return crc
+
     # -- reporting ---------------------------------------------------------------------
     def summary(self) -> dict[str, float | str | int]:
         """Flat summary dictionary, same keys as ``BatchResult.summary``."""
@@ -866,6 +947,29 @@ class StreamingSimulator(_SimulatorBase):
         self.run_chunks()
         return self.finalize()
 
+    def reset_collector(self) -> None:
+        """Swap in a fresh aggregate collector (the shard fabric's slab seam).
+
+        The fabric runs one (workload × policy) lineage as a chain of time
+        slabs: each slab resets the collector on entry so its finalized
+        aggregates cover only the jobs retired *during* the slab, and the
+        coordinator merges the per-slab partials exactly
+        (:meth:`RunningJobStats.merge`).  The replacement collector carries
+        no reservoir — a uniform sample cannot be merged, so sharded runs
+        disable it throughout.  Only ``collect="aggregate"`` has mergeable
+        partials.
+        """
+        if self.collect != "aggregate":
+            raise RuntimeError("reset_collector requires collect='aggregate'")
+        if self.state is None:
+            raise RuntimeError("no state to reset: run init_state()/advance() first")
+        self.state.collector = _AggregateCollector(
+            len(self.region_keys),
+            self.delay_tolerance,
+            reservoir_size=0,
+            seed=self.reservoir_seed,
+        )
+
     def run_chunks(self, max_chunks: int | None = None) -> int:
         """Advance up to ``max_chunks`` chunks (all remaining when ``None``).
 
@@ -919,23 +1023,7 @@ class StreamingSimulator(_SimulatorBase):
             },
             "extra": dict(extra or {}),
         }
-        # Atomic publish: serialize first, write to a sibling temp file, then
-        # os.replace() over the target.  A crash mid-write (or a full disk)
-        # leaves the previous checkpoint intact instead of a truncated,
-        # unloadable pickle — the whole point of checkpointing long runs.
-        target = Path(path)
-        blob = pickle.dumps(payload)
-        tmp = target.with_name(f".{target.name}.tmp-{os.getpid()}")
-        try:
-            with open(tmp, "wb") as sink:
-                sink.write(blob)
-                sink.flush()
-                os.fsync(sink.fileno())
-            os.replace(tmp, target)
-        except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(tmp)
-            raise
+        atomic_pickle_dump(path, payload)
 
     @staticmethod
     def load_checkpoint(path) -> dict:
@@ -992,6 +1080,11 @@ class StreamingSimulator(_SimulatorBase):
                 f"engine state depends on them (overridable: {sorted(allowed)})"
             )
         payload = cls.load_checkpoint(path)
+        if payload.get("multi"):
+            raise ValueError(
+                f"{path} is a fused multi-policy checkpoint; resume it with "
+                "MultiPolicyRunner.from_checkpoint"
+            )
         config = dict(payload["config"])
         config.update(overrides)
         engine = cls(

@@ -54,8 +54,9 @@ class ReplayReport:
             "pace": self.pace,
             "chunks": self.chunks,
             "jobs": self.jobs,
-            # Aggregate-collect runs return a StreamResult, which carries no
-            # per-job digest — full-collect (differential) runs do.
+            # Full-collect runs report BatchResult's per-job decision digest;
+            # aggregate-collect runs report StreamResult's aggregate digest.
+            # The two cover different payloads — compare like with like.
             "digest": digest() if digest is not None else None,
             "stats": self.stats.as_dict(),
         }

@@ -1,0 +1,286 @@
+"""Fabric tests: lease-queue semantics, fault recovery, transport equality.
+
+The queue tests drive :class:`ShardQueue` with a fake clock so lease
+expiry, straggler duplicate-leases and the max-failures poison path are
+deterministic.  The kill test SIGKILLs a worker process mid-shard and
+proves the re-dispatched shard resumes from the lineage checkpoint to a
+digest-identical result — the fabric's central fault-tolerance claim.
+"""
+
+import json
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.fabric import (
+    FabricClient,
+    FabricCoordinator,
+    ShardQueue,
+    run_fabric_sweep,
+    worker_loop,
+)
+from repro.analysis.parallel import SweepPoint, run_sweep
+from repro.analysis.shard import ShardSpec, checkpoint_path, derive_shards, run_shard
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+_WORKLOAD = dict(
+    trace_kind="bursty", rate_per_hour=50.0, duration_days=0.1, engine="stream"
+)
+
+
+def _points(policies=("baseline", "least-load")):
+    return [SweepPoint(scheduler=policy, **_WORKLOAD) for policy in policies]
+
+
+def _specs(n=2):
+    points = _points(("baseline", "least-load", "round-robin"))[:n]
+    return derive_shards(points, chunk_size=32)
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestShardQueue:
+    def test_lease_heartbeat_complete_cycle(self):
+        clock = _Clock()
+        queue = ShardQueue(_specs(2), lease_timeout=10.0, clock=clock)
+        lease_a, spec_a = queue.lease("w0")
+        lease_b, spec_b = queue.lease("w1")
+        assert spec_a != spec_b
+        assert queue.lease("w2") is None  # nothing pending, no stragglers yet
+        assert queue.heartbeat(lease_a) == "ok"
+        assert queue.heartbeat("L999-nobody") == "lost"
+        assert queue.complete(lease_a)
+        assert queue.heartbeat(lease_a) == "done"
+        assert not queue.complete(lease_a)  # idempotent
+        assert queue.complete(lease_b)
+        assert queue.all_done()
+
+    def test_expired_lease_requeues_shard(self):
+        clock = _Clock()
+        queue = ShardQueue(_specs(1), lease_timeout=10.0, clock=clock)
+        lease, spec = queue.lease("w0")
+        clock.now = 5.0
+        assert queue.heartbeat(lease) == "ok"  # extends to t=15
+        clock.now = 14.0
+        assert queue.lease("w1") is None  # still alive
+        clock.now = 16.0
+        regranted = queue.lease("w1")
+        assert regranted is not None and regranted[1] == spec
+        assert queue.heartbeat(lease) == "lost"
+        # The dead worker's late completion still wins if nobody else did:
+        # the work is deterministic, so the result is as good as a re-run's.
+        assert queue.complete(lease)
+        assert not queue.complete(regranted[0])
+
+    def test_repeated_lease_loss_poisons_the_queue(self):
+        clock = _Clock()
+        queue = ShardQueue(
+            _specs(1), lease_timeout=1.0, max_failures=2, clock=clock
+        )
+        for _ in range(2):
+            assert queue.lease("w") is not None
+            clock.now += 5.0
+            queue.expire()
+        assert queue.error is not None
+        assert queue.lease("w") is None
+
+    def test_worker_reported_failure_requeues_then_poisons(self):
+        queue = ShardQueue(_specs(1), max_failures=2)
+        lease, _ = queue.lease("w")
+        queue.fail(lease, "boom")
+        assert queue.error is None
+        assert queue.counts()["pending"] == 1
+        lease, _ = queue.lease("w")
+        queue.fail(lease, "boom again")
+        assert "boom again" in queue.error
+
+    def test_straggler_gets_duplicate_lease(self):
+        clock = _Clock()
+        queue = ShardQueue(
+            _specs(2), lease_timeout=100.0, straggler_factor=4.0, clock=clock
+        )
+        fast, _ = queue.lease("fast")
+        slow, _ = queue.lease("slow")
+        clock.now = 1.0
+        assert queue.complete(fast)  # median duration: 1s
+        clock.now = 3.0
+        assert queue.lease("helper") is None  # 2s running < 4 × median
+        clock.now = 6.0
+        duplicate = queue.lease("helper")  # 5s running > 4 × median
+        assert duplicate is not None
+        assert duplicate[1] == queue.specs()[1]
+        # First of the two competing leases to finish wins.
+        assert queue.complete(duplicate[0])
+        assert not queue.complete(slow)
+        assert queue.all_done()
+
+
+class TestFabricClientRetry:
+    def test_backoff_is_exponential_jittered_and_capped(self):
+        client = FabricClient("127.0.0.1", 1, backoff_base=0.1, backoff_cap=2.0, seed=3)
+        for attempt in range(8):
+            span = min(2.0, 0.1 * 2.0**attempt)
+            for _ in range(10):
+                delay = client._backoff(attempt)
+                assert 0.5 * span <= delay <= span
+
+    def test_rpc_retries_through_a_dropped_connection(self):
+        # A server that slams the first connection shut, then answers: the
+        # client must reconnect and succeed without surfacing the drop.
+        listener = socket.create_server(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+        accepted = []
+
+        def serve():
+            first, _ = listener.accept()
+            first.close()
+            second, _ = listener.accept()
+            accepted.append(True)
+            handle = second.makefile("rwb")
+            handle.readline()
+            handle.write(b'{"ok": true, "echo": 1}\n')
+            handle.flush()
+            second.close()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        client = FabricClient(
+            "127.0.0.1", port, timeout=5.0, retries=3, backoff_base=0.01, seed=0
+        )
+        try:
+            assert client.rpc({"op": "heartbeat", "lease": "x"}) == {
+                "ok": True, "echo": 1,
+            }
+            assert accepted
+        finally:
+            client.close()
+            listener.close()
+            thread.join(timeout=2.0)
+
+    def test_rpc_raises_after_exhausting_retries(self):
+        listener = socket.create_server(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+        listener.close()  # nothing listens here any more
+        client = FabricClient(
+            "127.0.0.1", port, timeout=0.2, retries=1, backoff_base=0.01, seed=0
+        )
+        with pytest.raises(ConnectionError, match="after 2 attempts"):
+            client.rpc({"op": "lease"})
+
+
+class TestWorkerKillResume:
+    def test_sigkilled_worker_resumes_to_identical_digest(self, tmp_path):
+        # Uninterrupted reference shard (its own checkpoint dir).
+        spec = derive_shards(_points(("least-load",)), chunk_size=8)[0]
+        (tmp_path / "ref").mkdir()
+        reference = run_shard(spec, tmp_path / "ref", checkpoint_every=1)
+        assert reference.final
+        # A worker process that SIGKILLs itself the moment the first
+        # mid-slab checkpoint lands — a crash with the shard part-done.
+        work_dir = tmp_path / "work"
+        work_dir.mkdir()
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(spec.as_dict()))
+        driver = (
+            "import json, os, signal, sys, threading, time\n"
+            f"sys.path.insert(0, {_SRC!r})\n"
+            "from repro.analysis.shard import ShardSpec, checkpoint_path, run_shard\n"
+            f"spec = ShardSpec.from_dict(json.loads(open({str(spec_file)!r}).read()))\n"
+            f"ckpt = checkpoint_path({str(work_dir)!r}, spec)\n"
+            "def kill_on_first_checkpoint():\n"
+            "    while not ckpt.exists():\n"
+            "        time.sleep(0.002)\n"
+            "    os.kill(os.getpid(), signal.SIGKILL)\n"
+            "threading.Thread(target=kill_on_first_checkpoint, daemon=True).start()\n"
+            f"run_shard(spec, {str(work_dir)!r}, checkpoint_every=1)\n"
+        )
+        victim = subprocess.run(
+            [sys.executable, "-c", driver], capture_output=True, timeout=120
+        )
+        assert victim.returncode == -signal.SIGKILL, victim.stderr.decode()
+        ckpt = checkpoint_path(work_dir, spec)
+        assert ckpt.exists(), "the victim died before writing a checkpoint"
+        # Re-dispatch: same spec, same dir — resumes mid-slab and finishes.
+        resumed = run_shard(spec, work_dir, checkpoint_every=1)
+        assert resumed.final
+        assert resumed.chunks_done == reference.chunks_done
+        ref_result = reference.results[spec.indices[0]]
+        res_result = resumed.results[spec.indices[0]]
+        assert res_result.digest() == ref_result.digest()
+
+
+class TestFabricSweep:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        points = _points(("baseline", "least-load", "round-robin"))
+        outcomes = run_sweep(points, workers=1, fused=True)
+        return points, {i: o.digest for i, o in enumerate(outcomes)}
+
+    @pytest.mark.parametrize("transport", ["inprocess", "process", "tcp"])
+    def test_transports_match_fused_single_box(self, transport, reference, tmp_path):
+        points, expected = reference
+        outcomes = run_fabric_sweep(
+            points,
+            workers=2,
+            transport=transport,
+            chunks_per_slab=2,
+            chunk_size=32,
+            checkpoint_dir=tmp_path,
+        )
+        assert [o.point for o in outcomes] == points
+        assert {i: o.digest for i, o in enumerate(outcomes)} == expected
+        assert not list(tmp_path.glob("shard-*.ckpt"))  # cleaned up
+
+    def test_run_sweep_transport_delegation(self, reference):
+        points, expected = reference
+        outcomes = run_sweep(points, workers=2, transport="inprocess", chunk_size=32)
+        assert {i: o.digest for i, o in enumerate(outcomes)} == expected
+        with pytest.raises(TypeError, match="fabric options"):
+            run_sweep(points, chunks_per_slab=2)
+        with pytest.raises(ValueError, match="transport must be one of"):
+            run_fabric_sweep(points, transport="carrier-pigeon")
+
+    def test_empty_sweep(self):
+        assert run_fabric_sweep([], transport="inprocess") == []
+
+    def test_failing_shard_poisons_the_sweep(self, tmp_path, monkeypatch):
+        # A shard that always raises must abort the sweep with the worker's
+        # error after max_failures attempts, not hang or cycle forever.
+        points = _points(("baseline",))
+        coordinator = FabricCoordinator(
+            points, tmp_path, chunk_size=32, max_failures=2
+        )
+
+        class _ExplodingClient:
+            def __init__(self, coordinator):
+                self._coordinator = coordinator
+
+            def rpc(self, request):
+                reply = self._coordinator.rpc(request)
+                if request.get("op") == "lease" and reply.get("spec") is not None:
+                    # Sabotage the worker by handing it an unrunnable spec
+                    # path: blow up in run_shard via a bogus checkpoint dir.
+                    pass
+                return reply
+
+        def exploding_run_shard(spec, checkpoint_dir, checkpoint_every=8):
+            raise RuntimeError("synthetic shard failure")
+
+        monkeypatch.setattr("repro.analysis.fabric.run_shard", exploding_run_shard)
+        worker_loop(_ExplodingClient(coordinator), tmp_path, worker="t")
+        assert "synthetic shard failure" in coordinator.queue.error
+        with pytest.raises(RuntimeError, match="synthetic shard failure"):
+            coordinator.outcomes()

@@ -1,0 +1,268 @@
+"""Hypothesis property suite for the mergeable-aggregate layer.
+
+The distributed sweep fabric's exactness rests on one algebraic claim: for
+every accumulator the streaming engine carries (:class:`ExactSum`,
+:class:`StreamingQuantiles`, :class:`RunningJobStats`,
+:class:`RunningFootprintTotals`), feeding any partition of the input —
+shuffled shards, empty shards, single-element shards — through per-shard
+accumulators and merging them *in any order* produces figures bit-identical
+to one accumulator that saw everything.  Hypothesis picks the values, the
+partition boundaries and the merge order; the asserts are ``==``, never
+``approx``.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.footprint import RunningFootprintTotals
+from repro.cluster.metrics import ExactSum, RunningJobStats, StreamingQuantiles
+
+#: Wide but finite floats: large magnitude spreads and sign cancellation are
+#: exactly the regimes where naive float summation breaks associativity.
+_FLOATS = st.floats(
+    min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def _partitioned_values(draw, elements=_FLOATS, max_size=60):
+    """(values, shards) where shards is a random ordered partition of values.
+
+    Partitions may contain empty shards and single-element shards, and the
+    shard list itself arrives in a random (merge) order.
+    """
+    values = draw(st.lists(elements, min_size=0, max_size=max_size))
+    n_shards = draw(st.integers(min_value=1, max_value=6))
+    cuts = sorted(
+        draw(
+            st.lists(
+                st.integers(0, len(values)),
+                min_size=n_shards - 1,
+                max_size=n_shards - 1,
+            )
+        )
+    )
+    bounds = [0, *cuts, len(values)]
+    shards = [values[a:b] for a, b in zip(bounds, bounds[1:])]
+    order = draw(st.permutations(range(len(shards))))
+    return values, [shards[i] for i in order]
+
+
+class TestExactSum:
+    @settings(max_examples=200, deadline=None)
+    @given(_partitioned_values())
+    def test_merge_is_partition_and_order_invariant(self, case):
+        values, shards = case
+        single = ExactSum()
+        single.add_array(np.asarray(values, dtype=float))
+        merged = ExactSum()
+        for shard in shards:
+            partial = ExactSum()
+            for v in shard:  # scalar path on the shard side
+                partial.add(v)
+            merged.merge(partial)
+        assert merged.value() == single.value()
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(_FLOATS, min_size=0, max_size=2000))
+    def test_add_array_equals_scalar_adds(self, values):
+        # The vectorized segment fold (argsort + reduceat) must agree with
+        # one-at-a-time frexp accumulation, bit for bit.
+        vectored = ExactSum()
+        vectored.add_array(np.asarray(values, dtype=float))
+        scalar = ExactSum()
+        for v in values:
+            scalar.add(v)
+        assert vectored.value() == scalar.value()
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(_FLOATS, min_size=1, max_size=50))
+    def test_value_is_correctly_rounded(self, values):
+        # The big-int total rounds once at read time: it must equal the
+        # arbitrary-precision sum rounded to float64 (math.fsum is exactly
+        # that for in-range results).
+        acc = ExactSum()
+        acc.add_array(np.asarray(values, dtype=float))
+        assert acc.value() == math.fsum(values)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            ExactSum().add(float("nan"))
+        with pytest.raises(ValueError):
+            ExactSum().add_array(np.array([1.0, float("inf")]))
+
+
+_RATIOS = st.floats(min_value=1e-4, max_value=1e6, allow_nan=False)
+
+
+class TestStreamingQuantilesMerge:
+    @settings(max_examples=150, deadline=None)
+    @given(_partitioned_values(elements=_RATIOS, max_size=80), st.integers(4, 64))
+    def test_merge_matches_single_accumulator(self, case, exact_limit):
+        # Small exact_limit so Hypothesis crosses the exact→histogram
+        # handoff in every direction (both exact, one folded, both folded).
+        values, shards = case
+        single = StreamingQuantiles(exact_limit=exact_limit)
+        single.add_many(np.asarray(values))
+        merged = StreamingQuantiles(exact_limit=exact_limit)
+        for shard in shards:
+            partial = StreamingQuantiles(exact_limit=exact_limit)
+            partial.add_many(np.asarray(shard))
+            merged.merge(partial)
+        assert merged.count == single.count
+        if single.count:
+            assert merged.min == single.min
+            assert merged.max == single.max
+            assert merged.values() == single.values()
+        else:
+            assert all(math.isnan(v) for v in merged.values().values())
+        # The exact-mode handoff must match single-box behavior too: exact
+        # iff the combined count is within the limit.
+        assert (merged._exact is not None) == (single._exact is not None)
+
+    def test_merge_rejects_mismatched_configs(self):
+        a = StreamingQuantiles(exact_limit=8)
+        with pytest.raises(ValueError):
+            a.merge(StreamingQuantiles(exact_limit=16))
+        with pytest.raises(ValueError):
+            a.merge(StreamingQuantiles(quantiles=(0.25,), exact_limit=8))
+        with pytest.raises(ValueError):
+            a.merge(StreamingQuantiles(bins=64, exact_limit=8))
+
+
+@st.composite
+def _job_columns(draw, n_regions):
+    """One shard's worth of finished-job columns (possibly empty)."""
+    n = draw(st.integers(min_value=0, max_value=25))
+    region = draw(st.lists(st.integers(0, n_regions - 1), min_size=n, max_size=n))
+    home = draw(st.lists(st.integers(0, n_regions - 1), min_size=n, max_size=n))
+    considered = draw(st.lists(st.floats(0, 1e5), min_size=n, max_size=n))
+    queue = draw(st.lists(st.floats(-10.0, 1e4), min_size=n, max_size=n))
+    execution = draw(st.lists(st.floats(1.0, 1e4), min_size=n, max_size=n))
+    wait = draw(st.lists(st.floats(0, 1e4), min_size=n, max_size=n))
+    transfer = draw(st.lists(st.floats(0, 60.0), min_size=n, max_size=n))
+    carbon = draw(st.lists(st.floats(0, 1e6), min_size=n, max_size=n))
+    water = draw(st.lists(st.floats(0, 1e4), min_size=n, max_size=n))
+    evict = draw(st.lists(st.integers(0, 3), min_size=n, max_size=n))
+    considered = np.asarray(considered, dtype=float)
+    execution = np.asarray(execution, dtype=float)
+    start = considered + np.asarray(wait, dtype=float)
+    return {
+        "region_idx": np.asarray(region, dtype=np.int64),
+        "home_idx": np.asarray(home, dtype=np.int64),
+        "considered": considered,
+        "ready": start - np.asarray(queue, dtype=float),
+        "start": start,
+        "finish": start + execution,
+        "execution_time": execution,
+        "transfer_latency": np.asarray(transfer, dtype=float),
+        "carbon_g": np.asarray(carbon, dtype=float),
+        "water_l": np.asarray(water, dtype=float),
+        "evictions": np.asarray(evict, dtype=np.int64),
+    }
+
+
+@st.composite
+def _sharded_jobs(draw):
+    n_regions = draw(st.integers(min_value=1, max_value=4))
+    shards = draw(st.lists(_job_columns(n_regions), min_size=1, max_size=5))
+    order = draw(st.permutations(range(len(shards))))
+    return n_regions, shards, list(order)
+
+
+def _stats_figures(stats: RunningJobStats):
+    return (
+        stats.num_jobs,
+        stats.carbon_g,
+        stats.water_l,
+        stats.service_ratio_sum,
+        stats.queue_delay_sum,
+        stats.transfer_sum,
+        stats.execution_sum,
+        stats.violations,
+        stats.migrated,
+        stats.evictions,
+        tuple(stats.jobs_per_region.tolist()),
+        tuple(
+            (q, None if math.isnan(v) else v)  # NaN != NaN would mask equality
+            for q, v in sorted(stats.service_ratio_quantiles().items())
+        ),
+    )
+
+
+class TestRunningJobStatsMerge:
+    @settings(max_examples=100, deadline=None)
+    @given(_sharded_jobs())
+    def test_merge_matches_single_accumulator(self, case):
+        n_regions, shards, order = case
+        single = RunningJobStats(n_regions, delay_tolerance=0.5)
+        for shard in shards:  # single box sees shards in input order
+            single.add(**shard)
+        merged = RunningJobStats(n_regions, delay_tolerance=0.5)
+        for i in order:  # distributed merge folds them in a shuffled order
+            partial = RunningJobStats(n_regions, delay_tolerance=0.5)
+            partial.add(**shards[i])
+            merged.merge(partial)
+        assert _stats_figures(merged) == _stats_figures(single)
+
+    def test_merge_rejects_mismatched_config(self):
+        a = RunningJobStats(2, delay_tolerance=0.5)
+        with pytest.raises(ValueError):
+            a.merge(RunningJobStats(3, delay_tolerance=0.5))
+        with pytest.raises(ValueError):
+            a.merge(RunningJobStats(2, delay_tolerance=0.25))
+
+    def test_merge_drops_reservoir_when_other_saw_jobs(self):
+        # A uniform sample of a union cannot be rebuilt from two independent
+        # samples, so a merge that brings jobs invalidates the reservoir
+        # rather than silently biasing it.
+        a = RunningJobStats(1, delay_tolerance=0.5, reservoir_size=4)
+        b = RunningJobStats(1, delay_tolerance=0.5)
+        one = {
+            "region_idx": np.array([0]),
+            "home_idx": np.array([0]),
+            "considered": np.array([0.0]),
+            "ready": np.array([0.0]),
+            "start": np.array([1.0]),
+            "finish": np.array([2.0]),
+            "execution_time": np.array([1.0]),
+            "transfer_latency": np.array([0.0]),
+            "carbon_g": np.array([1.0]),
+            "water_l": np.array([1.0]),
+        }
+        b.add(**one)
+        a.merge(b)
+        assert a.reservoir is None
+        c = RunningJobStats(1, delay_tolerance=0.5, reservoir_size=4)
+        c.merge(RunningJobStats(1, delay_tolerance=0.5))  # empty merge keeps it
+        assert c.reservoir is not None
+
+
+class TestRunningFootprintTotalsMerge:
+    @settings(max_examples=100, deadline=None)
+    @given(_sharded_jobs())
+    def test_merge_matches_single_accumulator(self, case):
+        n_regions, shards, order = case
+        single = RunningFootprintTotals(n_regions)
+        for shard in shards:
+            single.add(shard["region_idx"], shard["carbon_g"], shard["water_l"])
+        merged = RunningFootprintTotals(n_regions)
+        for i in order:
+            partial = RunningFootprintTotals(n_regions)
+            partial.add(
+                shards[i]["region_idx"], shards[i]["carbon_g"], shards[i]["water_l"]
+            )
+            merged.merge(partial)
+        assert merged.jobs_integrated == single.jobs_integrated
+        assert merged.carbon_g_per_region.tolist() == single.carbon_g_per_region.tolist()
+        assert merged.water_l_per_region.tolist() == single.water_l_per_region.tolist()
+        assert merged.total_carbon_g == single.total_carbon_g
+        assert merged.total_water_l == single.total_water_l
+
+    def test_merge_rejects_region_mismatch(self):
+        with pytest.raises(ValueError):
+            RunningFootprintTotals(2).merge(RunningFootprintTotals(3))

@@ -307,6 +307,43 @@ class TestRegistryWideEquivalence:
                 )
                 assert ours.violation_fraction == theirs.violation_fraction
 
+    def test_distributed_sweep_digest_identical_registry_wide(self, tmp_path):
+        # The shard fabric's exactness contract: a sweep over the ENTIRE
+        # live scheduler registry, split into per-policy time-slab shards
+        # and run at several worker counts, must reassemble to outcomes
+        # digest-identical (StreamResult.digest — every aggregate, bit for
+        # bit) to the single-box fused run.  A policy whose results drift
+        # under sharding — or an accumulator whose merge() loses exactness —
+        # fails here with zero new test code.
+        from repro.analysis.fabric import run_fabric_sweep
+        from repro.analysis.parallel import SweepPoint, run_sweep
+
+        points = [
+            SweepPoint(
+                scheduler=policy,
+                trace_kind="bursty",
+                rate_per_hour=_SCENARIO_RATES["bursty"],
+                duration_days=_DURATION_DAYS,
+                engine="stream",
+                seed=13,
+            )
+            for policy in available_schedulers()
+        ]
+        reference = run_sweep(points, workers=1, fused=True)
+        expected = {i: outcome.digest for i, outcome in enumerate(reference)}
+        assert all(digest is not None for digest in expected.values())
+        for workers in (1, 3):
+            outcomes = run_fabric_sweep(
+                points,
+                workers=workers,
+                transport="inprocess",
+                chunks_per_slab=2,
+                chunk_size=64,
+                checkpoint_dir=tmp_path / f"w{workers}",
+            )
+            assert [o.point for o in outcomes] == points
+            assert {i: o.digest for i, o in enumerate(outcomes)} == expected
+
     def test_shared_memory_chunks_roundtrip_byte_identical(self):
         # Property test over chunk sizes: a workload packed into shared
         # memory and re-streamed by an attached ColumnSource yields chunks

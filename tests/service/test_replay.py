@@ -74,14 +74,25 @@ class TestFastForward:
         assert payload["jobs"] == report.jobs
         assert payload["stats"]["decided"] == report.jobs
 
-    def test_aggregate_collect_has_no_digest(self, source, dataset):
+    def test_aggregate_collect_reports_aggregate_digest(self, source, dataset):
+        # Aggregate-collect replays return a StreamResult, whose digest
+        # covers the merged aggregates (not per-job decisions) — it must be
+        # present and replay-invariant, but is NOT comparable to the batch
+        # per-job digest.
         report = run_replay(
             source,
             _engine(source, dataset, collect="aggregate"),
             pace=0.0,
             chunk_size=64,
         )
-        assert report.as_dict()["digest"] is None
+        again = run_replay(
+            source,
+            _engine(source, dataset, collect="aggregate"),
+            pace=0.0,
+            chunk_size=64,
+        )
+        assert report.as_dict()["digest"] is not None
+        assert report.as_dict()["digest"] == again.as_dict()["digest"]
 
 
 class TestPaced:
